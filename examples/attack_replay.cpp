@@ -1,0 +1,49 @@
+// Example: replay the Sect.-II adaptive-adversary attack on the executable
+// MMR14 protocol, round by round, and show that the same adversary is
+// powerless against Miller18 (the CONF-phase fix).
+#include <iostream>
+
+#include "sim/attack.h"
+#include "sim/simulation.h"
+
+int main() {
+  using namespace ctaver::sim;
+
+  std::cout << "=== MMR14 under the adaptive adversary (n=4, t=1, "
+               "inputs {0,0,1}) ===\n";
+  for (int rounds : {1, 2, 4, 8, 16, 32}) {
+    AttackResult res = run_attack(Protocol::kMmr14, rounds);
+    std::cout << "  horizon " << rounds << " rounds: completed "
+              << res.rounds_executed << ", decided: "
+              << (res.any_decided ? "yes" : "no") << "\n";
+  }
+  std::cout << "The adversary freezes one majority holder, drives the other "
+               "two processes to\nvalues = {0,1} (forcing est := coin s, "
+               "which reveals s), then steers the frozen\nprocess to "
+               "values = {1-s}. Every round ends as it began: two against "
+               "one.\n\n";
+
+  std::cout << "=== The same adversary against Miller18 ===\n";
+  AttackResult fixed = run_attack(Protocol::kMiller18, 16);
+  std::cout << "  script blocked: " << (fixed.script_failed ? "yes" : "no")
+            << " (binding: the coin is unrevealed when the adversary needs "
+               "it)\n  processes decided: "
+            << (fixed.any_decided ? "yes" : "no") << "\n\n";
+
+  std::cout << "=== Fair scheduling: everyone terminates quickly ===\n";
+  for (auto [proto, name] : {std::pair{Protocol::kMmr14, "MMR14"},
+                             std::pair{Protocol::kMiller18, "Miller18"},
+                             std::pair{Protocol::kAby22, "ABY22"}}) {
+    Simulation::Setup setup;
+    setup.proto = proto;
+    setup.n = 4;
+    setup.t = 1;
+    setup.inputs = {0, 0, 1};
+    setup.coin_seed = 42;
+    RandomRunResult res = run_random(setup, 7, 64);
+    std::cout << "  " << name << ": decided=" << res.all_decided
+              << " value=" << res.decision_value << " rounds=" << res.rounds
+              << " messages=" << res.messages << "\n";
+  }
+  return 0;
+}

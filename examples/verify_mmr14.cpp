@@ -1,0 +1,63 @@
+// Example: reproduce the paper's headline result — MMR14 satisfies the
+// agreement and validity round invariants, but the binding sufficient
+// condition (CB2) fails on the refined model, reproducing the adaptive
+// attack of Miller's bug report. The counterexample schedule is printed.
+#include <iostream>
+
+#include "protocols/protocols.h"
+#include "schema/checker.h"
+#include "spec/spec.h"
+#include "ta/transforms.h"
+
+int main() {
+  using namespace ctaver;
+
+  protocols::ProtocolModel pm = protocols::mmr14();
+  ta::System rd = ta::single_round(ta::nonprobabilistic(pm.system));
+  ta::System rdr = ta::single_round(ta::nonprobabilistic(pm.refined()));
+
+  schema::CheckOptions opts;
+  opts.time_budget_s = 300.0;
+
+  std::cout << "MMR14: |L|=" << pm.system.total_locations()
+            << " |R|=" << pm.system.total_rules() << "\n\n";
+
+  for (int v : {0, 1}) {
+    schema::CheckResult agr = schema::check_spec(rd, spec::inv1(rd, v), opts);
+    std::cout << "Inv1(v=" << v << "): "
+              << (agr.holds ? "verified" : "CE") << " (" << agr.nschemas
+              << " schemas)\n";
+  }
+  for (int v : {0, 1}) {
+    schema::CheckResult val = schema::check_spec(rd, spec::inv2(rd, v), opts);
+    std::cout << "Inv2(v=" << v << "): "
+              << (val.holds ? "verified" : "CE") << " (" << val.nschemas
+              << " schemas)\n";
+  }
+
+  std::cout << "\nBinding conditions on the refined model (Fig. 6):\n";
+  struct CB {
+    const char* name;
+    const char* from;
+    const char* forbid;
+  };
+  for (const CB& cb : {CB{"CB0", "M0", "M1"}, CB{"CB1", "M1", "M0"},
+                       CB{"CB2", "N0", "M1"}, CB{"CB3", "N1", "M0"}}) {
+    spec::Spec s = spec::binding(rdr, cb.name, cb.from, cb.forbid);
+    schema::CheckResult res = schema::check_spec(rdr, s, opts);
+    std::cout << cb.name << ": " << (res.holds ? "verified" : "VIOLATED")
+              << " (" << res.nschemas << " schemas, " << res.seconds
+              << "s)\n";
+    if (res.ce) {
+      std::cout << "  counterexample (the adaptive attack):\n  milestones:";
+      for (const std::string& m : res.ce->milestones) {
+        std::cout << " [" << m << "]";
+      }
+      std::cout << "\n  " << res.ce->text << "\n";
+      std::cout << "  (the paper's ByMC run reported the same violation "
+                   "with n=193, t=64; any admissible valuation of the "
+                   "schema witnesses it)\n";
+    }
+  }
+  return 0;
+}

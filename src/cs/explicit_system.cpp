@@ -1,0 +1,245 @@
+#include "cs/explicit_system.h"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace ctaver::cs {
+
+std::size_t ConfigHash::operator()(const Config& c) const {
+  // FNV-1a over both counter vectors.
+  std::size_t h = 1469598103934665603ULL;
+  auto mix = [&h](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xff;
+      h *= 1099511628211ULL;
+    }
+  };
+  for (int32_t k : c.kappa) mix(static_cast<std::uint64_t>(k));
+  for (long long v : c.g) mix(static_cast<std::uint64_t>(v));
+  return h;
+}
+
+ExplicitSystem::ExplicitSystem(const ta::System& sys,
+                               std::vector<long long> params, int rounds)
+    : sys_(&sys),
+      params_(std::move(params)),
+      rounds_(rounds),
+      n_proc_locs_(static_cast<int>(sys.process.locations.size())),
+      n_coin_locs_(static_cast<int>(sys.coin.locations.size())) {
+  if (rounds_ < 1) throw std::invalid_argument("ExplicitSystem: rounds < 1");
+  if (!sys.env.admissible(params_)) {
+    throw std::invalid_argument(
+        "ExplicitSystem: parameter valuation violates the resilience "
+        "condition");
+  }
+  num_processes_ = sys.env.num_processes.eval(params_);
+  num_coins_ = sys.env.num_coins.eval(params_);
+}
+
+int ExplicitSystem::dest_round(bool coin, const ta::Rule& r, int from_round,
+                               ta::LocId target) const {
+  if (!r.is_round_switch) return from_round;
+  const ta::Location& dst =
+      automaton(coin).locations[static_cast<std::size_t>(target)];
+  // In single-round systems (Def. 3) the S′ rules target border *copies*
+  // and stay within the round.
+  return dst.role == ta::LocRole::kBorder ? from_round + 1 : from_round;
+}
+
+bool ExplicitSystem::unlocked(const Config& c, const Action& a) const {
+  const ta::Rule& r =
+      automaton(a.coin).rules[static_cast<std::size_t>(a.rule)];
+  const int base = a.round * static_cast<int>(sys_->vars.size());
+  for (const ta::Guard& guard : r.guards) {
+    long long lhs = 0;
+    for (const auto& [v, b] : guard.lhs) {
+      lhs += b * c.g[static_cast<std::size_t>(base + v)];
+    }
+    long long rhs = guard.rhs.eval(params_);
+    bool ok = guard.rel == ta::GuardRel::kGe ? lhs >= rhs : lhs < rhs;
+    if (!ok) return false;
+  }
+  return true;
+}
+
+bool ExplicitSystem::applicable(const Config& c, const Action& a) const {
+  const ta::Rule& r =
+      automaton(a.coin).rules[static_cast<std::size_t>(a.rule)];
+  if (a.round < 0 || a.round >= rounds_) return false;
+  if (kappa(c, a.coin, r.from, a.round) < 1) return false;
+  // A round-switch out of the last modeled round is truncated.
+  for (const auto& [to, p] : r.to.outcomes) {
+    (void)p;
+    if (dest_round(a.coin, r, a.round, to) >= rounds_) return false;
+  }
+  return unlocked(c, a);
+}
+
+bool ExplicitSystem::is_self_loop(bool coin, ta::RuleId rule) const {
+  const ta::Rule& r = automaton(coin).rules[static_cast<std::size_t>(rule)];
+  return r.is_dirac() && r.to.dirac_target() == r.from &&
+         r.has_zero_update() && !r.is_round_switch;
+}
+
+std::vector<Action> ExplicitSystem::applicable_actions(
+    const Config& c, bool include_self_loops) const {
+  std::vector<Action> out;
+  for (int round = 0; round < rounds_; ++round) {
+    for (bool coin : {false, true}) {
+      const ta::Automaton& a = automaton(coin);
+      for (ta::RuleId r = 0; r < static_cast<ta::RuleId>(a.rules.size());
+           ++r) {
+        if (!include_self_loops && is_self_loop(coin, r)) continue;
+        Action act{coin, r, round};
+        if (applicable(c, act)) out.push_back(act);
+      }
+    }
+  }
+  return out;
+}
+
+Config ExplicitSystem::apply_outcome(const Config& c, const Action& a,
+                                     int outcome_index) const {
+  const ta::Rule& r =
+      automaton(a.coin).rules[static_cast<std::size_t>(a.rule)];
+  const auto& [target, prob] =
+      r.to.outcomes[static_cast<std::size_t>(outcome_index)];
+  (void)prob;
+  Config out = c;
+  const int lpr = locs_per_round();
+  out.kappa[static_cast<std::size_t>(a.round * lpr + gloc(a.coin, r.from))]--;
+  int to_round = dest_round(a.coin, r, a.round, target);
+  out.kappa[static_cast<std::size_t>(to_round * lpr +
+                                     gloc(a.coin, target))]++;
+  const int base = a.round * static_cast<int>(sys_->vars.size());
+  for (ta::VarId v = 0; v < static_cast<ta::VarId>(sys_->vars.size()); ++v) {
+    long long u = r.update_of(v);
+    if (u != 0) out.g[static_cast<std::size_t>(base + v)] += u;
+  }
+  return out;
+}
+
+std::vector<Outcome> ExplicitSystem::apply(const Config& c,
+                                           const Action& a) const {
+  const ta::Rule& r =
+      automaton(a.coin).rules[static_cast<std::size_t>(a.rule)];
+  std::vector<Outcome> out;
+  for (int i = 0; i < static_cast<int>(r.to.outcomes.size()); ++i) {
+    out.push_back(
+        {apply_outcome(c, a, i), r.to.outcomes[static_cast<std::size_t>(i)].second});
+  }
+  return out;
+}
+
+Config ExplicitSystem::empty_config() const {
+  Config c;
+  c.kappa.assign(static_cast<std::size_t>(rounds_ * locs_per_round()), 0);
+  c.g.assign(static_cast<std::size_t>(rounds_) * sys_->vars.size(), 0);
+  return c;
+}
+
+namespace {
+
+void compose_rec(long long remaining, int bin, int bins,
+                 std::vector<long long>& acc,
+                 std::vector<std::vector<long long>>& out) {
+  if (bin == bins - 1) {
+    acc[static_cast<std::size_t>(bin)] = remaining;
+    out.push_back(acc);
+    return;
+  }
+  for (long long k = 0; k <= remaining; ++k) {
+    acc[static_cast<std::size_t>(bin)] = k;
+    compose_rec(remaining - k, bin + 1, bins, acc, out);
+  }
+}
+
+}  // namespace
+
+std::vector<std::vector<long long>> compositions(long long total, int bins) {
+  std::vector<std::vector<long long>> out;
+  if (bins == 0) {
+    if (total == 0) out.push_back({});
+    return out;
+  }
+  std::vector<long long> acc(static_cast<std::size_t>(bins), 0);
+  compose_rec(total, 0, bins, acc, out);
+  return out;
+}
+
+std::vector<Config> ExplicitSystem::start_configs_impl(
+    ta::LocRole role) const {
+  std::vector<ta::LocId> proc_locs = sys_->process.locs_with_role(role);
+  std::vector<ta::LocId> coin_locs = sys_->coin.locs_with_role(role);
+  if (num_coins_ > 0 && coin_locs.empty()) {
+    throw std::logic_error(
+        "ExplicitSystem: coins modeled but the coin automaton has no "
+        "locations with the requested start role");
+  }
+  std::vector<Config> out;
+  auto proc_splits =
+      compositions(num_processes_, static_cast<int>(proc_locs.size()));
+  auto coin_splits = num_coins_ > 0
+                         ? compositions(num_coins_,
+                                        static_cast<int>(coin_locs.size()))
+                         : std::vector<std::vector<long long>>{{}};
+  for (const auto& ps : proc_splits) {
+    for (const auto& cs : coin_splits) {
+      Config c = empty_config();
+      for (std::size_t i = 0; i < proc_locs.size(); ++i) {
+        c.kappa[static_cast<std::size_t>(gloc(false, proc_locs[i]))] =
+            static_cast<int32_t>(ps[i]);
+      }
+      for (std::size_t i = 0; i < coin_locs.size() && i < cs.size(); ++i) {
+        c.kappa[static_cast<std::size_t>(gloc(true, coin_locs[i]))] =
+            static_cast<int32_t>(cs[i]);
+      }
+      out.push_back(std::move(c));
+    }
+  }
+  return out;
+}
+
+std::vector<Config> ExplicitSystem::initial_configs() const {
+  return start_configs_impl(ta::LocRole::kInitial);
+}
+
+std::vector<Config> ExplicitSystem::border_start_configs() const {
+  return start_configs_impl(ta::LocRole::kBorder);
+}
+
+std::string ExplicitSystem::describe(const Config& c) const {
+  std::ostringstream os;
+  for (int round = 0; round < rounds_; ++round) {
+    os << "[round " << round << "]";
+    for (bool coin : {false, true}) {
+      const ta::Automaton& a = automaton(coin);
+      for (ta::LocId l = 0; l < static_cast<ta::LocId>(a.locations.size());
+           ++l) {
+        int32_t k = kappa(c, coin, l, round);
+        if (k != 0) {
+          os << " " << a.locations[static_cast<std::size_t>(l)].name << "="
+             << k;
+        }
+      }
+    }
+    for (ta::VarId v = 0; v < static_cast<ta::VarId>(sys_->vars.size());
+         ++v) {
+      long long g = var(c, v, round);
+      if (g != 0) {
+        os << " " << sys_->vars[static_cast<std::size_t>(v)].name << "=" << g;
+      }
+    }
+    if (round + 1 < rounds_) os << " ";
+  }
+  return os.str();
+}
+
+std::string ExplicitSystem::describe(const Action& a) const {
+  const ta::Rule& r =
+      automaton(a.coin).rules[static_cast<std::size_t>(a.rule)];
+  return (a.coin ? std::string("coin:") : std::string("")) + r.name + "@r" +
+         std::to_string(a.round);
+}
+
+}  // namespace ctaver::cs

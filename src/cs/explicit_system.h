@@ -1,0 +1,150 @@
+// Explicit-state semantics of the extended probabilistic counter system
+// Sys(TAⁿ, PTAᶜ) for a *fixed* admissible parameter valuation (Sect. III-C).
+//
+// Configurations are counter vectors κ: L × rounds → ℕ and g: V × rounds → ℕ.
+// Actions are (rule, round) pairs; probabilistic rules yield one outcome per
+// positive-probability destination. The parametric checker (src/schema) is
+// the main verification engine; this module cross-checks it on small
+// instances and exhibits concrete attacks (the MMR14 end component).
+//
+// Fairness note: our automata are DAGs modulo zero-update self-loops (the
+// canonical single-round form), so firing a self-loop never changes the
+// configuration. Action enumeration therefore skips self-loops; terminal
+// configurations are exactly the "terminal modulo self-loops" ones, and
+// maximal finite paths coincide with the fair executions of Sect. III-D.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "ta/model.h"
+#include "util/rational.h"
+
+namespace ctaver::cs {
+
+/// Counter-vector configuration (κ, g) for a fixed parameter valuation.
+struct Config {
+  /// Location counters, laid out round-major: process locations of round 0,
+  /// coin locations of round 0, process locations of round 1, ...
+  std::vector<int32_t> kappa;
+  /// Variable values, round-major.
+  std::vector<long long> g;
+
+  bool operator==(const Config&) const = default;
+};
+
+struct ConfigHash {
+  std::size_t operator()(const Config& c) const;
+};
+
+/// Action α = (rule, round). `coin` selects the automaton.
+struct Action {
+  bool coin = false;
+  ta::RuleId rule = -1;
+  int round = 0;
+
+  bool operator==(const Action&) const = default;
+};
+
+/// One probabilistic outcome of applying an action.
+struct Outcome {
+  Config config;
+  util::Rational prob;
+};
+
+class ExplicitSystem {
+ public:
+  /// `params` must be admissible for sys.env. `rounds` bounds the number of
+  /// modeled rounds (>= 1); round-switch rules into rounds >= `rounds` are
+  /// not applicable.
+  ExplicitSystem(const ta::System& sys, std::vector<long long> params,
+                 int rounds);
+
+  [[nodiscard]] const ta::System& system() const { return *sys_; }
+  [[nodiscard]] const std::vector<long long>& params() const { return params_; }
+  [[nodiscard]] int rounds() const { return rounds_; }
+  [[nodiscard]] long long num_processes() const { return num_processes_; }
+  [[nodiscard]] long long num_coins() const { return num_coins_; }
+
+  /// Index of a location in the combined per-round block.
+  [[nodiscard]] int gloc(bool coin, ta::LocId l) const {
+    return coin ? n_proc_locs_ + l : l;
+  }
+  [[nodiscard]] int locs_per_round() const { return n_proc_locs_ + n_coin_locs_; }
+
+  [[nodiscard]] int32_t kappa(const Config& c, bool coin, ta::LocId l,
+                              int round) const {
+    return c.kappa[static_cast<std::size_t>(round * locs_per_round() +
+                                            gloc(coin, l))];
+  }
+  [[nodiscard]] long long var(const Config& c, ta::VarId v, int round) const {
+    return c.g[static_cast<std::size_t>(
+        round * static_cast<int>(sys_->vars.size()) + v)];
+  }
+
+  /// Guard truth in configuration c for round k (c, k |= φ).
+  [[nodiscard]] bool unlocked(const Config& c, const Action& a) const;
+  [[nodiscard]] bool applicable(const Config& c, const Action& a) const;
+
+  /// All applicable actions across all rounds. Zero-update self-loops are
+  /// skipped unless `include_self_loops` (they are configuration no-ops).
+  [[nodiscard]] std::vector<Action> applicable_actions(
+      const Config& c, bool include_self_loops = false) const;
+
+  /// Applies an action; one Outcome per positive-probability destination.
+  [[nodiscard]] std::vector<Outcome> apply(const Config& c,
+                                           const Action& a) const;
+  /// Applies a specific outcome branch (by index into the distribution).
+  [[nodiscard]] Config apply_outcome(const Config& c, const Action& a,
+                                     int outcome_index) const;
+
+  /// All-zero configuration (no processes anywhere).
+  [[nodiscard]] Config empty_config() const;
+
+  /// Initial configurations of Sect. III-C: every split of the modeled
+  /// processes over the process *initial* locations of round 0 and of the
+  /// coins over the coin initial locations; all variables zero.
+  [[nodiscard]] std::vector<Config> initial_configs() const;
+
+  /// Round-entry configurations Σu for single-round systems (Thm. 2):
+  /// every split over *border* locations instead.
+  [[nodiscard]] std::vector<Config> border_start_configs() const;
+
+  /// True iff no non-self-loop action is applicable (fair-terminal).
+  [[nodiscard]] bool terminal(const Config& c) const {
+    return applicable_actions(c).empty();
+  }
+
+  /// Pretty-printer for debugging and counterexample reports.
+  [[nodiscard]] std::string describe(const Config& c) const;
+  [[nodiscard]] std::string describe(const Action& a) const;
+
+  /// True iff this rule is a zero-update self-loop.
+  [[nodiscard]] bool is_self_loop(bool coin, ta::RuleId rule) const;
+
+ private:
+  [[nodiscard]] const ta::Automaton& automaton(bool coin) const {
+    return coin ? sys_->coin : sys_->process;
+  }
+  /// Destination round of a rule fired in round k (round-switch rules into
+  /// kBorder locations cross to k + 1; everything else stays).
+  [[nodiscard]] int dest_round(bool coin, const ta::Rule& r, int from_round,
+                               ta::LocId target) const;
+  /// Shared implementation of initial_configs / border_start_configs.
+  [[nodiscard]] std::vector<Config> start_configs_impl(ta::LocRole role) const;
+
+  const ta::System* sys_;
+  std::vector<long long> params_;
+  int rounds_;
+  int n_proc_locs_;
+  int n_coin_locs_;
+  long long num_processes_;
+  long long num_coins_;
+};
+
+/// All ways to place `total` identical tokens into `bins` bins.
+std::vector<std::vector<long long>> compositions(long long total, int bins);
+
+}  // namespace ctaver::cs

@@ -1,0 +1,100 @@
+#include "cs/schedule.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace ctaver::cs {
+
+bool schedule_applicable(const ExplicitSystem& sys, const Config& c0,
+                         const Schedule& tau) {
+  Config c = c0;
+  for (const Step& s : tau) {
+    if (!sys.applicable(c, s.action)) return false;
+    c = sys.apply_outcome(c, s.action, s.outcome);
+  }
+  return true;
+}
+
+Config apply_schedule(const ExplicitSystem& sys, const Config& c0,
+                      const Schedule& tau) {
+  Config c = c0;
+  for (const Step& s : tau) {
+    if (!sys.applicable(c, s.action)) {
+      throw std::logic_error("apply_schedule: inapplicable step " +
+                             sys.describe(s.action));
+    }
+    c = sys.apply_outcome(c, s.action, s.outcome);
+  }
+  return c;
+}
+
+std::vector<Config> path_configs(const ExplicitSystem& sys, const Config& c0,
+                                 const Schedule& tau) {
+  std::vector<Config> out{c0};
+  Config c = c0;
+  for (const Step& s : tau) {
+    c = sys.apply_outcome(c, s.action, s.outcome);
+    out.push_back(c);
+  }
+  return out;
+}
+
+bool is_round_rigid(const Schedule& tau) {
+  for (std::size_t i = 1; i < tau.size(); ++i) {
+    if (tau[i].action.round < tau[i - 1].action.round) return false;
+  }
+  return true;
+}
+
+Schedule round_rigid_reorder(const Schedule& tau) {
+  Schedule out = tau;
+  std::stable_sort(out.begin(), out.end(), [](const Step& a, const Step& b) {
+    return a.action.round < b.action.round;
+  });
+  return out;
+}
+
+std::vector<bool> ap_valuation(const ExplicitSystem& sys, const Config& c,
+                               int round) {
+  std::vector<bool> out;
+  const auto& proc = sys.system().process;
+  const auto& coin = sys.system().coin;
+  out.reserve(proc.locations.size() + coin.locations.size());
+  auto visible = [](const ta::Location& l) {
+    return l.role != ta::LocRole::kBorder && l.role != ta::LocRole::kBorderCopy;
+  };
+  for (ta::LocId l = 0; l < static_cast<ta::LocId>(proc.locations.size());
+       ++l) {
+    if (!visible(proc.locations[static_cast<std::size_t>(l)])) continue;
+    out.push_back(sys.kappa(c, false, l, round) > 0);
+  }
+  for (ta::LocId l = 0; l < static_cast<ta::LocId>(coin.locations.size());
+       ++l) {
+    if (!visible(coin.locations[static_cast<std::size_t>(l)])) continue;
+    out.push_back(sys.kappa(c, true, l, round) > 0);
+  }
+  return out;
+}
+
+bool stutter_equivalent(const std::vector<std::vector<bool>>& trace_a,
+                        const std::vector<std::vector<bool>>& trace_b) {
+  auto collapse = [](const std::vector<std::vector<bool>>& t) {
+    std::vector<std::vector<bool>> out;
+    for (const auto& v : t) {
+      if (out.empty() || out.back() != v) out.push_back(v);
+    }
+    return out;
+  };
+  return collapse(trace_a) == collapse(trace_b);
+}
+
+std::vector<std::vector<bool>> ap_trace(const ExplicitSystem& sys,
+                                        const std::vector<Config>& path,
+                                        int round) {
+  std::vector<std::vector<bool>> out;
+  out.reserve(path.size());
+  for (const Config& c : path) out.push_back(ap_valuation(sys, c, round));
+  return out;
+}
+
+}  // namespace ctaver::cs

@@ -1,0 +1,65 @@
+// Schedules, paths, round-rigid reordering (Theorem 1) and stutter
+// equivalence w.r.t. the round-indexed atomic propositions AP_k.
+//
+// A schedule fixes both the action sequence and, for probabilistic actions,
+// the chosen outcome branch — i.e. it identifies one path of the counter
+// system. Theorem 1 states that any finite schedule can be reordered into a
+// round-rigid one that is applicable, reaches the same configuration, and is
+// stutter-equivalent on every round's propositions; `round_rigid_reorder`
+// implements the reordering (a stable sort by round, which preserves the
+// relative order of same-round actions) and the test suite checks the
+// theorem's guarantees on randomized schedules.
+#pragma once
+
+#include <vector>
+
+#include "cs/explicit_system.h"
+
+namespace ctaver::cs {
+
+/// One schedule step: an action plus the outcome branch taken.
+struct Step {
+  Action action;
+  int outcome = 0;
+};
+using Schedule = std::vector<Step>;
+
+/// Is the schedule applicable at c0 (every step applicable in sequence)?
+bool schedule_applicable(const ExplicitSystem& sys, const Config& c0,
+                         const Schedule& tau);
+
+/// Applies the schedule; requires applicability.
+Config apply_schedule(const ExplicitSystem& sys, const Config& c0,
+                      const Schedule& tau);
+
+/// The configuration sequence path(c0, τ) including c0 (length |τ|+1).
+std::vector<Config> path_configs(const ExplicitSystem& sys, const Config& c0,
+                                 const Schedule& tau);
+
+/// Is the schedule round-rigid (actions sorted by round)?
+bool is_round_rigid(const Schedule& tau);
+
+/// Theorem 1: reorders τ into a round-rigid schedule by a stable sort on
+/// round numbers. For canonical threshold automata the result is applicable
+/// at c0 and reaches τ(c0).
+Schedule round_rigid_reorder(const Schedule& tau);
+
+/// AP_k valuation of a configuration: one bit per *non-border* location ℓ
+/// with κ[ℓ, k] > 0 (process locations first, then coin locations). Border
+/// locations are excluded: they are invisible buffer locations that no
+/// specification mentions, and round-switch actions of round k-1 write into
+/// them, so including them would break the stutter equivalence of Thm. 1.
+std::vector<bool> ap_valuation(const ExplicitSystem& sys, const Config& c,
+                               int round);
+
+/// Stutter equivalence of two AP traces: equal after collapsing consecutive
+/// duplicates.
+bool stutter_equivalent(const std::vector<std::vector<bool>>& trace_a,
+                        const std::vector<std::vector<bool>>& trace_b);
+
+/// Projects a path onto AP_k valuations.
+std::vector<std::vector<bool>> ap_trace(const ExplicitSystem& sys,
+                                        const std::vector<Config>& path,
+                                        int round);
+
+}  // namespace ctaver::cs

@@ -1,0 +1,298 @@
+#include "cs/state_graph.h"
+
+#include <algorithm>
+#include <deque>
+#include <stdexcept>
+
+namespace ctaver::cs {
+
+StateGraph::StateGraph(const ExplicitSystem& sys,
+                       const std::vector<Config>& initials,
+                       std::size_t max_states)
+    : sys_(&sys) {
+  std::unordered_map<Config, std::size_t, ConfigHash> index;
+  std::deque<std::size_t> frontier;
+
+  auto intern = [&](const Config& c) {
+    auto it = index.find(c);
+    if (it != index.end()) return it->second;
+    std::size_t id = configs_.size();
+    if (id >= max_states) {
+      throw std::runtime_error("StateGraph: state budget exceeded");
+    }
+    index.emplace(c, id);
+    configs_.push_back(c);
+    edges_.emplace_back();
+    frontier.push_back(id);
+    return id;
+  };
+
+  for (const Config& c : initials) initials_.push_back(intern(c));
+
+  while (!frontier.empty()) {
+    std::size_t s = frontier.front();
+    frontier.pop_front();
+    // configs_ may grow during the loop; copy the source config.
+    Config c = configs_[s];
+    for (const Action& a : sys.applicable_actions(c)) {
+      Edge e{a, {}};
+      for (const Outcome& o : sys.apply(c, a)) {
+        e.outcomes.emplace_back(intern(o.config), o.prob);
+      }
+      edges_[s].push_back(std::move(e));
+    }
+  }
+}
+
+std::vector<bool> StateGraph::mark(const Pred& pred) const {
+  std::vector<bool> out(configs_.size());
+  for (std::size_t s = 0; s < configs_.size(); ++s) out[s] = pred(configs_[s]);
+  return out;
+}
+
+bool StateGraph::some_reachable(
+    const Pred& pred,
+    std::vector<std::pair<std::size_t, Action>>* witness) const {
+  // BFS with parent tracking; every interned state is reachable by
+  // construction, so this is mostly about producing a witness path.
+  std::vector<int> parent(configs_.size(), -2);  // -2 unseen, -1 root
+  std::vector<Action> via(configs_.size());
+  std::deque<std::size_t> queue;
+  for (std::size_t s : initials_) {
+    if (parent[s] == -2) {
+      parent[s] = -1;
+      queue.push_back(s);
+    }
+  }
+  while (!queue.empty()) {
+    std::size_t s = queue.front();
+    queue.pop_front();
+    if (pred(configs_[s])) {
+      if (witness) {
+        std::vector<std::pair<std::size_t, Action>> rev;
+        std::size_t cur = s;
+        rev.emplace_back(cur, Action{});
+        while (parent[cur] >= 0) {
+          std::size_t p = static_cast<std::size_t>(parent[cur]);
+          rev.emplace_back(p, via[cur]);
+          cur = p;
+        }
+        witness->assign(rev.rbegin(), rev.rend());
+      }
+      return true;
+    }
+    for (const Edge& e : edges_[s]) {
+      for (const auto& [succ, prob] : e.outcomes) {
+        (void)prob;
+        if (parent[succ] == -2) {
+          parent[succ] = static_cast<int>(s);
+          via[succ] = e.action;
+          queue.push_back(succ);
+        }
+      }
+    }
+  }
+  return false;
+}
+
+bool StateGraph::eventually_then(
+    const Pred& phi, const Pred& not_psi,
+    std::vector<std::pair<std::size_t, Action>>* witness) const {
+  // Phase 1: BFS to any phi-state; phase 2: BFS from there to a ¬psi-state.
+  // We search from each phi-state reachable set lazily: mark all states
+  // reachable from initials (all states, by construction), then compute the
+  // set of states that can reach a ¬psi-state (backward), and ask whether
+  // some reachable phi-state is in it.
+  std::vector<bool> can_reach_bad(configs_.size(), false);
+  // Backward closure over the edge relation.
+  std::vector<std::vector<std::size_t>> preds(configs_.size());
+  std::deque<std::size_t> queue;
+  for (std::size_t s = 0; s < configs_.size(); ++s) {
+    for (const Edge& e : edges_[s]) {
+      for (const auto& [succ, prob] : e.outcomes) {
+        (void)prob;
+        preds[succ].push_back(s);
+      }
+    }
+    if (not_psi(configs_[s])) {
+      can_reach_bad[s] = true;
+      queue.push_back(s);
+    }
+  }
+  while (!queue.empty()) {
+    std::size_t s = queue.front();
+    queue.pop_front();
+    for (std::size_t p : preds[s]) {
+      if (!can_reach_bad[p]) {
+        can_reach_bad[p] = true;
+        queue.push_back(p);
+      }
+    }
+  }
+  // Every interned state is reachable from the initials, so a witness mid
+  // state exists iff some state satisfies phi and can still reach ¬psi.
+  std::size_t mid = configs_.size();
+  for (std::size_t s = 0; s < configs_.size(); ++s) {
+    if (phi(configs_[s]) && can_reach_bad[s]) {
+      mid = s;
+      break;
+    }
+  }
+  if (mid == configs_.size()) return false;
+  if (witness) {
+    // Rebuild: initial -> mid, then mid -> bad.
+    std::vector<std::pair<std::size_t, Action>> leg1;
+    (void)some_reachable(
+        [&](const Config& c) { return &c == &configs_[mid]; }, &leg1);
+    // Forward BFS from mid to a ¬psi-state.
+    std::vector<int> parent(configs_.size(), -2);
+    std::vector<Action> via(configs_.size());
+    std::deque<std::size_t> q2{mid};
+    parent[mid] = -1;
+    std::size_t bad_state = configs_.size();
+    while (!q2.empty() && bad_state == configs_.size()) {
+      std::size_t s = q2.front();
+      q2.pop_front();
+      if (not_psi(configs_[s])) {
+        bad_state = s;
+        break;
+      }
+      for (const Edge& e : edges_[s]) {
+        for (const auto& [succ, prob] : e.outcomes) {
+          (void)prob;
+          if (parent[succ] == -2) {
+            parent[succ] = static_cast<int>(s);
+            via[succ] = e.action;
+            q2.push_back(succ);
+          }
+        }
+      }
+    }
+    std::vector<std::pair<std::size_t, Action>> leg2;
+    if (bad_state != configs_.size()) {
+      std::size_t cur = bad_state;
+      leg2.emplace_back(cur, Action{});
+      while (parent[cur] >= 0) {
+        std::size_t p = static_cast<std::size_t>(parent[cur]);
+        leg2.emplace_back(p, via[cur]);
+        cur = p;
+      }
+      std::reverse(leg2.begin(), leg2.end());
+    }
+    witness->clear();
+    for (const auto& st : leg1) witness->push_back(st);
+    for (std::size_t i = 1; i < leg2.size(); ++i) witness->push_back(leg2[i]);
+  }
+  return true;
+}
+
+std::vector<bool> StateGraph::can_avoid(
+    const std::vector<bool>& target) const {
+  // Least fixpoint of: s not in target and (terminal or some action-outcome
+  // successor can avoid), computed with a backward worklist. On DAGs this is
+  // exact; on cyclic graphs the closing phase below additionally reports
+  // cycles of ¬target states as avoiding, which matches unfair-loop
+  // semantics and is conservative for us.
+  std::vector<bool> avoid(configs_.size(), false);
+  std::vector<std::vector<std::size_t>> rev(configs_.size());
+  std::deque<std::size_t> work;
+  for (std::size_t s = 0; s < configs_.size(); ++s) {
+    for (const Edge& e : edges_[s]) {
+      for (const auto& [succ, prob] : e.outcomes) {
+        (void)prob;
+        rev[succ].push_back(s);
+      }
+    }
+    if (!target[s] && terminal(s)) {
+      avoid[s] = true;
+      work.push_back(s);
+    }
+  }
+  while (!work.empty()) {
+    std::size_t u = work.front();
+    work.pop_front();
+    for (std::size_t s : rev[u]) {
+      if (avoid[s] || target[s]) continue;
+      avoid[s] = true;
+      work.push_back(s);
+    }
+  }
+  // Cyclic remainder: states in ¬target whose every extension stays among
+  // undecided states forever form unfair loops; detect states that cannot
+  // reach target at all and cannot reach a terminal — they avoid trivially.
+  // (DAG graphs never hit this case.)
+  std::vector<bool> reach_target(configs_.size(), false);
+  std::vector<std::vector<std::size_t>> preds(configs_.size());
+  std::deque<std::size_t> queue;
+  for (std::size_t s = 0; s < configs_.size(); ++s) {
+    for (const Edge& e : edges_[s]) {
+      for (const auto& [succ, prob] : e.outcomes) {
+        (void)prob;
+        preds[succ].push_back(s);
+      }
+    }
+    if (target[s]) {
+      reach_target[s] = true;
+      queue.push_back(s);
+    }
+  }
+  while (!queue.empty()) {
+    std::size_t s = queue.front();
+    queue.pop_front();
+    for (std::size_t p : preds[s]) {
+      if (!reach_target[p]) {
+        reach_target[p] = true;
+        queue.push_back(p);
+      }
+    }
+  }
+  for (std::size_t s = 0; s < configs_.size(); ++s) {
+    if (!target[s] && !reach_target[s]) avoid[s] = true;
+  }
+  return avoid;
+}
+
+std::vector<bool> StateGraph::forall_adversary_exists_safe(
+    const std::vector<bool>& bad) const {
+  // Greatest fixpoint W = {s : ¬bad(s) ∧ ∀ edges e at s ∃ outcome in W},
+  // computed by counting winning outcomes per edge and propagating losses
+  // backward through a worklist (linear in the transition relation).
+  std::vector<bool> win(configs_.size());
+  // Per-state edge-local counters of still-winning outcomes.
+  std::vector<std::vector<int>> outcome_count(configs_.size());
+  // succ -> list of (state, edge index) outcome occurrences.
+  std::vector<std::vector<std::pair<std::size_t, int>>> watchers(
+      configs_.size());
+  std::deque<std::size_t> losses;
+
+  for (std::size_t s = 0; s < configs_.size(); ++s) {
+    win[s] = !bad[s];
+    outcome_count[s].resize(edges_[s].size());
+    for (int ei = 0; ei < static_cast<int>(edges_[s].size()); ++ei) {
+      const Edge& e = edges_[s][static_cast<std::size_t>(ei)];
+      outcome_count[s][static_cast<std::size_t>(ei)] =
+          static_cast<int>(e.outcomes.size());
+      for (const auto& [succ, prob] : e.outcomes) {
+        (void)prob;
+        watchers[succ].emplace_back(s, ei);
+      }
+    }
+    if (bad[s]) losses.push_back(s);
+  }
+
+  while (!losses.empty()) {
+    std::size_t u = losses.front();
+    losses.pop_front();
+    for (const auto& [s, ei] : watchers[u]) {
+      if (!win[s]) continue;
+      if (--outcome_count[s][static_cast<std::size_t>(ei)] == 0) {
+        // Edge ei at s has no winning outcome left: the adversary plays it.
+        win[s] = false;
+        losses.push_back(s);
+      }
+    }
+  }
+  return win;
+}
+
+}  // namespace ctaver::cs

@@ -1,0 +1,93 @@
+// Reachable state graph of an explicit counter system, with the qualitative
+// analyses the verification pipeline needs:
+//
+//   * plain reachability (counterexample search for safety specs),
+//   * "some fair maximal path avoids T" (negation of almost-sure
+//     reachability under all fair adversaries),
+//   * the ∀-adversary ∃-outcomes safety game used for the probabilistic
+//     conditions (C1)/(C2′) via Lemma 2,
+//   * end-component detection witnessing non-termination (the MMR14
+//     adaptive attack shows up as a reachable cyclic structure / a fair
+//     maximal path that never decides).
+//
+// Our automata are DAGs modulo skipped self-loops, so the reachable graph is
+// acyclic and all analyses are memoized DAG recursions; general fixpoint
+// iteration is used anyway so that cyclic inputs degrade gracefully.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "cs/explicit_system.h"
+
+namespace ctaver::cs {
+
+class StateGraph {
+ public:
+  using Pred = std::function<bool(const Config&)>;
+
+  /// Builds the reachable graph from `initials`. Throws std::runtime_error
+  /// if more than `max_states` states are reached.
+  StateGraph(const ExplicitSystem& sys, const std::vector<Config>& initials,
+             std::size_t max_states = 2'000'000);
+
+  [[nodiscard]] const ExplicitSystem& system() const { return *sys_; }
+  [[nodiscard]] std::size_t num_states() const { return configs_.size(); }
+  [[nodiscard]] const Config& config(std::size_t s) const {
+    return configs_[s];
+  }
+  [[nodiscard]] const std::vector<std::size_t>& initial_states() const {
+    return initials_;
+  }
+
+  struct Edge {
+    Action action;
+    /// (successor state, probability) per outcome.
+    std::vector<std::pair<std::size_t, util::Rational>> outcomes;
+  };
+  [[nodiscard]] const std::vector<Edge>& edges(std::size_t s) const {
+    return edges_[s];
+  }
+  [[nodiscard]] bool terminal(std::size_t s) const {
+    return edges_[s].empty();
+  }
+
+  /// States satisfying `pred`.
+  [[nodiscard]] std::vector<bool> mark(const Pred& pred) const;
+
+  /// Is some state satisfying `pred` reachable? If so and `witness` is
+  /// non-null, fills it with a path of (state, action) pairs from an initial
+  /// state (the action taken at each state; last entry has action.rule = -1).
+  [[nodiscard]] bool some_reachable(
+      const Pred& pred,
+      std::vector<std::pair<std::size_t, Action>>* witness = nullptr) const;
+
+  /// Two-phase reachability for A(Fφ → Gψ) counterexamples: a path that
+  /// first reaches a φ-state and later (or at the same state) a ¬ψ-state.
+  [[nodiscard]] bool eventually_then(
+      const Pred& phi, const Pred& not_psi,
+      std::vector<std::pair<std::size_t, Action>>* witness = nullptr) const;
+
+  /// True iff from state s some *maximal* path avoids `target` forever
+  /// (i.e. P_min over fair adversaries of reaching `target` is < 1).
+  /// Computed for all states at once.
+  [[nodiscard]] std::vector<bool> can_avoid(
+      const std::vector<bool>& target) const;
+
+  /// Safety game for Lemma-2 conditions: from which states can the
+  /// outcome-player guarantee that, however the adversary schedules
+  /// applicable actions, some probabilistic resolution stays outside `bad`
+  /// forever? (Terminal ¬bad states are winning.)
+  [[nodiscard]] std::vector<bool> forall_adversary_exists_safe(
+      const std::vector<bool>& bad) const;
+
+ private:
+  const ExplicitSystem* sys_;
+  std::vector<Config> configs_;
+  std::vector<std::size_t> initials_;
+  std::vector<std::vector<Edge>> edges_;
+};
+
+}  // namespace ctaver::cs

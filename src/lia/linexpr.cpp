@@ -1,0 +1,66 @@
+#include "lia/linexpr.h"
+
+#include <stdexcept>
+
+namespace ctaver::lia {
+
+LinExpr LinExpr::term(Var v, util::Rational coeff) {
+  LinExpr e;
+  e.add_term(v, coeff);
+  return e;
+}
+
+util::Rational LinExpr::coeff(Var v) const {
+  auto it = coeffs_.find(v);
+  return it == coeffs_.end() ? util::Rational(0) : it->second;
+}
+
+LinExpr& LinExpr::add_term(Var v, util::Rational c) {
+  if (c.is_zero()) return *this;
+  auto [it, inserted] = coeffs_.emplace(v, c);
+  if (!inserted) {
+    it->second += c;
+    if (it->second.is_zero()) coeffs_.erase(it);
+  }
+  return *this;
+}
+
+LinExpr& LinExpr::add_const(util::Rational c) {
+  constant_ += c;
+  return *this;
+}
+
+LinExpr LinExpr::operator+(const LinExpr& o) const {
+  LinExpr out = *this;
+  out.constant_ += o.constant_;
+  for (const auto& [v, c] : o.coeffs_) out.add_term(v, c);
+  return out;
+}
+
+LinExpr LinExpr::operator-(const LinExpr& o) const {
+  return *this + (o * util::Rational(-1));
+}
+
+LinExpr LinExpr::operator*(const util::Rational& k) const {
+  LinExpr out;
+  if (k.is_zero()) return out;
+  out.constant_ = constant_ * k;
+  for (const auto& [v, c] : coeffs_) out.coeffs_.emplace(v, c * k);
+  return out;
+}
+
+Constraint Constraint::negate_int() const {
+  switch (rel) {
+    case Rel::kLe:  // not(e <= 0)  ->  e >= 1
+      return Constraint::ge0(expr - LinExpr(util::Rational(1)));
+    case Rel::kGe:  // not(e >= 0)  ->  e <= -1
+      return Constraint::le0(expr + LinExpr(util::Rational(1)));
+    case Rel::kEq:
+      throw std::logic_error(
+          "Constraint::negate_int: equality negation is a disjunction; "
+          "split at the call site");
+  }
+  throw std::logic_error("unreachable");
+}
+
+}  // namespace ctaver::lia

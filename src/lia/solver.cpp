@@ -1,0 +1,432 @@
+#include "lia/solver.h"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+#include "util/logging.h"
+
+namespace ctaver::lia {
+
+using util::Int128;
+using util::Rational;
+
+// ---------------------------------------------------------------------------
+// Tableau: general-simplex working state (de Moura & Bjørner, CAV'06).
+//
+// Variables 0..m-1 are the caller's structural variables; m.. are slack
+// variables, one per constraint row. Every variable carries rational bounds;
+// nonbasic variables always sit within their bounds, and the simplex loop
+// repairs basic variables that stray outside theirs.
+// ---------------------------------------------------------------------------
+struct Solver::Tableau {
+  // Per-variable data (structural + slack).
+  std::vector<std::optional<Rational>> lb, ub;
+  std::vector<Rational> beta;      // current assignment
+  std::vector<int> row_of;         // var -> row index, or -1 if nonbasic
+  std::vector<int> basic_var;      // row index -> basic var
+  // rows[r]: expression of basic_var[r] over nonbasic vars.
+  std::vector<std::map<Var, Rational>> rows;
+
+  long long* pivots = nullptr;     // shared pivot budget counter
+  long long max_pivots = 0;
+
+  [[nodiscard]] int num_vars() const { return static_cast<int>(beta.size()); }
+  [[nodiscard]] bool is_basic(Var v) const {
+    return row_of[static_cast<std::size_t>(v)] >= 0;
+  }
+
+  [[nodiscard]] bool below_lb(Var v) const {
+    const auto& b = lb[static_cast<std::size_t>(v)];
+    return b.has_value() && beta[static_cast<std::size_t>(v)] < *b;
+  }
+  [[nodiscard]] bool above_ub(Var v) const {
+    const auto& b = ub[static_cast<std::size_t>(v)];
+    return b.has_value() && beta[static_cast<std::size_t>(v)] > *b;
+  }
+
+  // Moves nonbasic `v` to value `val`, propagating to dependent basics.
+  void update_nonbasic(Var v, const Rational& val) {
+    Rational delta = val - beta[static_cast<std::size_t>(v)];
+    if (delta.is_zero()) return;
+    for (std::size_t r = 0; r < rows.size(); ++r) {
+      auto it = rows[r].find(v);
+      if (it != rows[r].end()) {
+        beta[static_cast<std::size_t>(basic_var[r])] += it->second * delta;
+      }
+    }
+    beta[static_cast<std::size_t>(v)] = val;
+  }
+
+  // Pivots basic xb with nonbasic xn and sets beta(xb) = target.
+  void pivot_and_update(Var xb, Var xn, const Rational& target) {
+    int r = row_of[static_cast<std::size_t>(xb)];
+    Rational a = rows[static_cast<std::size_t>(r)].at(xn);
+    Rational theta = (target - beta[static_cast<std::size_t>(xb)]) / a;
+
+    beta[static_cast<std::size_t>(xb)] = target;
+    beta[static_cast<std::size_t>(xn)] += theta;
+    for (std::size_t k = 0; k < rows.size(); ++k) {
+      if (static_cast<int>(k) == r) continue;
+      auto it = rows[k].find(xn);
+      if (it != rows[k].end()) {
+        beta[static_cast<std::size_t>(basic_var[k])] += it->second * theta;
+      }
+    }
+
+    // Rewrite row r to express xn:  xn = (xb - sum_{j != n} c_j x_j) / a.
+    std::map<Var, Rational> new_row;
+    Rational inv_a = Rational(1) / a;
+    new_row.emplace(xb, inv_a);
+    for (const auto& [v, c] : rows[static_cast<std::size_t>(r)]) {
+      if (v == xn) continue;
+      new_row.emplace(v, -(c * inv_a));
+    }
+    rows[static_cast<std::size_t>(r)] = std::move(new_row);
+    basic_var[static_cast<std::size_t>(r)] = xn;
+    row_of[static_cast<std::size_t>(xn)] = r;
+    row_of[static_cast<std::size_t>(xb)] = -1;
+
+    // Substitute xn out of every other row.
+    for (std::size_t k = 0; k < rows.size(); ++k) {
+      if (static_cast<int>(k) == r) continue;
+      auto it = rows[k].find(xn);
+      if (it == rows[k].end()) continue;
+      Rational c = it->second;
+      rows[k].erase(it);
+      for (const auto& [v, cv] : rows[static_cast<std::size_t>(r)]) {
+        auto [jt, inserted] = rows[k].emplace(v, c * cv);
+        if (!inserted) {
+          jt->second += c * cv;
+          if (jt->second.is_zero()) rows[k].erase(jt);
+        }
+      }
+    }
+  }
+
+  // Core feasibility loop. Returns kSat when all bounds hold, kUnsat on a
+  // certified conflict, kUnknown when the pivot budget runs out.
+  Result solve() {
+    for (;;) {
+      if (*pivots >= max_pivots) return Result::kUnknown;
+      // Bland's rule: smallest violated basic variable.
+      Var xb = -1;
+      bool low = false;
+      for (std::size_t r = 0; r < rows.size(); ++r) {
+        Var v = basic_var[r];
+        if (below_lb(v)) {
+          if (xb == -1 || v < xb) {
+            xb = v;
+            low = true;
+          }
+        } else if (above_ub(v)) {
+          if (xb == -1 || v < xb) {
+            xb = v;
+            low = false;
+          }
+        }
+      }
+      if (xb == -1) return Result::kSat;
+
+      int r = row_of[static_cast<std::size_t>(xb)];
+      const auto& row = rows[static_cast<std::size_t>(r)];
+      // Smallest suitable nonbasic variable.
+      Var xn = -1;
+      for (const auto& [v, c] : row) {
+        bool ok;
+        if (low) {
+          // Need to increase xb.
+          ok = (c.is_positive() && !above_at_ub(v)) ||
+               (c.is_negative() && !below_at_lb(v));
+        } else {
+          // Need to decrease xb.
+          ok = (c.is_negative() && !above_at_ub(v)) ||
+               (c.is_positive() && !below_at_lb(v));
+        }
+        if (ok && (xn == -1 || v < xn)) xn = v;
+      }
+      if (xn == -1) return Result::kUnsat;
+
+      ++*pivots;
+      const auto& bound = low ? lb[static_cast<std::size_t>(xb)]
+                              : ub[static_cast<std::size_t>(xb)];
+      pivot_and_update(xb, xn, *bound);
+    }
+  }
+
+ private:
+  // Nonbasic v sits at its upper bound (cannot increase further).
+  [[nodiscard]] bool above_at_ub(Var v) const {
+    const auto& b = ub[static_cast<std::size_t>(v)];
+    return b.has_value() && beta[static_cast<std::size_t>(v)] >= *b;
+  }
+  // Nonbasic v sits at its lower bound (cannot decrease further).
+  [[nodiscard]] bool below_at_lb(Var v) const {
+    const auto& b = lb[static_cast<std::size_t>(v)];
+    return b.has_value() && beta[static_cast<std::size_t>(v)] <= *b;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Solver
+// ---------------------------------------------------------------------------
+
+Var Solver::new_var(std::string name, std::optional<long long> lb,
+                    std::optional<long long> ub) {
+  vars_.push_back({std::move(name), lb, ub});
+  return static_cast<Var>(vars_.size() - 1);
+}
+
+void Solver::set_lower(Var v, long long lb) {
+  auto& info = vars_[static_cast<std::size_t>(v)];
+  if (!info.lb || *info.lb < lb) info.lb = lb;
+}
+
+void Solver::set_upper(Var v, long long ub) {
+  auto& info = vars_[static_cast<std::size_t>(v)];
+  if (!info.ub || *info.ub > ub) info.ub = ub;
+}
+
+void Solver::add(Constraint c) {
+  for (const auto& [v, coeff] : c.expr.coeffs()) {
+    if (v < 0 || v >= num_vars()) {
+      throw std::out_of_range("Solver::add: unknown variable id");
+    }
+    (void)coeff;
+  }
+  constraints_.push_back(std::move(c));
+}
+
+namespace {
+
+// One branch-and-bound node: extra integer bounds layered on the base system.
+struct Node {
+  std::vector<std::pair<Var, long long>> extra_lb;
+  std::vector<std::pair<Var, long long>> extra_ub;
+};
+
+}  // namespace
+
+Result Solver::check() {
+  stat_pivots_ = 0;
+  stat_nodes_ = 0;
+  model_.clear();
+
+  const int m = num_vars();
+
+  // Constant-only constraints are decided immediately.
+  std::vector<const Constraint*> rows_src;
+  for (const auto& c : constraints_) {
+    if (c.expr.is_constant()) {
+      const Rational& k = c.expr.constant();
+      bool ok = (c.rel == Rel::kLe && !k.is_positive()) ||
+                (c.rel == Rel::kGe && !k.is_negative()) ||
+                (c.rel == Rel::kEq && k.is_zero());
+      if (!ok) return Result::kUnsat;
+    } else {
+      rows_src.push_back(&c);
+    }
+  }
+
+  // Effective bounds with the default window for unbounded variables.
+  std::vector<std::optional<long long>> base_lb(static_cast<std::size_t>(m));
+  std::vector<std::optional<long long>> base_ub(static_cast<std::size_t>(m));
+  for (int v = 0; v < m; ++v) {
+    const auto& info = vars_[static_cast<std::size_t>(v)];
+    base_lb[static_cast<std::size_t>(v)] =
+        info.lb ? *info.lb : options_.default_lo;
+    base_ub[static_cast<std::size_t>(v)] =
+        info.ub ? *info.ub : options_.default_hi;
+    if (*base_lb[static_cast<std::size_t>(v)] >
+        *base_ub[static_cast<std::size_t>(v)]) {
+      return Result::kUnsat;
+    }
+  }
+
+  // Builds a fresh tableau for a node's bounds and runs simplex.
+  auto run_node = [&](const Node& node, std::vector<Rational>* out_beta,
+                      long long* pivots) -> Result {
+    Tableau t;
+    const int total = m + static_cast<int>(rows_src.size());
+    t.lb.resize(static_cast<std::size_t>(total));
+    t.ub.resize(static_cast<std::size_t>(total));
+    t.beta.assign(static_cast<std::size_t>(total), Rational(0));
+    t.row_of.assign(static_cast<std::size_t>(total), -1);
+    t.pivots = pivots;
+    t.max_pivots = options_.max_pivots;
+
+    std::vector<long long> eff_lb(static_cast<std::size_t>(m));
+    std::vector<long long> eff_ub(static_cast<std::size_t>(m));
+    for (int v = 0; v < m; ++v) {
+      eff_lb[static_cast<std::size_t>(v)] = *base_lb[static_cast<std::size_t>(v)];
+      eff_ub[static_cast<std::size_t>(v)] = *base_ub[static_cast<std::size_t>(v)];
+    }
+    for (const auto& [v, b] : node.extra_lb) {
+      eff_lb[static_cast<std::size_t>(v)] =
+          std::max(eff_lb[static_cast<std::size_t>(v)], b);
+    }
+    for (const auto& [v, b] : node.extra_ub) {
+      eff_ub[static_cast<std::size_t>(v)] =
+          std::min(eff_ub[static_cast<std::size_t>(v)], b);
+    }
+    for (int v = 0; v < m; ++v) {
+      if (eff_lb[static_cast<std::size_t>(v)] > eff_ub[static_cast<std::size_t>(v)]) {
+        return Result::kUnsat;
+      }
+      t.lb[static_cast<std::size_t>(v)] = Rational(eff_lb[static_cast<std::size_t>(v)]);
+      t.ub[static_cast<std::size_t>(v)] = Rational(eff_ub[static_cast<std::size_t>(v)]);
+      // Start nonbasic variables at a value within bounds, preferring 0.
+      Rational init(0);
+      if (init < *t.lb[static_cast<std::size_t>(v)]) init = *t.lb[static_cast<std::size_t>(v)];
+      if (init > *t.ub[static_cast<std::size_t>(v)]) init = *t.ub[static_cast<std::size_t>(v)];
+      t.beta[static_cast<std::size_t>(v)] = init;
+    }
+
+    // Slack rows: s_j = expr_j - const; bound derives from the relation.
+    for (std::size_t j = 0; j < rows_src.size(); ++j) {
+      const Constraint& c = *rows_src[j];
+      Var s = m + static_cast<Var>(j);
+      std::map<Var, Rational> row;
+      for (const auto& [v, coeff] : c.expr.coeffs()) row.emplace(v, coeff);
+      Rational rhs = -c.expr.constant();  // s REL rhs
+      switch (c.rel) {
+        case Rel::kLe:
+          t.ub[static_cast<std::size_t>(s)] = rhs;
+          break;
+        case Rel::kGe:
+          t.lb[static_cast<std::size_t>(s)] = rhs;
+          break;
+        case Rel::kEq:
+          t.lb[static_cast<std::size_t>(s)] = rhs;
+          t.ub[static_cast<std::size_t>(s)] = rhs;
+          break;
+      }
+      // beta(s) from current structural assignment.
+      Rational val(0);
+      for (const auto& [v, coeff] : row) {
+        val += coeff * t.beta[static_cast<std::size_t>(v)];
+      }
+      t.beta[static_cast<std::size_t>(s)] = val;
+      t.row_of[static_cast<std::size_t>(s)] = static_cast<int>(t.rows.size());
+      t.basic_var.push_back(s);
+      t.rows.push_back(std::move(row));
+    }
+
+    Result res = t.solve();
+    if (res == Result::kSat) *out_beta = t.beta;
+    return res;
+  };
+
+  // Depth-first branch & bound on fractional structural variables.
+  std::vector<Node> stack;
+  stack.push_back({});
+  while (!stack.empty()) {
+    if (stat_nodes_ >= options_.max_nodes) return Result::kUnknown;
+    ++stat_nodes_;
+    Node node = std::move(stack.back());
+    stack.pop_back();
+
+    std::vector<Rational> beta;
+    Result res = run_node(node, &beta, &stat_pivots_);
+    if (res == Result::kUnknown) return Result::kUnknown;
+    if (res == Result::kUnsat) continue;
+    if (options_.relax_integrality) return Result::kSat;  // no model kept
+
+    // Find a fractional variable to branch on.
+    Var frac = -1;
+    for (int v = 0; v < m; ++v) {
+      if (!beta[static_cast<std::size_t>(v)].is_integer()) {
+        frac = v;
+        break;
+      }
+    }
+    if (frac == -1) {
+      model_.resize(static_cast<std::size_t>(m));
+      for (int v = 0; v < m; ++v) {
+        model_[static_cast<std::size_t>(v)] =
+            beta[static_cast<std::size_t>(v)].num();
+      }
+      return Result::kSat;
+    }
+
+    Int128 fl = beta[static_cast<std::size_t>(frac)].floor();
+    Node down = node;
+    down.extra_ub.emplace_back(frac, static_cast<long long>(fl));
+    Node up = std::move(node);
+    up.extra_lb.emplace_back(frac, static_cast<long long>(fl) + 1);
+    // Explore the "down" branch first: counterexamples with small values
+    // make for readable reports.
+    stack.push_back(std::move(up));
+    stack.push_back(std::move(down));
+  }
+  return Result::kUnsat;
+}
+
+Int128 Solver::model(Var v) const {
+  if (model_.empty()) throw std::logic_error("Solver::model: no model");
+  return model_[static_cast<std::size_t>(v)];
+}
+
+Int128 Solver::model_eval(const LinExpr& e) const {
+  Rational acc =
+      e.eval([&](Var v) { return Rational(model(v), 1); });
+  assert(acc.is_integer());
+  return acc.num();
+}
+
+Result Solver::minimize(const LinExpr& objective) {
+  Result first = check();
+  if (first != Result::kSat) return first;
+
+  std::vector<Int128> best_model = model_;
+  Int128 hi = model_eval(objective);
+  // Lower limit: the default window keeps the objective finite.
+  Int128 lo = util::Int128(options_.default_lo) *
+              static_cast<Int128>(1 + objective.coeffs().size());
+  while (lo < hi) {
+    Int128 mid = lo + (hi - lo) / 2;  // floor for lo <= mid < hi
+    Solver probe = *this;
+    LinExpr bound = objective;
+    bound.add_const(Rational(-mid, 1));
+    probe.add(Constraint::le0(bound));  // objective <= mid
+    Result r = probe.check();
+    if (r == Result::kSat) {
+      best_model = probe.model_;
+      hi = probe.model_eval(objective);
+    } else if (r == Result::kUnsat) {
+      lo = mid + 1;
+    } else {
+      break;  // budget exhausted: keep the best model found so far
+    }
+  }
+  model_ = std::move(best_model);
+  return Result::kSat;
+}
+
+Entailment entails(const Solver& base, const Constraint& c) {
+  auto probe_unsat = [&](const Constraint& neg) -> Entailment {
+    Solver probe = base;
+    probe.add(neg);
+    switch (probe.check()) {
+      case Result::kUnsat:
+        return Entailment::kYes;
+      case Result::kSat:
+        return Entailment::kNo;
+      case Result::kUnknown:
+        return Entailment::kUnknown;
+    }
+    return Entailment::kUnknown;
+  };
+
+  if (c.rel == Rel::kEq) {
+    // not(e == 0) is e <= -1 or e >= 1: entailed iff both branches unsat.
+    Constraint low = Constraint::le0(c.expr + LinExpr(Rational(1)));
+    Constraint high = Constraint::ge0(c.expr - LinExpr(Rational(1)));
+    Entailment a = probe_unsat(low);
+    if (a != Entailment::kYes) return a;
+    return probe_unsat(high);
+  }
+  return probe_unsat(c.negate_int());
+}
+
+}  // namespace ctaver::lia

@@ -1,0 +1,117 @@
+// Linear integer arithmetic (LIA) feasibility solver.
+//
+// This is the decision procedure backing the schema checker (src/schema) —
+// the role Z3 plays for ByMC. It decides satisfiability of conjunctions of
+// linear constraints over integer variables:
+//
+//   * rational relaxation via the general simplex of de Moura & Bjørner
+//     ("A Fast Linear-Arithmetic Solver for DPLL(T)", CAV'06), with Bland's
+//     rule for termination and exact rational pivoting;
+//   * integrality via depth-first branch & bound on fractional variables.
+//
+// Completeness caveat: branch & bound does not terminate on feasible
+// unbounded relaxations with no integer points. To guarantee termination the
+// solver clamps every variable into [default_lo, default_hi] unless the
+// caller supplied explicit bounds. Threshold-automata queries enjoy a
+// small-model property (counters and parameters of real counterexamples are
+// tiny), so the default window of [-10^9, 10^9] loses nothing in practice;
+// callers that care can widen it via SolverOptions.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "lia/linexpr.h"
+#include "util/rational.h"
+
+namespace ctaver::lia {
+
+/// Outcome of a feasibility check.
+enum class Result { kSat, kUnsat, kUnknown };
+
+/// Tuning knobs for the solver.
+struct SolverOptions {
+  /// Default variable window applied when no explicit bounds were given.
+  long long default_lo = -1'000'000'000LL;
+  long long default_hi = 1'000'000'000LL;
+  /// Budget on simplex pivots across one check() (all B&B nodes combined).
+  long long max_pivots = 2'000'000;
+  /// Budget on branch-and-bound nodes for one check().
+  long long max_nodes = 200'000;
+  /// Decide only the rational relaxation: kSat may then be spurious over
+  /// the integers (no model is exposed), but kUnsat remains a proof. Used
+  /// for prune-only probes where UNSAT is the actionable answer.
+  bool relax_integrality = false;
+};
+
+/// Conjunction-of-constraints LIA solver. Non-incremental: build, check(),
+/// read the model. Copyable, so callers can fork a base system.
+class Solver {
+ public:
+  explicit Solver(SolverOptions options = {}) : options_(options) {}
+
+  /// Creates an integer variable. Optional bounds; pass nullopt for open
+  /// sides. Returns its id (dense, starting at 0).
+  Var new_var(std::string name, std::optional<long long> lb = std::nullopt,
+              std::optional<long long> ub = std::nullopt);
+
+  /// Number of variables created so far.
+  [[nodiscard]] int num_vars() const { return static_cast<int>(vars_.size()); }
+  [[nodiscard]] const std::string& var_name(Var v) const {
+    return vars_[static_cast<std::size_t>(v)].name;
+  }
+
+  /// Tightens bounds on an existing variable.
+  void set_lower(Var v, long long lb);
+  void set_upper(Var v, long long ub);
+
+  /// Adds a constraint (expr REL 0) to the conjunction.
+  void add(Constraint c);
+  [[nodiscard]] const std::vector<Constraint>& constraints() const {
+    return constraints_;
+  }
+
+  /// Decides the conjunction. kUnknown only on budget exhaustion.
+  Result check();
+
+  /// Model access; valid after check() returned kSat.
+  [[nodiscard]] util::Int128 model(Var v) const;
+  /// Evaluates an expression under the model.
+  [[nodiscard]] util::Int128 model_eval(const LinExpr& e) const;
+
+  /// Minimizes `objective` over the feasible set by binary search on its
+  /// value; on kSat the model attains the minimum found. Intended to shrink
+  /// counterexample parameters for readable reports.
+  Result minimize(const LinExpr& objective);
+
+  /// Statistics of the last check().
+  [[nodiscard]] long long last_pivots() const { return stat_pivots_; }
+  [[nodiscard]] long long last_nodes() const { return stat_nodes_; }
+
+ private:
+  struct VarInfo {
+    std::string name;
+    std::optional<long long> lb;
+    std::optional<long long> ub;
+  };
+
+  struct Tableau;  // defined in solver.cpp
+
+  SolverOptions options_;
+  std::vector<VarInfo> vars_;
+  std::vector<Constraint> constraints_;
+  std::vector<util::Int128> model_;
+  long long stat_pivots_ = 0;
+  long long stat_nodes_ = 0;
+};
+
+/// Tri-state entailment: does `base`'s constraint system entail `c` over the
+/// integers? Implemented as unsatisfiability of base ∧ ¬c (splitting the
+/// disequality when c is an equality). kUnknown is conservative: callers in
+/// the verification pipeline must treat it as "not proved".
+enum class Entailment { kYes, kNo, kUnknown };
+Entailment entails(const Solver& base, const Constraint& c);
+
+}  // namespace ctaver::lia

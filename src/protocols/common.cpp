@@ -1,0 +1,61 @@
+#include "protocols/common.h"
+
+namespace ctaver::protocols {
+
+using ta::SystemBuilder;
+
+StdParams std_env(ta::SystemBuilder& b, long long resilience_denominator,
+                  long long coins) {
+  StdParams p{b.param("n"), b.param("t"), b.param("f")};
+  // n > d*t
+  b.require(b.P(p.n) - b.P(p.t) * resilience_denominator, ta::CmpOp::kGt);
+  // t >= f >= 0
+  b.require(b.P(p.t) - b.P(p.f), ta::CmpOp::kGe);
+  b.require(b.P(p.f), ta::CmpOp::kGe);
+  b.model_counts(b.P(p.n) - b.P(p.f), SystemBuilder::K(coins));
+  return p;
+}
+
+CoinVars add_standard_coin(ta::SystemBuilder& b) {
+  CoinVars cc{b.coin_var("cc0"), b.coin_var("cc1")};
+  ta::LocId j2 = b.coin_border("J2");
+  ta::LocId i2 = b.coin_initial("I2");
+  ta::LocId n0 = b.coin_internal("CN0");
+  ta::LocId n1 = b.coin_internal("CN1");
+  ta::LocId c0 = b.coin_final("C0", 0);
+  ta::LocId c1 = b.coin_final("C1", 1);
+  b.coin_border_entry(j2, i2);
+  b.coin_prob_rule("toss", i2, ta::Distribution::uniform2(n0, n1), {});
+  b.coin_rule("publish0", n0, c0, {}, {{cc.cc0, 1}});
+  b.coin_rule("publish1", n1, c1, {}, {{cc.cc1, 1}});
+  b.coin_round_switch(c0, j2);
+  b.coin_round_switch(c1, j2);
+  return cc;
+}
+
+CoinTail add_coin_tail(ta::SystemBuilder& b, ta::LocId m0, ta::LocId m1,
+                       ta::LocId mbot, const CoinVars& cc, ta::LocId j0,
+                       ta::LocId j1) {
+  CoinTail tail;
+  tail.e0 = b.final_loc("E0", 0);
+  tail.e1 = b.final_loc("E1", 1);
+  tail.d0 = b.final_loc("D0", 0, /*decision=*/true);
+  tail.d1 = b.final_loc("D1", 1, /*decision=*/true);
+  // values = {v} and coin = v: decide v; coin != v: keep v.
+  b.rule("dec0", m0, tail.d0, {b.coin_is(cc.cc0)});
+  b.rule("keep0", m0, tail.e0, {b.coin_is(cc.cc1)});
+  b.rule("dec1", m1, tail.d1, {b.coin_is(cc.cc1)});
+  b.rule("keep1", m1, tail.e1, {b.coin_is(cc.cc0)});
+  if (mbot >= 0) {
+    // values mixed: adopt the coin.
+    b.rule("adopt0", mbot, tail.e0, {b.coin_is(cc.cc0)});
+    b.rule("adopt1", mbot, tail.e1, {b.coin_is(cc.cc1)});
+  }
+  b.round_switch(tail.e0, j0);
+  b.round_switch(tail.e1, j1);
+  b.round_switch(tail.d0, j0);
+  b.round_switch(tail.d1, j1);
+  return tail;
+}
+
+}  // namespace ctaver::protocols

@@ -1,0 +1,37 @@
+// Shared building blocks for the protocol models.
+#pragma once
+
+#include "ta/builder.h"
+
+namespace ctaver::protocols {
+
+/// Declares the standard environment: parameters n (total processes),
+/// t (fault threshold), f (actual Byzantine count) with resilience
+/// n > resilience_denominator * t  ∧  t >= f >= 0, and N = (n - f, coins).
+/// Returns the parameter ids (n, t, f).
+struct StdParams {
+  ta::ParamId n, t, f;
+};
+StdParams std_env(ta::SystemBuilder& b, long long resilience_denominator,
+                  long long coins = 1);
+
+/// Builds the Fig.-4(b) common-coin automaton: J2 → I2 → (1/2, 1/2) toss →
+/// C0 (cc0++) / C1 (cc1++), with round switches back to J2. Declares and
+/// returns the coin variables (cc0, cc1).
+struct CoinVars {
+  ta::VarId cc0, cc1;
+};
+CoinVars add_standard_coin(ta::SystemBuilder& b);
+
+/// The common category-(B)/(C) tail of Fig. 5: coin-based rules from the
+/// crusader outputs M0/M1/M⊥ into finals E0/E1/D0/D1 plus round switches.
+/// Pass mbot = -1 for category (B) models without an explicit M⊥... (all
+/// models here have one; kept for generality).
+struct CoinTail {
+  ta::LocId e0, e1, d0, d1;
+};
+CoinTail add_coin_tail(ta::SystemBuilder& b, ta::LocId m0, ta::LocId m1,
+                       ta::LocId mbot, const CoinVars& cc, ta::LocId j0,
+                       ta::LocId j1);
+
+}  // namespace ctaver::protocols

@@ -1,0 +1,71 @@
+// The paper's benchmark: threshold-automata models of eight randomized
+// consensus protocols with common coins (Sect. VI), plus the naive-voting
+// warm-up of Fig. 2/3.
+//
+// Every model follows the paper's conventions:
+//   * shared variables count messages sent by *correct* processes;
+//     Byzantine influence is folded into guards as ±f slack;
+//   * the common coin is a separate probabilistic automaton (Fig. 4b):
+//     border J2 → I2 → fair toss → C0/C1, publishing cc0/cc1;
+//   * processes are modeled n−f at a time; N = (n−f, 1).
+//
+// Category (Sect. V-B):
+//   (A) no decide action                        — Rabin83
+//   (B) decide, binary-valued messages          — CC85(a), CC85(b), FMR05,
+//                                                 KS16
+//   (C) decide via binary crusader agreement    — MMR14 (attackable!),
+//                                                 Miller18, ABY22
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ta/model.h"
+
+namespace ctaver::protocols {
+
+enum class Category { kA, kB, kC };
+
+/// A protocol model plus the metadata the verification pipeline needs.
+struct ProtocolModel {
+  std::string name;
+  Category category = Category::kB;
+  ta::System system;  // multi-round, probabilistic
+
+  /// Category (C): name of the single M⊥-entry rule to refine per Fig. 6
+  /// (empty when the model is built pre-refined with N0/N1/N⊥ baked in),
+  /// plus the message-count variables m0/m1 used by the refinement.
+  std::string mbot_rule;
+  ta::VarId m0 = -1;
+  ta::VarId m1 = -1;
+
+  /// Location names of the crusader-agreement output (category C).
+  std::string m0_loc, m1_loc, mbot_loc;
+  /// Location names of the refinement split (category C).
+  std::string n0_loc, n1_loc, nbot_loc;
+
+  /// Parameter valuations for the explicit-instance sweeps used to check
+  /// the probabilistic conditions (C1)/(C2′); each must satisfy RC.
+  std::vector<std::vector<long long>> sweep_params;
+
+  /// Returns the system with the Fig.-6 refinement applied (identity for
+  /// models built pre-refined and for categories A/B).
+  [[nodiscard]] ta::System refined() const;
+};
+
+ProtocolModel naive_voting();
+ProtocolModel rabin83();
+ProtocolModel cc85a();
+ProtocolModel cc85b();
+ProtocolModel fmr05();
+ProtocolModel ks16();
+ProtocolModel mmr14();
+ProtocolModel miller18();
+ProtocolModel aby22();
+
+/// The paper's Table-II benchmark order.
+std::vector<ProtocolModel> all_protocols();
+
+}  // namespace ctaver::protocols

@@ -1,0 +1,266 @@
+// Category (A) and (B) protocol models: Rabin83, CC85(a), CC85(b), FMR05,
+// KS16, plus the naive-voting warm-up (Fig. 2/3).
+#include "protocols/common.h"
+
+#include "ta/transforms.h"
+#include "protocols/protocols.h"
+
+namespace ctaver::protocols {
+
+using ta::CmpOp;
+using ta::LocId;
+using ta::SystemBuilder;
+using ta::VarId;
+
+ta::System ProtocolModel::refined() const {
+  if (mbot_rule.empty()) return system;
+  return ta::refine_binding(system, mbot_rule, m0, m1);
+}
+
+// ---------------------------------------------------------------------------
+// Naive voting (Fig. 2/3): decide on (n+1)/2 votes. Agreement breaks as soon
+// as one Byzantine process exists; used as the quickstart example.
+// ---------------------------------------------------------------------------
+ProtocolModel naive_voting() {
+  SystemBuilder b("NaiveVoting");
+  ta::ParamId n = b.param("n");
+  ta::ParamId f = b.param("f");
+  b.require(b.P(n) - b.P(f) * 2, CmpOp::kGt);  // n > 2f
+  b.require(b.P(f), CmpOp::kGe);
+  b.model_counts(b.P(n) - b.P(f), SystemBuilder::K(0));
+  VarId v0 = b.shared("v0");
+  VarId v1 = b.shared("v1");
+  LocId j0 = b.border("J0", 0), j1 = b.border("J1", 1);
+  LocId i0 = b.initial("I0", 0), i1 = b.initial("I1", 1);
+  LocId s = b.internal("S");
+  LocId d0 = b.final_loc("D0", 0, true), d1 = b.final_loc("D1", 1, true);
+  b.border_entry(j0, i0);
+  b.border_entry(j1, i1);
+  b.rule("r1", i0, s, {}, {{v0, 1}});
+  b.rule("r2", i1, s, {}, {{v1, 1}});
+  // 2*(v_b + f) >= n + 1  (Fig. 3)
+  b.rule("r3", s, d0, {b.ge({{v0, 2}}, b.P("n") - b.P("f") * 2 + b.K(1))});
+  b.rule("r4", s, d1, {b.ge({{v1, 2}}, b.P("n") - b.P("f") * 2 + b.K(1))});
+  b.round_switch(d0, j0);
+  b.round_switch(d1, j1);
+
+  ProtocolModel pm;
+  pm.name = "NaiveVoting";
+  pm.category = Category::kB;  // has decisions; no coin though
+  pm.system = b.build();
+  pm.sweep_params = {{3, 0}, {4, 1}, {5, 2}};
+  return pm;
+}
+
+// ---------------------------------------------------------------------------
+// Rabin83 — the first common-coin randomized consensus; t < n/10, category
+// (A): no decide action modeled. Per round: broadcast the estimate; with a
+// strong majority adopt it, otherwise adopt the coin.
+// ---------------------------------------------------------------------------
+ProtocolModel rabin83() {
+  SystemBuilder b("Rabin83");
+  StdParams p = std_env(b, 10);
+  VarId v0 = b.shared("v0");
+  VarId v1 = b.shared("v1");
+  CoinVars cc = add_standard_coin(b);
+
+  LocId j0 = b.border("J0", 0), j1 = b.border("J1", 1);
+  LocId i0 = b.initial("I0", 0), i1 = b.initial("I1", 1);
+  LocId s = b.internal("S");    // estimate broadcast, waiting
+  LocId cp = b.internal("CP");  // no strong majority: await the coin
+  LocId e0 = b.final_loc("E0", 0), e1 = b.final_loc("E1", 1);
+  b.border_entry(j0, i0);
+  b.border_entry(j1, i1);
+  b.rule("bcast0", i0, s, {}, {{v0, 1}});
+  b.rule("bcast1", i1, s, {}, {{v1, 1}});
+  // Strong majority visible: v_b >= n - 3t - f.
+  ta::ParamExpr maj = b.P(p.n) - b.P(p.t) * 3 - b.P(p.f);
+  b.rule("maj0", s, e0, {b.ge(v0, maj)});
+  b.rule("maj1", s, e1, {b.ge(v1, maj)});
+  // Both values well represented: the process can fail to see a majority.
+  ta::ParamExpr mix = b.P(p.t) * 2 + b.K(1) - b.P(p.f);
+  b.rule("mixed", s, cp, {b.ge(v0, mix), b.ge(v1, mix)});
+  b.rule("coin0", cp, e0, {b.coin_is(cc.cc0)});
+  b.rule("coin1", cp, e1, {b.coin_is(cc.cc1)});
+  b.round_switch(e0, j0);
+  b.round_switch(e1, j1);
+
+  ProtocolModel pm;
+  pm.name = "Rabin83";
+  pm.category = Category::kA;
+  pm.system = b.build();
+  pm.sweep_params = {{11, 1, 0}, {11, 1, 1}, {12, 1, 1}};
+  return pm;
+}
+
+// ---------------------------------------------------------------------------
+// CC85(a) — Chor-Coan with optimal resilience n > 3t, category (B):
+// unanimity among n-t received values decides (when the coin agrees).
+// ---------------------------------------------------------------------------
+ProtocolModel cc85a() {
+  SystemBuilder b("CC85a");
+  StdParams p = std_env(b, 3);
+  VarId v0 = b.shared("v0");
+  VarId v1 = b.shared("v1");
+  CoinVars cc = add_standard_coin(b);
+
+  LocId j0 = b.border("J0", 0), j1 = b.border("J1", 1);
+  LocId i0 = b.initial("I0", 0), i1 = b.initial("I1", 1);
+  LocId s = b.internal("S");
+  LocId m0 = b.internal("M0");
+  LocId m1 = b.internal("M1");
+  LocId mc = b.internal("MC");
+  b.border_entry(j0, i0);
+  b.border_entry(j1, i1);
+  b.rule("bcast0", i0, s, {}, {{v0, 1}});
+  b.rule("bcast1", i1, s, {}, {{v1, 1}});
+  ta::ParamExpr quorum = b.P(p.n) - b.P(p.t) - b.P(p.f);
+  ta::ParamExpr seen = b.P(p.t) + b.K(1) - b.P(p.f);
+  b.rule("uni0", s, m0, {b.ge(v0, quorum)});
+  b.rule("uni1", s, m1, {b.ge(v1, quorum)});
+  b.rule("mixed", s, mc, {b.ge(v0, seen), b.ge(v1, seen)});
+  add_coin_tail(b, m0, m1, mc, cc, j0, j1);
+
+  ProtocolModel pm;
+  pm.name = "CC85a";
+  pm.category = Category::kB;
+  pm.system = b.build();
+  pm.sweep_params = {{4, 1, 0}, {4, 1, 1}, {5, 1, 1}};
+  return pm;
+}
+
+// ---------------------------------------------------------------------------
+// CC85(b) — the Chor-Coan adaptation of Rabin83 with t < n/6, category (B).
+// An extra wait step collects n-t report messages before branching.
+// ---------------------------------------------------------------------------
+ProtocolModel cc85b() {
+  SystemBuilder b("CC85b");
+  StdParams p = std_env(b, 6);
+  VarId v0 = b.shared("v0");
+  VarId v1 = b.shared("v1");
+  CoinVars cc = add_standard_coin(b);
+
+  LocId j0 = b.border("J0", 0), j1 = b.border("J1", 1);
+  LocId i0 = b.initial("I0", 0), i1 = b.initial("I1", 1);
+  LocId s = b.internal("S");
+  LocId w = b.internal("W");  // has received n - t reports
+  LocId m0 = b.internal("M0");
+  LocId m1 = b.internal("M1");
+  LocId mc = b.internal("MC");
+  b.border_entry(j0, i0);
+  b.border_entry(j1, i1);
+  b.rule("bcast0", i0, s, {}, {{v0, 1}});
+  b.rule("bcast1", i1, s, {}, {{v1, 1}});
+  b.rule("collect", s, w,
+         {b.ge({{v0, 1}, {v1, 1}}, b.P(p.n) - b.P(p.t) - b.P(p.f))});
+  ta::ParamExpr maj = b.P(p.n) - b.P(p.t) * 2 - b.P(p.f);
+  ta::ParamExpr seen = b.P(p.t) * 2 + b.K(1) - b.P(p.f);
+  b.rule("maj0", w, m0, {b.ge(v0, maj)});
+  b.rule("maj1", w, m1, {b.ge(v1, maj)});
+  b.rule("mixed", w, mc, {b.ge(v0, seen), b.ge(v1, seen)});
+  add_coin_tail(b, m0, m1, mc, cc, j0, j1);
+
+  ProtocolModel pm;
+  pm.name = "CC85b";
+  pm.category = Category::kB;
+  pm.system = b.build();
+  pm.sweep_params = {{7, 1, 0}, {7, 1, 1}, {8, 1, 1}};
+  return pm;
+}
+
+// ---------------------------------------------------------------------------
+// FMR05 — oracle-based consensus with one communication step per round,
+// n > 5t, category (B).
+// ---------------------------------------------------------------------------
+ProtocolModel fmr05() {
+  SystemBuilder b("FMR05");
+  StdParams p = std_env(b, 5);
+  VarId v0 = b.shared("v0");
+  VarId v1 = b.shared("v1");
+  CoinVars cc = add_standard_coin(b);
+
+  LocId j0 = b.border("J0", 0), j1 = b.border("J1", 1);
+  LocId i0 = b.initial("I0", 0), i1 = b.initial("I1", 1);
+  LocId s = b.internal("S");
+  LocId m0 = b.internal("M0");
+  LocId m1 = b.internal("M1");
+  LocId mc = b.internal("MC");
+  b.border_entry(j0, i0);
+  b.border_entry(j1, i1);
+  b.rule("bcast0", i0, s, {}, {{v0, 1}});
+  b.rule("bcast1", i1, s, {}, {{v1, 1}});
+  ta::ParamExpr maj = b.P(p.n) - b.P(p.t) * 2 - b.P(p.f);
+  ta::ParamExpr seen = b.P(p.t) + b.K(1) - b.P(p.f);
+  b.rule("maj0", s, m0, {b.ge(v0, maj)});
+  b.rule("maj1", s, m1, {b.ge(v1, maj)});
+  b.rule("mixed", s, mc, {b.ge(v0, seen), b.ge(v1, seen)});
+  add_coin_tail(b, m0, m1, mc, cc, j0, j1);
+
+  ProtocolModel pm;
+  pm.name = "FMR05";
+  pm.category = Category::kB;
+  pm.system = b.build();
+  pm.sweep_params = {{6, 1, 0}, {6, 1, 1}, {7, 1, 1}};
+  return pm;
+}
+
+// ---------------------------------------------------------------------------
+// KS16 — Bracha-style reliable-broadcast front end with a common coin
+// replacing the local coins; n > 3t, category (B). A process echoes the
+// opposite EST value for BV totality, but its AUX message always carries
+// its *own* estimate (Bracha's phase messages are value-bound). This is
+// what keeps the coin ahead of the adversary: AUX(v) counts are bounded by
+// the round's initial split, so at most one value can reach the n-t quorum
+// and the adaptive adversary cannot steer processes to M_{1-s} after the
+// toss (contrast MMR14, where the AUX value is chosen from bin_values).
+// ---------------------------------------------------------------------------
+ProtocolModel ks16() {
+  SystemBuilder b("KS16");
+  StdParams p = std_env(b, 3);
+  VarId b0 = b.shared("b0");
+  VarId b1 = b.shared("b1");
+  VarId a0 = b.shared("a0");
+  VarId a1 = b.shared("a1");
+  CoinVars cc = add_standard_coin(b);
+
+  LocId j0 = b.border("J0", 0), j1 = b.border("J1", 1);
+  LocId i0 = b.initial("I0", 0), i1 = b.initial("I1", 1);
+  LocId s0 = b.internal("S0");    // broadcast EST 0
+  LocId s1 = b.internal("S1");    // broadcast EST 1
+  LocId s0e = b.internal("S0'");  // ... and echoed EST 1
+  LocId s1e = b.internal("S1'");  // ... and echoed EST 0
+  LocId a0l = b.internal("A0");   // sent AUX 0
+  LocId a1l = b.internal("A1");   // sent AUX 1
+  LocId m0 = b.internal("M0");
+  LocId m1 = b.internal("M1");
+  LocId mc = b.internal("MC");
+  b.border_entry(j0, i0);
+  b.border_entry(j1, i1);
+  b.rule("est0", i0, s0, {}, {{b0, 1}});
+  b.rule("est1", i1, s1, {}, {{b1, 1}});
+  ta::ParamExpr echo_th = b.P(p.t) + b.K(1) - b.P(p.f);
+  ta::ParamExpr accept_th = b.P(p.t) * 2 + b.K(1) - b.P(p.f);
+  ta::ParamExpr quorum = b.P(p.n) - b.P(p.t) - b.P(p.f);
+  b.rule("echo1", s0, s0e, {b.ge(b1, echo_th)}, {{b1, 1}});
+  b.rule("echo0", s1, s1e, {b.ge(b0, echo_th)}, {{b0, 1}});
+  b.rule("aux0", s0, a0l, {b.ge(b0, accept_th)}, {{a0, 1}});
+  b.rule("aux0e", s0e, a0l, {b.ge(b0, accept_th)}, {{a0, 1}});
+  b.rule("aux1", s1, a1l, {b.ge(b1, accept_th)}, {{a1, 1}});
+  b.rule("aux1e", s1e, a1l, {b.ge(b1, accept_th)}, {{a1, 1}});
+  for (auto [src, tag] : {std::pair{a0l, "a"}, std::pair{a1l, "b"}}) {
+    b.rule(std::string("val0") + tag, src, m0, {b.ge(a0, quorum)});
+    b.rule(std::string("val1") + tag, src, m1, {b.ge(a1, quorum)});
+    b.rule(std::string("valm") + tag, src, mc,
+           {b.ge(a0, echo_th), b.ge(a1, echo_th)});
+  }
+  add_coin_tail(b, m0, m1, mc, cc, j0, j1);
+
+  ProtocolModel pm;
+  pm.name = "KS16";
+  pm.category = Category::kB;
+  pm.system = b.build();
+  pm.sweep_params = {{4, 1, 0}, {4, 1, 1}, {5, 1, 1}};
+  return pm;
+}
+
+}  // namespace ctaver::protocols

@@ -1,0 +1,265 @@
+// Category (C) protocol models: MMR14 (with the adaptive-adversary attack),
+// Miller18 (the fix used in HoneyBadger/Dumbo) and ABY22 (binding crusader
+// agreement).
+#include "protocols/common.h"
+#include "protocols/protocols.h"
+
+namespace ctaver::protocols {
+
+using ta::CmpOp;
+using ta::LocId;
+using ta::SystemBuilder;
+using ta::VarId;
+
+// ---------------------------------------------------------------------------
+// MMR14 (Fig. 4a + Table I). BV-broadcast of the estimate (b0/b1 with echo
+// amplification), one AUX broadcast per process (a0/a1), then the M-branch:
+// values = {0} → M0, {1} → M1, {0,1} → M⊥, followed by the common part of
+// Fig. 5. The M⊥ entry is guarded only by a0 + a1 >= n - t - f, which is
+// exactly why the binding condition (CB2) fails: an adaptive adversary can
+// steer late processes into M1 after the first process reached M⊥ having
+// seen a 0.
+// ---------------------------------------------------------------------------
+ProtocolModel mmr14() {
+  SystemBuilder b("MMR14");
+  StdParams p = std_env(b, 3);
+  VarId b0 = b.shared("b0");
+  VarId b1 = b.shared("b1");
+  VarId a0 = b.shared("a0");
+  VarId a1 = b.shared("a1");
+  CoinVars cc = add_standard_coin(b);
+
+  LocId j0 = b.border("J0", 0), j1 = b.border("J1", 1);
+  LocId i0 = b.initial("I0", 0), i1 = b.initial("I1", 1);
+  LocId s0 = b.internal("S0");    // EST 0 broadcast
+  LocId s1 = b.internal("S1");    // EST 1 broadcast
+  LocId s2 = b.internal("S2");    // echoed the other value as well
+  LocId b0l = b.internal("B0");   // AUX'd 0, bin_values = {0}
+  LocId b1l = b.internal("B1");   // AUX'd 1, bin_values = {1}
+  LocId b0p = b.internal("B0'");  // AUX'd 0, echoed 1
+  LocId b1p = b.internal("B1'");  // AUX'd 1, echoed 0
+  LocId b2 = b.internal("B2");    // bin_values = {0,1}
+  LocId m0 = b.internal("M0");
+  LocId m1 = b.internal("M1");
+  LocId mb = b.internal("Mbot");
+
+  b.border_entry(j0, i0);  // r1
+  b.border_entry(j1, i1);  // r2
+  b.rule("r3", i0, s0, {}, {{b0, 1}});
+  b.rule("r4", i1, s1, {}, {{b1, 1}});
+  ta::ParamExpr echo_th = b.P(p.t) + b.K(1) - b.P(p.f);
+  ta::ParamExpr accept_th = b.P(p.t) * 2 + b.K(1) - b.P(p.f);
+  ta::ParamExpr quorum = b.P(p.n) - b.P(p.t) - b.P(p.f);
+  // BV echo (r5/r6) and AUX broadcast once a value enters bin_values.
+  b.rule("r5", s0, s2, {b.ge(b1, echo_th)}, {{b1, 1}});
+  b.rule("r6", s1, s2, {b.ge(b0, echo_th)}, {{b0, 1}});
+  b.rule("r7", s0, b0l, {b.ge(b0, accept_th)}, {{a0, 1}});
+  b.rule("r8", s1, b1l, {b.ge(b1, accept_th)}, {{a1, 1}});
+  b.rule("r9", s2, b0l, {b.ge(b0, accept_th)}, {{a0, 1}});
+  b.rule("r10", s2, b1l, {b.ge(b1, accept_th)}, {{a1, 1}});
+  // The second value can still join bin_values (r11-r14).
+  b.rule("r11", b0l, b0p, {b.ge(b1, echo_th)}, {{b1, 1}});
+  b.rule("r12", b1l, b1p, {b.ge(b0, echo_th)}, {{b0, 1}});
+  b.rule("r13", b0p, b2, {b.ge(b1, accept_th)});
+  b.rule("r14", b1p, b2, {b.ge(b0, accept_th)});
+  // values from n-t AUX messages (r15-r21).
+  b.rule("r15", b0l, m0, {b.ge(a0, quorum)});
+  b.rule("r16", b0p, m0, {b.ge(a0, quorum)});
+  b.rule("r17", b2, m0, {b.ge(a0, quorum)});
+  b.rule("r18", b1l, m1, {b.ge(a1, quorum)});
+  b.rule("r19", b1p, m1, {b.ge(a1, quorum)});
+  b.rule("r20", b2, m1, {b.ge(a1, quorum)});
+  // M⊥: only the *total* number of AUX messages is constrained — the flaw.
+  b.rule("r21", b2, mb, {b.ge({{a0, 1}, {a1, 1}}, quorum)});
+  add_coin_tail(b, m0, m1, mb, cc, j0, j1);  // r22-r27 + switches
+
+  ProtocolModel pm;
+  pm.name = "MMR14";
+  pm.category = Category::kC;
+  pm.system = b.build();
+  pm.mbot_rule = "r21";
+  pm.m0 = a0;
+  pm.m1 = a1;
+  pm.m0_loc = "M0";
+  pm.m1_loc = "M1";
+  pm.mbot_loc = "Mbot";
+  pm.n0_loc = "N0";
+  pm.n1_loc = "N1";
+  pm.nbot_loc = "Nbot";
+  pm.sweep_params = {{4, 1, 0}, {4, 1, 1}};
+  return pm;
+}
+
+// ---------------------------------------------------------------------------
+// Miller18 — the fixed MMR14 (HoneyBadgerBFT issue #59 / Dumbo): a CONF
+// phase is inserted between the AUX wait and the coin. A correct process
+// sends CONF{v} only after a full n-t AUX(v) quorum, and each correct
+// process sends exactly one CONF, so a CONF{0} from a correct process
+// arithmetically excludes a CONF{1} quorum — this is what restores binding.
+// The N0/N1/N⊥ refinement of Fig. 6 is built in directly.
+// ---------------------------------------------------------------------------
+ProtocolModel miller18() {
+  SystemBuilder b("Miller18");
+  StdParams p = std_env(b, 3);
+  VarId b0 = b.shared("b0");
+  VarId b1 = b.shared("b1");
+  VarId a0 = b.shared("a0");
+  VarId a1 = b.shared("a1");
+  VarId c0 = b.shared("c0");  // CONF{0}
+  VarId c1 = b.shared("c1");  // CONF{1}
+  VarId cb = b.shared("cb");  // CONF{0,1}
+  CoinVars cc = add_standard_coin(b);
+
+  LocId j0 = b.border("J0", 0), j1 = b.border("J1", 1);
+  LocId i0 = b.initial("I0", 0), i1 = b.initial("I1", 1);
+  LocId s0 = b.internal("S0");
+  LocId s1 = b.internal("S1");
+  LocId s2 = b.internal("S2");
+  LocId al = b.internal("A");   // AUX sent, collecting AUX messages
+  LocId pl = b.internal("P");   // CONF sent, collecting CONF messages
+  LocId n0 = b.internal("N0");  // M⊥ with a 0-carrying CONF seen
+  LocId n1 = b.internal("N1");
+  LocId nb = b.internal("Nbot");
+  LocId m0 = b.internal("M0");
+  LocId m1 = b.internal("M1");
+  LocId mb = b.internal("Mbot");
+
+  b.border_entry(j0, i0);
+  b.border_entry(j1, i1);
+  b.rule("est0", i0, s0, {}, {{b0, 1}});
+  b.rule("est1", i1, s1, {}, {{b1, 1}});
+  ta::ParamExpr echo_th = b.P(p.t) + b.K(1) - b.P(p.f);
+  ta::ParamExpr accept_th = b.P(p.t) * 2 + b.K(1) - b.P(p.f);
+  ta::ParamExpr quorum = b.P(p.n) - b.P(p.t) - b.P(p.f);
+  b.rule("echo1", s0, s2, {b.ge(b1, echo_th)}, {{b1, 1}});
+  b.rule("echo0", s1, s2, {b.ge(b0, echo_th)}, {{b0, 1}});
+  b.rule("aux0", s0, al, {b.ge(b0, accept_th)}, {{a0, 1}});
+  b.rule("aux1", s1, al, {b.ge(b1, accept_th)}, {{a1, 1}});
+  b.rule("aux0b", s2, al, {b.ge(b0, accept_th)}, {{a0, 1}});
+  b.rule("aux1b", s2, al, {b.ge(b1, accept_th)}, {{a1, 1}});
+  // CONF carries the values-set computed from a full AUX quorum.
+  b.rule("conf0", al, pl, {b.ge(a0, quorum)}, {{c0, 1}});
+  b.rule("conf1", al, pl, {b.ge(a1, quorum)}, {{c1, 1}});
+  b.rule("confb", al, pl,
+         {b.ge({{a0, 1}, {a1, 1}}, quorum), b.ge(a0, b.K(1)),
+          b.ge(a1, b.K(1))},
+         {{cb, 1}});
+  // values from n-t CONF messages.
+  b.rule("val0", pl, m0, {b.ge(c0, quorum)});
+  b.rule("val1", pl, m1, {b.ge(c1, quorum)});
+  ta::ParamExpr one = b.K(1);
+  b.rule("valm_0", pl, n0,
+         {b.ge({{c0, 1}, {c1, 1}, {cb, 1}}, quorum), b.ge(c0, one),
+          b.ge({{c1, 1}, {cb, 1}}, one)});
+  b.rule("valm_1", pl, n1,
+         {b.ge({{c0, 1}, {c1, 1}, {cb, 1}}, quorum), b.ge(c1, one),
+          b.ge({{c0, 1}, {cb, 1}}, one)});
+  b.rule("valm_b", pl, nb,
+         {b.ge({{c0, 1}, {c1, 1}, {cb, 1}}, quorum), b.lt(c0, one),
+          b.lt(c1, one)});
+  b.rule("join0", n0, mb, {});
+  b.rule("join1", n1, mb, {});
+  b.rule("joinb", nb, mb, {});
+  add_coin_tail(b, m0, m1, mb, cc, j0, j1);
+
+  ProtocolModel pm;
+  pm.name = "Miller18";
+  pm.category = Category::kC;
+  pm.system = b.build();
+  pm.m0 = c0;
+  pm.m1 = c1;
+  pm.m0_loc = "M0";
+  pm.m1_loc = "M1";
+  pm.mbot_loc = "Mbot";
+  pm.n0_loc = "N0";
+  pm.n1_loc = "N1";
+  pm.nbot_loc = "Nbot";
+  pm.sweep_params = {{4, 1, 0}, {4, 1, 1}};
+  return pm;
+}
+
+// ---------------------------------------------------------------------------
+// ABY22 — binding crusader agreement: ECHO1 of the input (q0/q1, one per
+// correct process, no amplification), ECHO2(v) only after a full n-t
+// ECHO1(v) quorum, ECHO2(⊥) on a mixed quorum (e0/e1/eb, again one per
+// process). Quorum intersection then makes binding an arithmetic fact.
+// The Fig.-6 refinement is built in.
+// ---------------------------------------------------------------------------
+ProtocolModel aby22() {
+  SystemBuilder b("ABY22");
+  StdParams p = std_env(b, 3);
+  VarId q0 = b.shared("q0");
+  VarId q1 = b.shared("q1");
+  VarId e0 = b.shared("e0");
+  VarId e1 = b.shared("e1");
+  VarId eb = b.shared("eb");
+  CoinVars cc = add_standard_coin(b);
+
+  LocId j0 = b.border("J0", 0), j1 = b.border("J1", 1);
+  LocId i0 = b.initial("I0", 0), i1 = b.initial("I1", 1);
+  LocId s = b.internal("S");   // ECHO1 sent, collecting ECHO1
+  LocId tl = b.internal("T");  // ECHO2 sent, collecting ECHO2
+  LocId n0 = b.internal("N0");
+  LocId n1 = b.internal("N1");
+  LocId nb = b.internal("Nbot");
+  LocId m0 = b.internal("M0");
+  LocId m1 = b.internal("M1");
+  LocId mb = b.internal("Mbot");
+
+  b.border_entry(j0, i0);
+  b.border_entry(j1, i1);
+  b.rule("echo1_0", i0, s, {}, {{q0, 1}});
+  b.rule("echo1_1", i1, s, {}, {{q1, 1}});
+  ta::ParamExpr quorum = b.P(p.n) - b.P(p.t) - b.P(p.f);
+  ta::ParamExpr one = b.K(1);
+  b.rule("echo2_0", s, tl, {b.ge(q0, quorum)}, {{e0, 1}});
+  b.rule("echo2_1", s, tl, {b.ge(q1, quorum)}, {{e1, 1}});
+  b.rule("echo2_b", s, tl,
+         {b.ge({{q0, 1}, {q1, 1}}, quorum), b.ge(q0, one), b.ge(q1, one)},
+         {{eb, 1}});
+  b.rule("out0", tl, m0, {b.ge(e0, quorum)});
+  b.rule("out1", tl, m1, {b.ge(e1, quorum)});
+  b.rule("outm_0", tl, n0,
+         {b.ge({{e0, 1}, {e1, 1}, {eb, 1}}, quorum), b.ge(e0, one),
+          b.ge({{e1, 1}, {eb, 1}}, one)});
+  b.rule("outm_1", tl, n1,
+         {b.ge({{e0, 1}, {e1, 1}, {eb, 1}}, quorum), b.ge(e1, one),
+          b.ge({{e0, 1}, {eb, 1}}, one)});
+  b.rule("outm_b", tl, nb,
+         {b.ge({{e0, 1}, {e1, 1}, {eb, 1}}, quorum), b.lt(e0, one),
+          b.lt(e1, one)});
+  b.rule("join0", n0, mb, {});
+  b.rule("join1", n1, mb, {});
+  b.rule("joinb", nb, mb, {});
+  add_coin_tail(b, m0, m1, mb, cc, j0, j1);
+
+  ProtocolModel pm;
+  pm.name = "ABY22";
+  pm.category = Category::kC;
+  pm.system = b.build();
+  pm.m0 = e0;
+  pm.m1 = e1;
+  pm.m0_loc = "M0";
+  pm.m1_loc = "M1";
+  pm.mbot_loc = "Mbot";
+  pm.n0_loc = "N0";
+  pm.n1_loc = "N1";
+  pm.nbot_loc = "Nbot";
+  pm.sweep_params = {{4, 1, 0}, {4, 1, 1}};
+  return pm;
+}
+
+std::vector<ProtocolModel> all_protocols() {
+  std::vector<ProtocolModel> out;
+  out.push_back(rabin83());
+  out.push_back(cc85a());
+  out.push_back(cc85b());
+  out.push_back(fmr05());
+  out.push_back(ks16());
+  out.push_back(mmr14());
+  out.push_back(miller18());
+  out.push_back(aby22());
+  return out;
+}
+
+}  // namespace ctaver::protocols

@@ -1,0 +1,746 @@
+#include "schema/checker.h"
+
+#include <algorithm>
+#include <atomic>
+#include <functional>
+#include <mutex>
+#include <sstream>
+#include <stdexcept>
+#include <thread>
+#include <condition_variable>
+#include <deque>
+
+#include "util/logging.h"
+#include "util/stopwatch.h"
+
+namespace ctaver::schema {
+
+namespace {
+
+using lia::Constraint;
+using lia::LinExpr;
+using lia::Result;
+using lia::Solver;
+using util::Rational;
+
+/// Small-model caps (documented in checker.h): parameters are bounded so
+/// that the big-M relaxation of conditional guard checks is exact.
+constexpr long long kParamCap = 100'000;
+constexpr long long kBatchCap = 1'000'000;
+constexpr long long kBigM = 100'000'000;
+
+/// Canonical batch order: rules sorted by topological index of their source
+/// location (per automaton; process rules first). Self-loops are dropped.
+struct OrderedRule {
+  bool coin;
+  ta::RuleId rule;
+};
+
+std::vector<int> topo_order(const ta::Automaton& a) {
+  const int n = static_cast<int>(a.locations.size());
+  std::vector<std::vector<int>> adj(static_cast<std::size_t>(n));
+  std::vector<int> indeg(static_cast<std::size_t>(n), 0);
+  for (const ta::Rule& r : a.rules) {
+    for (const auto& [to, p] : r.to.outcomes) {
+      (void)p;
+      if (to == r.from) continue;
+      adj[static_cast<std::size_t>(r.from)].push_back(to);
+      ++indeg[static_cast<std::size_t>(to)];
+    }
+  }
+  std::vector<int> order(static_cast<std::size_t>(n), 0);
+  std::vector<int> queue;
+  for (int l = 0; l < n; ++l) {
+    if (indeg[static_cast<std::size_t>(l)] == 0) queue.push_back(l);
+  }
+  int next = 0;
+  for (std::size_t qi = 0; qi < queue.size(); ++qi) {
+    int l = queue[qi];
+    order[static_cast<std::size_t>(l)] = next++;
+    for (int m : adj[static_cast<std::size_t>(l)]) {
+      if (--indeg[static_cast<std::size_t>(m)] == 0) queue.push_back(m);
+    }
+  }
+  if (next != n) {
+    throw std::invalid_argument(
+        "schema checker: automaton is not a DAG modulo self-loops; apply "
+        "ta::single_round first");
+  }
+  return order;
+}
+
+std::vector<OrderedRule> canonical_rule_order(const ta::System& sys) {
+  std::vector<OrderedRule> out;
+  for (bool coin : {false, true}) {
+    const ta::Automaton& a = coin ? sys.coin : sys.process;
+    std::vector<int> topo = topo_order(a);
+    std::vector<OrderedRule> rules;
+    for (ta::RuleId r = 0; r < static_cast<ta::RuleId>(a.rules.size()); ++r) {
+      const ta::Rule& rule = a.rules[static_cast<std::size_t>(r)];
+      if (rule.is_dirac() && rule.to.dirac_target() == rule.from &&
+          rule.has_zero_update()) {
+        continue;  // self-loop: configuration no-op
+      }
+      if (!rule.is_dirac()) {
+        throw std::invalid_argument(
+            "schema checker: probabilistic rule " + rule.name +
+            "; apply ta::nonprobabilistic first");
+      }
+      rules.push_back({coin, r});
+    }
+    std::stable_sort(rules.begin(), rules.end(),
+                     [&](const OrderedRule& x, const OrderedRule& y) {
+                       return topo[static_cast<std::size_t>(
+                                  a.rules[static_cast<std::size_t>(x.rule)]
+                                      .from)] <
+                              topo[static_cast<std::size_t>(
+                                  a.rules[static_cast<std::size_t>(y.rule)]
+                                      .from)];
+                     });
+    out.insert(out.end(), rules.begin(), rules.end());
+  }
+  return out;
+}
+
+/// Per-rule guard-index view aligned with canonical_rule_order.
+struct RuleView {
+  OrderedRule id;
+  const ta::Rule* rule;
+  std::vector<int> rising;
+  std::vector<int> falling;
+};
+
+// ---------------------------------------------------------------------------
+// Encoder: builds and solves the LIA query of one schema.
+// ---------------------------------------------------------------------------
+class Encoder {
+ public:
+  Encoder(const ta::System& sys, const GuardTable& table,
+          const std::vector<RuleView>& rules, const CheckOptions& opts)
+      : sys_(&sys), table_(&table), rules_(&rules), opts_(&opts) {}
+
+  /// flips: guard indices in milestone order. cut1/cut2: segment indices of
+  /// the witness points (cut2 = -1 for single-cut shapes; both -1 with a
+  /// null spec for a prefix-feasibility probe). Returns a counterexample if
+  /// the schema is satisfiable (always nullopt for probes — read *sat);
+  /// sets *unknown on budget exhaustion.
+  std::optional<Counterexample> solve(const std::vector<int>& flips,
+                                      int cut1, int cut2,
+                                      const spec::Spec* spec, bool* unknown,
+                                      bool* sat = nullptr,
+                                      bool swap_cuts = false) {
+    swap_cuts_ = swap_cuts;
+    lia::SolverOptions solver_opts = opts_->solver;
+    // Prune-only probes act on UNSAT alone: the rational relaxation is
+    // enough (and much cheaper than branch & bound).
+    if (!spec) solver_opts.relax_integrality = true;
+    Solver solver(solver_opts);
+    // Parameters.
+    std::vector<lia::Var> pv;
+    for (const ta::Parameter& p : sys_->env.params) {
+      pv.push_back(solver.new_var(p.name, 0, kParamCap));
+    }
+    auto pexpr = [&](const ta::ParamExpr& e) {
+      LinExpr out{Rational(e.constant)};
+      for (ta::ParamId p = 0; p < static_cast<ta::ParamId>(pv.size()); ++p) {
+        if (e.coeff(p) != 0) {
+          out.add_term(pv[static_cast<std::size_t>(p)],
+                       Rational(e.coeff(p)));
+        }
+      }
+      return out;
+    };
+    for (const ta::ParamConstraint& rc : sys_->env.resilience) {
+      LinExpr e = pexpr(rc.expr);
+      switch (rc.op) {
+        case ta::CmpOp::kGe:
+          solver.add(Constraint::ge0(e));
+          break;
+        case ta::CmpOp::kGt:
+          solver.add(Constraint::ge0(e - LinExpr(Rational(1))));
+          break;
+        case ta::CmpOp::kLe:
+          solver.add(Constraint::le0(e));
+          break;
+        case ta::CmpOp::kLt:
+          solver.add(Constraint::le0(e + LinExpr(Rational(1))));
+          break;
+        case ta::CmpOp::kEq:
+          solver.add(Constraint::eq0(e));
+          break;
+      }
+    }
+
+    // Initial counters: borders hold all modeled processes/coins.
+    const int n_proc = static_cast<int>(sys_->process.locations.size());
+    const int n_coin = static_cast<int>(sys_->coin.locations.size());
+    std::vector<LinExpr> kappa(static_cast<std::size_t>(n_proc + n_coin));
+    auto gloc = [&](bool coin, ta::LocId l) {
+      return coin ? n_proc + l : static_cast<int>(l);
+    };
+    for (bool coin : {false, true}) {
+      const ta::Automaton& a = coin ? sys_->coin : sys_->process;
+      LinExpr sum;
+      bool any = false;
+      for (ta::LocId l = 0; l < static_cast<ta::LocId>(a.locations.size());
+           ++l) {
+        if (a.locations[static_cast<std::size_t>(l)].role !=
+            ta::LocRole::kBorder) {
+          continue;
+        }
+        lia::Var v = solver.new_var(
+            std::string(coin ? "c0_" : "k0_") +
+                a.locations[static_cast<std::size_t>(l)].name,
+            0);
+        kappa[static_cast<std::size_t>(gloc(coin, l))] = LinExpr::term(v);
+        sum += LinExpr::term(v);
+        any = true;
+      }
+      const ta::ParamExpr& count =
+          coin ? sys_->env.num_coins : sys_->env.num_processes;
+      if (any) {
+        solver.add(Constraint::eq(sum, pexpr(count)));
+      } else {
+        // No border locations: the automaton must model zero entities.
+        solver.add(Constraint::eq0(pexpr(count)));
+      }
+    }
+
+    // Shape (b) premise: those initial locations never occupied.
+    if (spec && spec->shape == spec::Shape::kInitialImpliesGlobally) {
+      for (const auto& [coin, l] : spec->premise.locs) {
+        const LinExpr& k = kappa[static_cast<std::size_t>(gloc(coin, l))];
+        if (!(k == LinExpr{})) solver.add(Constraint::eq0(k));
+      }
+    }
+
+    // Variable values (all zero at a round start).
+    std::vector<LinExpr> gval(sys_->vars.size());
+    auto lhs_expr = [&](const ta::Guard& g) {
+      LinExpr out;
+      for (const auto& [v, b] : g.lhs) {
+        out += gval[static_cast<std::size_t>(v)] * Rational(b);
+      }
+      return out;
+    };
+
+    // Rule allowance per context level.
+    auto allowed = [&](const RuleView& rv, int level) {
+      auto flipped_before = [&](int guard, int lv) {
+        for (int i = 0; i < lv; ++i) {
+          if (flips[static_cast<std::size_t>(i)] == guard) return true;
+        }
+        return false;
+      };
+      for (int g : rv.rising) {
+        if (!flipped_before(g, level)) return false;
+      }
+      for (int g : rv.falling) {
+        if (flipped_before(g, level)) return false;
+      }
+      return true;
+    };
+
+    const int m = static_cast<int>(flips.size()) + 1;  // segments
+    std::ostringstream outline;
+    struct BatchVar {
+      lia::Var x;
+      const RuleView* rv;
+      int segment;
+    };
+    std::vector<BatchVar> batches;
+
+    auto witness_constraint = [&](const spec::LocSet& set) {
+      LinExpr sum;
+      for (const auto& [coin, l] : set.locs) {
+        sum += kappa[static_cast<std::size_t>(gloc(coin, l))];
+      }
+      solver.add(Constraint::ge(sum, LinExpr(Rational(1))));
+    };
+
+    // Cumulative location reachability: a rule needs a batch variable only
+    // once its source may hold tokens (borders initially; then targets of
+    // emitted rules, transitively — the canonical topological order makes a
+    // single pass per part sufficient).
+    std::vector<bool> reachable(static_cast<std::size_t>(n_proc + n_coin),
+                                false);
+    for (bool coin : {false, true}) {
+      const ta::Automaton& a = coin ? sys_->coin : sys_->process;
+      for (ta::LocId l = 0; l < static_cast<ta::LocId>(a.locations.size());
+           ++l) {
+        if (a.locations[static_cast<std::size_t>(l)].role ==
+            ta::LocRole::kBorder) {
+          reachable[static_cast<std::size_t>(gloc(coin, l))] = true;
+        }
+      }
+    }
+
+    int batch_serial = 0;
+    auto emit_part = [&](int segment) {
+      for (const RuleView& rv : *rules_) {
+        if (!allowed(rv, segment)) continue;
+        if (!reachable[static_cast<std::size_t>(
+                gloc(rv.id.coin, rv.rule->from))]) {
+          continue;
+        }
+        reachable[static_cast<std::size_t>(
+            gloc(rv.id.coin, rv.rule->to.dirac_target()))] = true;
+        lia::Var x = solver.new_var(
+            "x" + std::to_string(batch_serial++) + "_" + rv.rule->name, 0,
+            kBatchCap);
+        batches.push_back({x, &rv, segment});
+        // Token availability before the batch.
+        LinExpr& from = kappa[static_cast<std::size_t>(
+            gloc(rv.id.coin, rv.rule->from))];
+        solver.add(Constraint::ge0(from - LinExpr::term(x)));
+        // Falling guards: exact conditional check via big-M.
+        for (int gi : rv.falling) {
+          const GuardInfo& info = table_->guards[static_cast<std::size_t>(gi)];
+          // Per-firing self-increment of the guard's lhs by this rule.
+          long long delta = 0;
+          for (const auto& [v, b] : info.guard.lhs) {
+            delta += b * rv.rule->update_of(v);
+          }
+          lia::Var used = solver.new_var(
+              "b" + std::to_string(batch_serial) + "_" + rv.rule->name, 0, 1);
+          solver.add(Constraint::le0(LinExpr::term(x) -
+                                     LinExpr::term(used, Rational(kBatchCap))));
+          // lhs_before + delta*(x-1) <= rhs - 1 + BigM*(1-used)
+          LinExpr lhs = lhs_expr(info.guard) +
+                        LinExpr::term(x, Rational(delta)) -
+                        LinExpr(Rational(delta));
+          LinExpr relax = pexpr(info.guard.rhs) - LinExpr(Rational(1)) +
+                          LinExpr(Rational(kBigM)) -
+                          LinExpr::term(used, Rational(kBigM));
+          solver.add(Constraint::le(lhs, relax));
+        }
+        // Apply the batch.
+        from -= LinExpr::term(x);
+        kappa[static_cast<std::size_t>(
+            gloc(rv.id.coin, rv.rule->to.dirac_target()))] +=
+            LinExpr::term(x);
+        for (ta::VarId v = 0; v < static_cast<ta::VarId>(sys_->vars.size());
+             ++v) {
+          long long u = rv.rule->update_of(v);
+          if (u != 0) {
+            gval[static_cast<std::size_t>(v)] +=
+                LinExpr::term(x, Rational(u));
+          }
+        }
+      }
+    };
+
+    for (int s = 0; s < m; ++s) {
+      // Witness cuts landing in this segment. The two witness points of the
+      // F-premise/G-conclusion shape are unordered (the counterexample is
+      // Fφ ∧ F¬ψ); when both land in the same segment, `swap_cuts` selects
+      // which witness is pinned first.
+      std::vector<const spec::LocSet*> cuts;
+      if (spec && spec->shape == spec::Shape::kEventuallyImpliesGlobally) {
+        if (cut1 == s && cut2 == s && swap_cuts_) {
+          cuts.push_back(&spec->conclusion);
+          cuts.push_back(&spec->premise);
+        } else {
+          if (cut1 == s) cuts.push_back(&spec->premise);
+          if (cut2 == s) cuts.push_back(&spec->conclusion);
+        }
+      } else if (spec && cut1 == s) {
+        cuts.push_back(&spec->conclusion);
+      }
+      emit_part(s);
+      for (const spec::LocSet* set : cuts) {
+        witness_constraint(*set);
+        emit_part(s);
+      }
+      // Milestone flip after segment s (if any).
+      if (s < m - 1) {
+        int gi = flips[static_cast<std::size_t>(s)];
+        const GuardInfo& info = table_->guards[static_cast<std::size_t>(gi)];
+        // The guard's lhs has crossed its threshold at this boundary
+        // (rising: becomes true; falling: becomes locked).
+        solver.add(Constraint::ge(lhs_expr(info.guard), pexpr(info.guard.rhs)));
+      }
+    }
+
+    Result res = solver.check();
+    if (sat) *sat = res == Result::kSat;
+    if (res == Result::kUnknown) {
+      *unknown = true;
+      return std::nullopt;
+    }
+    if (res == Result::kUnsat || !spec) return std::nullopt;
+
+    // Shrink parameters for a readable report.
+    if (opts_->minimize_ce) {
+      LinExpr obj;
+      for (lia::Var v : pv) obj += LinExpr::term(v);
+      (void)solver.minimize(obj);
+    }
+
+    Counterexample ce;
+    for (lia::Var v : pv) {
+      ce.params.push_back(static_cast<long long>(solver.model(v)));
+    }
+    for (int gi : flips) {
+      ce.milestones.push_back(
+          table_->guards[static_cast<std::size_t>(gi)].str(*sys_));
+    }
+    std::ostringstream text;
+    text << "params:";
+    for (std::size_t i = 0; i < pv.size(); ++i) {
+      text << " " << sys_->env.params[i].name << "="
+           << util::int128_str(solver.model(pv[i]));
+    }
+    text << "; schedule:";
+    for (const BatchVar& b : batches) {
+      long long x = static_cast<long long>(solver.model(b.x));
+      if (x > 0) {
+        text << " " << b.rv->rule->name << "^" << x << "@s" << b.segment;
+      }
+    }
+    ce.text = text.str();
+    return ce;
+  }
+
+ private:
+  const ta::System* sys_;
+  const GuardTable* table_;
+  const std::vector<RuleView>* rules_;
+  const CheckOptions* opts_;
+  bool swap_cuts_ = false;
+};
+
+// ---------------------------------------------------------------------------
+// Milestone-order enumeration with precedence pruning.
+// ---------------------------------------------------------------------------
+/// What the visitor tells the enumeration to do next.
+enum class Walk { kStop, kContinue, kSkipChildren };
+
+struct Enumerator {
+  const GuardTable& table;
+  bool prune;
+
+  using VisitFn = std::function<Walk(const std::vector<int>&)>;
+
+  /// Calls visit(flips) for every admissible milestone order (including the
+  /// empty one) in DFS prefix order; kSkipChildren prunes the subtree below
+  /// the current order. Returns false iff stopped by kStop.
+  bool run(const VisitFn& visit) const { return run_partition(0, 1, visit); }
+
+  /// Worker `worker` of `workers` explores the depth-1 subtrees whose first
+  /// milestone index is congruent to `worker` (worker 0 also visits the
+  /// empty order). The union over workers covers the full enumeration.
+  bool run_partition(int worker, int workers, const VisitFn& visit) const {
+    std::vector<int> flips;
+    std::vector<bool> used(table.guards.size(), false);
+    if (worker == 0) {
+      Walk w = visit(flips);
+      if (w == Walk::kStop) return false;
+      if (w == Walk::kSkipChildren) return true;
+    }
+    for (int g = worker; g < table.num_guards(); g += workers) {
+      if (!admissible_next(g, flips, used)) continue;
+      used[static_cast<std::size_t>(g)] = true;
+      flips.push_back(g);
+      bool cont = rec(flips, used, visit);
+      flips.pop_back();
+      used[static_cast<std::size_t>(g)] = false;
+      if (!cont) return false;
+    }
+    return true;
+  }
+
+  [[nodiscard]] bool admissible_next(int g, const std::vector<int>& flips,
+                                     const std::vector<bool>& used) const {
+    if (used[static_cast<std::size_t>(g)]) return false;
+    if (!prune) return true;
+    const GuardInfo& info = table.guards[static_cast<std::size_t>(g)];
+    if (!info.flippable) {
+      // Truth is constant: only an initially-true flip at position 0 makes
+      // sense.
+      if (!info.can_start_true || !flips.empty()) return false;
+    }
+    for (int h : info.must_follow) {
+      if (!used[static_cast<std::size_t>(h)]) return false;
+    }
+    // Independence quotient: if the previous milestone p commutes before g
+    // (every (…, p, g)-schedule maps into (…, g, p) by delaying p's gated
+    // rules) keep only the index-ascending representative.
+    if (!flips.empty()) {
+      int p = flips.back();
+      const GuardInfo& prev = table.guards[static_cast<std::size_t>(p)];
+      if (p > g && prev.flippable && prev.swap_allowed_before(g)) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+ private:
+  bool rec(std::vector<int>& flips, std::vector<bool>& used,
+           const VisitFn& visit) const {
+    Walk w = visit(flips);
+    if (w == Walk::kStop) return false;
+    if (w == Walk::kSkipChildren) return true;
+    for (int g = 0; g < table.num_guards(); ++g) {
+      if (!admissible_next(g, flips, used)) continue;
+      used[static_cast<std::size_t>(g)] = true;
+      flips.push_back(g);
+      bool cont = rec(flips, used, visit);
+      flips.pop_back();
+      used[static_cast<std::size_t>(g)] = false;
+      if (!cont) return false;
+    }
+    return true;
+  }
+};
+
+std::vector<RuleView> make_rule_views(const ta::System& sys,
+                                      const GuardTable& table) {
+  std::vector<OrderedRule> order = canonical_rule_order(sys);
+  std::vector<RuleView> out;
+  out.reserve(order.size());
+  for (const OrderedRule& orule : order) {
+    const ta::Automaton& a = orule.coin ? sys.coin : sys.process;
+    RuleView rv;
+    rv.id = orule;
+    rv.rule = &a.rules[static_cast<std::size_t>(orule.rule)];
+    for (const RuleGuards& rg : table.rules) {
+      if (rg.coin == orule.coin && rg.rule == orule.rule) {
+        rv.rising = rg.rising;
+        rv.falling = rg.falling;
+        break;
+      }
+    }
+    out.push_back(std::move(rv));
+  }
+  return out;
+}
+
+}  // namespace
+
+namespace {
+
+/// Earliest segment (context level) at which a witness over `set` can hold:
+/// some rule *into* a set location must be allowed at that level or earlier
+/// (tokens only reach the witness locations through such rules). Returns
+/// m (= flips+1) when unplaceable under this order.
+int first_witness_segment(const ta::System& sys,
+                          const std::vector<RuleView>& rules,
+                          const spec::LocSet& set,
+                          const std::vector<int>& flips) {
+  const int m = static_cast<int>(flips.size()) + 1;
+  auto flipped_before = [&](int guard, int level) {
+    for (int i = 0; i < level; ++i) {
+      if (flips[static_cast<std::size_t>(i)] == guard) return true;
+    }
+    return false;
+  };
+  int best = m;
+  for (const RuleView& rv : rules) {
+    bool targets_set = false;
+    ta::LocId to = rv.rule->to.dirac_target();
+    for (const auto& [coin, l] : set.locs) {
+      if (coin == rv.id.coin && l == to) targets_set = true;
+    }
+    if (!targets_set) continue;
+    for (int level = 0; level < m && level < best; ++level) {
+      bool ok = true;
+      for (int g : rv.rising) {
+        if (!flipped_before(g, level)) ok = false;
+      }
+      for (int g : rv.falling) {
+        if (flipped_before(g, level)) ok = false;
+      }
+      if (ok) {
+        best = std::min(best, level);
+        break;
+      }
+    }
+  }
+  (void)sys;
+  return best;
+}
+
+}  // namespace
+
+CheckResult check_spec(const ta::System& sys, const spec::Spec& spec,
+                       const CheckOptions& opts) {
+  util::Stopwatch watch;
+  CheckResult result;
+
+  if (spec.premise.empty() &&
+      spec.shape == spec::Shape::kEventuallyImpliesGlobally) {
+    // F EX{∅} is false: the implication holds vacuously.
+    result.holds = true;
+    result.complete = true;
+    return result;
+  }
+  if (spec.conclusion.empty()) {
+    result.holds = true;
+    result.complete = true;
+    return result;
+  }
+
+  GuardTable table = analyze_guards(sys, opts.prune);
+  std::vector<RuleView> rules = make_rule_views(sys, table);
+  Enumerator enumerator{table, opts.prune};
+
+  std::atomic<long long> nschemas{0};
+  std::atomic<bool> budget_hit{false};
+  std::atomic<bool> unknown_any{false};
+  std::atomic<bool> stop{false};
+  std::mutex ce_mutex;
+  std::optional<Counterexample> found_ce;
+
+  const bool two_cuts =
+      spec.shape == spec::Shape::kEventuallyImpliesGlobally;
+
+  // Parallel breadth-first exploration of milestone orders, shortest
+  // prefixes first: counterexamples live at short orders, so finding them
+  // does not require exhausting any deep subtree; for proofs the total work
+  // is the same as DFS (every feasible prefix is probed exactly once).
+  std::mutex queue_mutex;
+  std::condition_variable queue_cv;
+  std::deque<std::vector<int>> frontier;
+  int active = 0;
+  frontier.push_back({});
+
+  auto over_budget = [&]() {
+    if (nschemas.load() >= opts.max_schemas ||
+        watch.seconds() > opts.time_budget_s) {
+      budget_hit.store(true);
+      stop.store(true);
+      queue_cv.notify_all();
+      return true;
+    }
+    return false;
+  };
+
+  // Processes one prefix: probe, spec queries over cut placements, expand.
+  auto process = [&](Encoder& encoder, const std::vector<int>& flips,
+                     std::vector<std::vector<int>>* children) {
+    if (opts.prefix_prune && !flips.empty()) {
+      bool unknown = false, sat = false;
+      ++nschemas;
+      (void)encoder.solve(flips, -1, -1, nullptr, &unknown, &sat);
+      if (unknown) unknown_any.store(true);
+      if (!sat && !unknown) return;  // subtree pruned
+    }
+    const int m = static_cast<int>(flips.size()) + 1;
+    // Witness placement: cuts are only meaningful from the first segment
+    // where a rule into the witness set is allowed. The two witnesses of
+    // the F/G shape are unordered, so they range independently; when they
+    // share a segment both within-segment orders are tried.
+    int c1_lo = two_cuts
+                    ? first_witness_segment(sys, rules, spec.premise, flips)
+                    : first_witness_segment(sys, rules, spec.conclusion,
+                                            flips);
+    int c2_first =
+        two_cuts ? first_witness_segment(sys, rules, spec.conclusion, flips)
+                 : -1;
+    for (int c1 = c1_lo; c1 < m && !stop.load(); ++c1) {
+      int c2_lo = two_cuts ? c2_first : -1;
+      int c2_hi = two_cuts ? m - 1 : -1;
+      for (int c2 = c2_lo; c2 <= c2_hi; ++c2) {
+        for (int swap = 0; swap <= (two_cuts && c1 == c2 ? 1 : 0); ++swap) {
+          if (stop.load() || over_budget()) return;
+          ++nschemas;
+          bool unknown = false;
+          auto ce =
+              encoder.solve(flips, c1, c2, &spec, &unknown, nullptr,
+                            swap == 1);
+          if (unknown) unknown_any.store(true);
+          if (ce) {
+            std::lock_guard<std::mutex> lock(ce_mutex);
+            if (!found_ce) found_ce = std::move(ce);
+            stop.store(true);
+            queue_cv.notify_all();
+            return;
+          }
+        }
+      }
+    }
+    // Expand admissible extensions.
+    std::vector<bool> used(table.guards.size(), false);
+    for (int g : flips) used[static_cast<std::size_t>(g)] = true;
+    for (int g = 0; g < table.num_guards(); ++g) {
+      if (!enumerator.admissible_next(g, flips, used)) continue;
+      std::vector<int> child = flips;
+      child.push_back(g);
+      children->push_back(std::move(child));
+    }
+  };
+
+  unsigned hw = std::thread::hardware_concurrency();
+  int workers = static_cast<int>(hw == 0 ? 4 : hw);
+  std::vector<std::thread> pool;
+  for (int w = 0; w < workers; ++w) {
+    pool.emplace_back([&]() {
+      Encoder encoder(sys, table, rules, opts);
+      std::unique_lock<std::mutex> lock(queue_mutex);
+      for (;;) {
+        queue_cv.wait(lock, [&] {
+          return stop.load() || !frontier.empty() || active == 0;
+        });
+        if (stop.load() || (frontier.empty() && active == 0)) return;
+        if (frontier.empty()) continue;
+        std::vector<int> flips = std::move(frontier.front());
+        frontier.pop_front();
+        ++active;
+        lock.unlock();
+
+        std::vector<std::vector<int>> children;
+        if (!over_budget()) process(encoder, flips, &children);
+
+        lock.lock();
+        for (auto& c : children) frontier.push_back(std::move(c));
+        --active;
+        queue_cv.notify_all();
+      }
+    });
+  }
+  for (std::thread& t : pool) t.join();
+
+  result.nschemas = nschemas.load();
+  result.seconds = watch.seconds();
+  result.ce = std::move(found_ce);
+  result.holds = !result.ce.has_value();
+  // Finding a CE counts as a complete (conclusive) answer.
+  result.complete =
+      (result.ce.has_value() || !stop.load()) && !budget_hit.load() &&
+      !unknown_any.load();
+  if (result.holds && !result.complete) {
+    CTAVER_LOG(kWarn) << "check_spec(" << spec.name
+                      << "): budget exhausted; result is inconclusive";
+    result.holds = false;
+  }
+  return result;
+}
+
+long long count_schemas(const ta::System& sys, const spec::Spec& spec,
+                        bool prune, long long cap) {
+  GuardTable table = analyze_guards(sys, prune);
+  Enumerator enumerator{table, prune};
+  const bool two_cuts =
+      spec.shape == spec::Shape::kEventuallyImpliesGlobally;
+  long long count = 0;
+  enumerator.run([&](const std::vector<int>& flips) {
+    const long long m = static_cast<long long>(flips.size()) + 1;
+    // Unordered witness pair: m*m placements plus m same-segment swaps.
+    count += two_cuts ? m * (m + 1) : m;
+    return count < cap ? Walk::kContinue : Walk::kStop;
+  });
+  return std::min(count, cap);
+}
+
+int count_milestones(const ta::System& sys, bool prune) {
+  GuardTable table = analyze_guards(sys, prune);
+  int n = 0;
+  for (const GuardInfo& g : table.guards) {
+    if (!prune || g.flippable || g.can_start_true) ++n;
+  }
+  return n;
+}
+
+}  // namespace ctaver::schema

@@ -1,0 +1,81 @@
+// Schema-based parametric verification of single-round threshold automata —
+// the role ByMC plays in the paper (Sect. V-A, technique of Konnov et al.).
+//
+// A *schema* fixes (i) the order in which threshold guards flip (the
+// milestones) and (ii) where along that order the specification's witness
+// points fall. Between milestones the context is steady, so any schedule
+// can be reordered into batches of rule executions in a fixed topological
+// order; the existence of a schedule following the schema that violates the
+// spec then becomes a linear-integer query with the *parameters as
+// unknowns*, discharged by src/lia. A SAT answer yields a concrete
+// counterexample (parameter valuation + batch counts); UNSAT across all
+// schemas proves the property for every admissible parameter valuation.
+//
+// Soundness: every reported counterexample is a real schedule (the encoding
+// checks applicability batch-by-batch and guard truth at every use).
+// Completeness: every violating schedule maps to some enumerated schema
+// (monotone guards ⇒ the flip order is well defined; cut points preserve
+// the witness configuration; within steady contexts the batch reordering is
+// a mover argument over the location DAG). `complete=false` is reported
+// when the enumeration or solver budget ran out instead.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "lia/solver.h"
+#include "schema/guards.h"
+#include "spec/spec.h"
+#include "ta/model.h"
+
+namespace ctaver::schema {
+
+struct CheckOptions {
+  /// Use RC-entailment precedence pruning of milestone orders.
+  bool prune = true;
+  /// Prune DFS subtrees whose milestone prefix is already unrealizable
+  /// (the prefix query is a sub-conjunction of every extension's query, so
+  /// this never loses counterexamples). This is what makes the category-(C)
+  /// benchmarks tractable on a single machine.
+  bool prefix_prune = true;
+  /// Abort after this many schemas (then CheckResult.complete = false).
+  long long max_schemas = 5'000'000;
+  /// Wall-clock budget in seconds.
+  double time_budget_s = 600.0;
+  /// Shrink counterexample parameters via objective minimization.
+  bool minimize_ce = true;
+  lia::SolverOptions solver;
+};
+
+struct Counterexample {
+  /// Parameter valuation (indexed like sys.env.params).
+  std::vector<long long> params;
+  /// Milestone order, as guard strings.
+  std::vector<std::string> milestones;
+  /// Human-readable schedule outline (batch counts per segment).
+  std::string text;
+};
+
+struct CheckResult {
+  bool holds = false;     // no counterexample found
+  bool complete = false;  // enumeration finished within budget
+  long long nschemas = 0; // schemas submitted to the solver
+  double seconds = 0.0;
+  std::optional<Counterexample> ce;
+};
+
+/// Checks one proof obligation on a single-round, non-probabilistic system
+/// (all rules Dirac; run ta::nonprobabilistic + ta::single_round first).
+CheckResult check_spec(const ta::System& sys, const spec::Spec& spec,
+                       const CheckOptions& opts = {});
+
+/// Enumerates schemas without solving; returns the count (capped at `cap`).
+/// This regenerates the paper's Table IV milestone study.
+long long count_schemas(const ta::System& sys, const spec::Spec& spec,
+                        bool prune, long long cap);
+
+/// Number of milestone guards (deduplicated, flippable) in the system.
+int count_milestones(const ta::System& sys, bool prune);
+
+}  // namespace ctaver::schema

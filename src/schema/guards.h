@@ -1,0 +1,85 @@
+// Threshold-guard analysis for the schema checker.
+//
+// Shared and coin variables only grow (update vectors are increments), so
+// every guard is monotone along a run:
+//
+//   rising   Σ b·x >= rhs(p)   — once true, forever true;
+//   falling  Σ b·x <  rhs(p)   — once false, forever false.
+//
+// A *milestone* is the moment a guard changes truth (a rising guard
+// unlocking, a falling guard locking). A *context* is the set of guards
+// that have flipped so far; schemas are ordered subsets of guards (the
+// flip order), exactly the enumeration whose size Table IV reports.
+//
+// Precedence pruning: if every rule that can increase the left-hand side of
+// guard g carries guard h in its conjunction, then g cannot flip before h
+// (given that g's threshold is provably positive under RC, so g is not true
+// at the all-zero start). This is what keeps category-(C) enumerations
+// tractable on one machine where the paper used a 216-core server.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ta/model.h"
+
+namespace ctaver::schema {
+
+/// One deduplicated guard occurring in the system's rules.
+struct GuardInfo {
+  ta::Guard guard;
+  bool rising = true;        // kGe guards rise, kLt guards fall
+  bool can_start_true = false;  // SAT(RC ∧ value-at-zero satisfies guard)
+  bool flippable = true;     // some rule increments an lhs variable
+  /// Guards (by index) that must flip strictly before this one.
+  std::vector<int> must_follow;
+
+  // --- independence reduction (milestone-order quotient) -----------------
+  /// contrib[h] = true if some rule gated by this guard, or any rule
+  /// downstream of one in the location graph, increments guard h's lhs.
+  std::vector<bool> contrib;
+  /// False if some gated/downstream rule carries a falling gate; delaying
+  /// this guard's rules past a later milestone is then unsound.
+  bool delay_safe = true;
+
+  /// May the order (this, g) be rewritten to (g, this)? Every schedule of
+  /// the former is then captured by the latter by delaying this guard's
+  /// gated rules (and their downstream cascades) past g's boundary; the
+  /// enumeration keeps only the index-ascending representative.
+  [[nodiscard]] bool swap_allowed_before(int g) const {
+    if (!rising) return true;  // falling flips move without relocating rules
+    return delay_safe &&
+           (g >= static_cast<int>(contrib.size()) ||
+            !contrib[static_cast<std::size_t>(g)]);
+  }
+
+  [[nodiscard]] std::string str(const ta::System& sys) const {
+    return guard.str(sys.vars, sys.env.params);
+  }
+};
+
+/// Per-rule guard indices into the guard table.
+struct RuleGuards {
+  bool coin = false;  // which automaton the rule belongs to
+  ta::RuleId rule = -1;
+  std::vector<int> rising;   // guard-table indices
+  std::vector<int> falling;  // guard-table indices
+};
+
+struct GuardTable {
+  std::vector<GuardInfo> guards;
+  std::vector<RuleGuards> rules;  // one entry per (automaton, rule)
+
+  [[nodiscard]] int num_guards() const {
+    return static_cast<int>(guards.size());
+  }
+};
+
+/// Builds the guard table for a (single-round, non-probabilistic) system.
+/// With `prune`, runs the RC-entailment analyses that populate
+/// can_start_true / flippable / must_follow; without it, all guards are
+/// considered freely orderable (the unpruned count matches naive ByMC
+/// enumeration).
+GuardTable analyze_guards(const ta::System& sys, bool prune);
+
+}  // namespace ctaver::schema

@@ -1,0 +1,143 @@
+#include "sim/attack.h"
+
+#include <random>
+
+namespace ctaver::sim {
+
+namespace {
+
+constexpr int kByz = 3;
+
+/// Scripted one-round attack. Returns false if some scripted delivery found
+/// no matching message (the protocol refused to follow — e.g. Miller18).
+bool attack_round(Simulation& sim, int k, bool* coin_was_revealed) {
+  // Roles: two correct processes share a, one holds b = 1 - a.
+  int est[3] = {sim.process(0).est(), sim.process(1).est(),
+                sim.process(2).est()};
+  int a = (est[0] == est[1] || est[0] == est[2]) ? est[0] : est[1];
+  int b = 1 - a;
+  int p = -1, q = -1, r = -1;
+  for (int i = 0; i < 3; ++i) {
+    if (est[i] == a) {
+      (p == -1 ? p : q) = i;
+    } else {
+      r = i;
+    }
+  }
+  if (r == -1 || q == -1) return false;  // no mixed estimates: cannot attack
+
+  auto est_msg = [&](int from, int to, int v) {
+    return sim.deliver_first([&](const Message& m) {
+      return m.type == MsgType::kEst && m.from == from && m.to == to &&
+             m.round == k && m.values == value_bit(v);
+    });
+  };
+  auto aux_msg = [&](int from, int to, int v) {
+    return sim.deliver_first([&](const Message& m) {
+      return m.type == MsgType::kAux && m.from == from && m.to == to &&
+             m.round == k && m.values == value_bit(v);
+    });
+  };
+
+  // Byzantine EST ammunition for P and R.
+  sim.inject(kByz, p, MsgType::kEst, k, value_bit(a));
+  sim.inject(kByz, p, MsgType::kEst, k, value_bit(b));
+  sim.inject(kByz, r, MsgType::kEst, k, value_bit(a));
+  sim.inject(kByz, r, MsgType::kEst, k, value_bit(b));
+
+  // P echoes b; R echoes a (t + 1 = 2 senders each).
+  if (!est_msg(r, p, b) || !est_msg(kByz, p, b)) return false;
+  if (!est_msg(p, r, a) || !est_msg(kByz, r, a)) return false;
+  // R: bin_values gains b first (R, byz, P's echo) -> AUX(b).
+  if (!est_msg(r, r, b) || !est_msg(kByz, r, b) || !est_msg(p, r, b)) {
+    return false;
+  }
+  // P: bin_values gains a first (P, byz, R's echo) -> AUX(a).
+  if (!est_msg(p, p, a) || !est_msg(kByz, p, a) || !est_msg(r, p, a)) {
+    return false;
+  }
+  // Then each sees the other value too: bin_values = {0,1}.
+  if (!est_msg(p, p, b)) return false;  // P's own echo of b
+  if (!est_msg(r, r, a)) return false;  // R's own echo of a
+
+  // AUX phase: P and R both see values = {0,1} and must adopt the coin.
+  sim.inject(kByz, p, MsgType::kAux, k, value_bit(a));
+  sim.inject(kByz, r, MsgType::kAux, k, value_bit(b));
+  if (!aux_msg(p, p, a) || !aux_msg(r, p, b) || !aux_msg(kByz, p, a)) {
+    return false;
+  }
+  if (!aux_msg(p, r, a) || !aux_msg(r, r, b) || !aux_msg(kByz, r, b)) {
+    return false;
+  }
+
+  // The adaptive step: the coin is now revealed (P and R accessed it).
+  if (!sim.coin().revealed(k)) {
+    *coin_was_revealed = false;
+    return false;
+  }
+  *coin_was_revealed = true;
+  int s = sim.coin().value(k);
+  int c = 1 - s;
+
+  // Steer the frozen process Q to values = {c}.
+  sim.inject(kByz, q, MsgType::kEst, k, value_bit(c));
+  if (c == a) {
+    if (!est_msg(q, q, c)) return false;  // Q broadcast a itself
+    if (!est_msg(p, q, c) || !est_msg(kByz, q, c)) return false;
+  } else {
+    if (!est_msg(r, q, c) || !est_msg(kByz, q, c)) return false;
+    if (!est_msg(q, q, c)) return false;  // Q's own echo of c
+  }
+  // Q AUXes c; one of P/R AUXed c as well; the Byzantine seals it.
+  sim.inject(kByz, q, MsgType::kAux, k, value_bit(c));
+  int x = (c == a) ? p : r;
+  if (!aux_msg(q, q, c) || !aux_msg(x, q, c) || !aux_msg(kByz, q, c)) {
+    return false;
+  }
+
+  // Reliable network: flush everything from this round (harmless now).
+  while (sim.deliver_first(
+      [&](const Message& m) { return m.round <= k; })) {
+  }
+  return true;
+}
+
+}  // namespace
+
+AttackResult run_attack(Protocol proto, int rounds, std::uint64_t coin_seed) {
+  AttackResult result;
+  Simulation::Setup setup;
+  setup.proto = proto;
+  setup.n = 4;
+  setup.t = 1;
+  setup.inputs = {0, 0, 1};
+  setup.coin_seed = coin_seed;
+  Simulation sim(setup);
+
+  for (int k = 0; k < rounds; ++k) {
+    bool coin_revealed = true;
+    if (!attack_round(sim, k, &coin_revealed)) {
+      result.script_failed = true;
+      break;
+    }
+    ++result.rounds_executed;
+  }
+
+  if (result.script_failed) {
+    // The protocol refused to follow the script (binding): fall back to a
+    // fair random scheduler and let the run finish.
+    std::mt19937_64 rng(coin_seed ^ 0x5bd1e995ULL);
+    for (std::uint64_t step = 0; step < 500'000 && !sim.all_decided();
+         ++step) {
+      if (sim.pending().empty()) break;
+      sim.deliver(static_cast<std::size_t>(rng() % sim.pending().size()));
+    }
+  }
+
+  for (int i = 0; i < sim.num_correct(); ++i) {
+    if (sim.process(i).decided()) result.any_decided = true;
+  }
+  return result;
+}
+
+}  // namespace ctaver::sim

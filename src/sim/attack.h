@@ -1,0 +1,39 @@
+// The Sect.-II adaptive-adversary attack against MMR14, scripted for the
+// smallest system: three correct processes P, Q, R (ids 0, 1, 2) and one
+// Byzantine process (id 3), n = 4, t = 1.
+//
+// Round invariant maintained by the adversary: two correct processes share
+// an estimate a and one holds b = 1-a. Each round it
+//   1. freezes one a-holder (Q) completely,
+//   2. drives the other a-holder (P) and the b-holder (R) to
+//      bin_values = {0,1} and values = {0,1}, forcing both to adopt the
+//      coin value s — which reveals s to the adversary,
+//   3. then steers the frozen process Q to values = {1-s}, so Q adopts 1-s,
+//   4. delivers all leftovers (the network stays reliable).
+// The estimates end the round as {s, s, 1-s}: the same shape as the round
+// started with, so no process ever decides.
+//
+// Against Miller18 (the CONF-phase fix) the same adversary fails: binding
+// makes step 3 impossible, and the run decides. run_attack() reports both.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/simulation.h"
+
+namespace ctaver::sim {
+
+struct AttackResult {
+  bool any_decided = false;   // did any correct process decide?
+  int rounds_executed = 0;    // rounds the adversary completed
+  bool script_failed = false; // a scripted delivery found no match
+};
+
+/// Runs `rounds` rounds of the adaptive attack against the given protocol
+/// (kMmr14 or kMiller18) with inputs {a, a, 1-a}. For MMR14 the expected
+/// outcome is any_decided = false for every horizon; for Miller18 the
+/// script breaks down and the processes decide.
+AttackResult run_attack(Protocol proto, int rounds,
+                        std::uint64_t coin_seed = 7);
+
+}  // namespace ctaver::sim

@@ -1,0 +1,35 @@
+#include "sim/message.h"
+
+namespace ctaver::sim {
+
+namespace {
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+}  // namespace
+
+std::string Message::str() const {
+  const char* t = type == MsgType::kEst     ? "EST"
+                  : type == MsgType::kAux   ? "AUX"
+                  : type == MsgType::kConf  ? "CONF"
+                  : type == MsgType::kEcho1 ? "ECHO1"
+                                            : "ECHO2";
+  std::string vs;
+  if (values & kSet0) vs += "0";
+  if (values & kSet1) vs += "1";
+  if (values & kSetBot) vs += "B";
+  return std::string(t) + "(r" + std::to_string(round) + "," + vs + ") " +
+         std::to_string(from) + "->" + std::to_string(to);
+}
+
+int CommonCoin::value(int round) {
+  revealed_.insert(round);
+  return static_cast<int>(splitmix64(seed_ ^ static_cast<std::uint64_t>(
+                                                 round * 2654435761ULL)) &
+                          1ULL);
+}
+
+}  // namespace ctaver::sim

@@ -1,0 +1,319 @@
+#include "sim/simulation.h"
+
+#include <random>
+#include <stdexcept>
+
+namespace ctaver::sim {
+
+namespace {
+int popcount_values(ValueSet s) {
+  return ((s & kSet0) ? 1 : 0) + ((s & kSet1) ? 1 : 0) +
+         ((s & kSetBot) ? 1 : 0);
+}
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Process
+// ---------------------------------------------------------------------------
+
+Process::Process(Protocol proto, int id, int n, int t, int initial)
+    : proto_(proto), id_(id), n_(n), t_(t), est_(initial) {}
+
+void Process::broadcast(MsgType type, int round, ValueSet values,
+                        std::vector<Message>* out) {
+  // Destinations are filled in by the simulation (one copy per correct
+  // process); `to` is set there.
+  Message m;
+  m.from = id_;
+  m.type = type;
+  m.round = round;
+  m.values = values;
+  out->push_back(m);
+}
+
+void Process::start(std::vector<Message>* out) {
+  RoundState& rs = rounds_[0];
+  if (proto_ == Protocol::kAby22) {
+    broadcast(MsgType::kEcho1, 0, value_bit(est_), out);
+  } else {
+    rs.sent_est[est_] = true;
+    broadcast(MsgType::kEst, 0, value_bit(est_), out);
+  }
+}
+
+void Process::advance(int decided_value_or_minus1, int new_est,
+                      std::vector<Message>* out) {
+  RoundState& rs = rounds_[round_];
+  rs.done = true;
+  if (decided_value_or_minus1 >= 0 && !decided_) {
+    decided_ = true;
+    decision_ = decided_value_or_minus1;
+    decision_round_ = round_;
+  }
+  est_ = new_est;
+  ++round_;
+  RoundState& next = rounds_[round_];
+  if (proto_ == Protocol::kAby22) {
+    broadcast(MsgType::kEcho1, round_, value_bit(est_), out);
+  } else {
+    next.sent_est[est_] = true;
+    broadcast(MsgType::kEst, round_, value_bit(est_), out);
+  }
+}
+
+void Process::deliver(const Message& m, std::vector<Message>* out,
+                      CommonCoin* coin) {
+  RoundState& rs = rounds_[m.round];
+  switch (m.type) {
+    case MsgType::kEst:
+      for (int v : {0, 1}) {
+        if (m.values & value_bit(v)) rs.est_senders[v].insert(m.from);
+      }
+      break;
+    case MsgType::kAux:
+      rs.aux[m.from] = (m.values & kSet1) ? 1 : 0;
+      break;
+    case MsgType::kConf:
+      rs.conf[m.from] = m.values;
+      break;
+    case MsgType::kEcho1:
+      for (int v : {0, 1}) {
+        if (m.values & value_bit(v)) rs.echo1_senders[v].insert(m.from);
+      }
+      break;
+    case MsgType::kEcho2:
+      rs.echo2[m.from] = m.values;
+      break;
+  }
+  // Progress is only possible in the current round, but deliveries into
+  // past/future rounds still update their state above.
+  try_progress(m.round, out, coin);
+}
+
+void Process::try_progress(int round, std::vector<Message>* out,
+                           CommonCoin* coin) {
+  if (round != round_) return;
+  RoundState& rs = rounds_[round];
+  if (rs.done) return;
+
+  if (proto_ == Protocol::kAby22) {
+    // ECHO1 -> ECHO2.
+    std::set<int> senders = rs.echo1_senders[0];
+    senders.insert(rs.echo1_senders[1].begin(), rs.echo1_senders[1].end());
+    if (!rs.sent_echo2 && static_cast<int>(senders.size()) >= n_ - t_) {
+      bool has0 = !rs.echo1_senders[0].empty();
+      bool has1 = !rs.echo1_senders[1].empty();
+      ValueSet payload = (has0 && has1) ? kSetBot
+                         : has0         ? kSet0
+                                        : kSet1;
+      // ECHO2(v) requires a full n-t quorum for v alone.
+      if (payload == kSet0 &&
+          static_cast<int>(rs.echo1_senders[0].size()) < n_ - t_) {
+        payload = kSetBot;
+      }
+      if (payload == kSet1 &&
+          static_cast<int>(rs.echo1_senders[1].size()) < n_ - t_) {
+        payload = kSetBot;
+      }
+      rs.sent_echo2 = true;
+      broadcast(MsgType::kEcho2, round, payload, out);
+    }
+    // ECHO2 -> crusader output -> coin.
+    if (rs.sent_echo2 && static_cast<int>(rs.echo2.size()) >= n_ - t_) {
+      ValueSet seen = 0;
+      for (const auto& [from, vs] : rs.echo2) seen |= vs;
+      int s = coin->value(round);
+      if (seen == kSet0) {
+        advance(s == 0 ? 0 : -1, 0, out);
+      } else if (seen == kSet1) {
+        advance(s == 1 ? 1 : -1, 1, out);
+      } else {
+        advance(-1, s, out);
+      }
+    }
+    return;
+  }
+
+  // MMR14 / Miller18: BV-broadcast phase.
+  for (int v : {0, 1}) {
+    if (!rs.sent_est[v] &&
+        static_cast<int>(rs.est_senders[v].size()) >= t_ + 1) {
+      rs.sent_est[v] = true;
+      broadcast(MsgType::kEst, round, value_bit(v), out);
+    }
+    if (static_cast<int>(rs.est_senders[v].size()) >= 2 * t_ + 1) {
+      if (!(rs.bin_values & value_bit(v))) {
+        rs.bin_values |= value_bit(v);
+        if (!rs.sent_aux) {
+          rs.sent_aux = true;
+          broadcast(MsgType::kAux, round, value_bit(v), out);
+        }
+      }
+    }
+  }
+  if (!rs.sent_aux) return;
+
+  // AUX wait: n-t AUX messages whose values lie in bin_values.
+  ValueSet values = 0;
+  int valid = 0;
+  for (const auto& [from, v] : rs.aux) {
+    if (rs.bin_values & value_bit(v)) {
+      ++valid;
+      values |= value_bit(v);
+    }
+  }
+  if (valid < n_ - t_) return;
+
+  if (proto_ == Protocol::kMmr14) {
+    int s = coin->value(round);
+    if (popcount_values(values) == 1) {
+      int v = (values & kSet1) ? 1 : 0;
+      advance(v == s ? v : -1, v, out);
+    } else {
+      advance(-1, s, out);
+    }
+    return;
+  }
+
+  // Miller18: CONF phase between the AUX wait and the coin.
+  if (!rs.sent_conf) {
+    rs.sent_conf = true;
+    rs.aux_done = true;
+    broadcast(MsgType::kConf, round, values, out);
+  }
+  int conf_valid = 0;
+  ValueSet conf_union = 0;
+  for (const auto& [from, vs] : rs.conf) {
+    if ((vs & ~rs.bin_values) == 0 && vs != 0) {
+      ++conf_valid;
+      conf_union |= vs;
+    }
+  }
+  if (conf_valid < n_ - t_) return;
+  int s = coin->value(round);
+  if (popcount_values(conf_union) == 1) {
+    int v = (conf_union & kSet1) ? 1 : 0;
+    advance(v == s ? v : -1, v, out);
+  } else {
+    advance(-1, s, out);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Simulation
+// ---------------------------------------------------------------------------
+
+Simulation::Simulation(const Setup& setup)
+    : setup_(setup), coin_(setup.coin_seed) {
+  if (static_cast<int>(setup.inputs.size()) > setup.n) {
+    throw std::invalid_argument("Simulation: more inputs than processes");
+  }
+  std::vector<Message> out;
+  for (std::size_t i = 0; i < setup.inputs.size(); ++i) {
+    procs_.emplace_back(setup.proto, static_cast<int>(i), setup.n, setup.t,
+                        setup.inputs[i]);
+  }
+  for (Process& p : procs_) p.start(&out);
+  for (const Message& m : out) {
+    for (int to = 0; to < num_correct(); ++to) {
+      Message copy = m;
+      copy.to = to;
+      copy.seq = next_seq_++;
+      pending_.push_back(copy);
+    }
+  }
+}
+
+void Simulation::deliver(std::size_t idx) {
+  Message m = pending_[idx];
+  pending_.erase(pending_.begin() + static_cast<std::ptrdiff_t>(idx));
+  ++delivered_;
+  std::vector<Message> out;
+  procs_[static_cast<std::size_t>(m.to)].deliver(m, &out, &coin_);
+  for (const Message& bm : out) {
+    for (int to = 0; to < num_correct(); ++to) {
+      Message copy = bm;
+      copy.to = to;
+      copy.seq = next_seq_++;
+      pending_.push_back(copy);
+    }
+  }
+}
+
+bool Simulation::deliver_first(
+    const std::function<bool(const Message&)>& pred) {
+  for (std::size_t i = 0; i < pending_.size(); ++i) {
+    if (pred(pending_[i])) {
+      deliver(i);
+      return true;
+    }
+  }
+  return false;
+}
+
+void Simulation::inject(int from, int to, MsgType type, int round,
+                        ValueSet values) {
+  if (from < num_correct() || from >= setup_.n) {
+    throw std::invalid_argument(
+        "Simulation::inject: sender must be a Byzantine id");
+  }
+  Message m;
+  m.from = from;
+  m.to = to;
+  m.type = type;
+  m.round = round;
+  m.values = values;
+  m.seq = next_seq_++;
+  pending_.push_back(m);
+}
+
+bool Simulation::all_decided() const {
+  for (const Process& p : procs_) {
+    if (!p.decided()) return false;
+  }
+  return !procs_.empty();
+}
+
+int Simulation::max_decision_round() const {
+  int r = -1;
+  for (const Process& p : procs_) {
+    if (p.decided() && p.decision_round() > r) r = p.decision_round();
+  }
+  return r;
+}
+
+RandomRunResult run_random(const Simulation::Setup& setup,
+                           std::uint64_t adversary_seed, int max_rounds,
+                           std::uint64_t max_steps) {
+  Simulation sim(setup);
+  std::mt19937_64 rng(adversary_seed);
+  RandomRunResult result;
+  for (std::uint64_t step = 0; step < max_steps; ++step) {
+    if (sim.all_decided()) break;
+    // Stop runaway executions (an unfair adversary could loop forever; the
+    // random one terminates quickly with probability 1).
+    bool over_horizon = true;
+    for (int i = 0; i < sim.num_correct(); ++i) {
+      if (sim.process(i).round() < max_rounds) over_horizon = false;
+    }
+    if (over_horizon || sim.pending().empty()) break;
+    std::size_t idx =
+        static_cast<std::size_t>(rng() % sim.pending().size());
+    sim.deliver(idx);
+  }
+  result.all_decided = sim.all_decided();
+  result.messages = sim.messages_delivered();
+  if (result.all_decided) {
+    result.decision_value = sim.process(0).decision();
+    result.rounds = sim.max_decision_round() + 1;
+  } else {
+    int r = 0;
+    for (int i = 0; i < sim.num_correct(); ++i) {
+      r = std::max(r, sim.process(i).round());
+    }
+    result.rounds = r;
+  }
+  return result;
+}
+
+}  // namespace ctaver::sim

@@ -1,0 +1,138 @@
+// Executable asynchronous message-passing simulator for the protocols of
+// Sect. II/VI: MMR14, the Miller18 CONF-phase fix, and ABY22's binding
+// crusader agreement. The network is reliable point-to-point with
+// adversary-controlled delivery order (BAMP_{n,t}); Byzantine processes are
+// simulated by letting the adversary inject arbitrary messages from their
+// ids. The common coin is a strong coin oracle that the adaptive adversary
+// may read as soon as any process has revealed the round's value — the
+// capability behind the Sect.-II attack.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "sim/message.h"
+
+namespace ctaver::sim {
+
+enum class Protocol { kMmr14, kMiller18, kAby22 };
+
+/// One correct process executing the chosen protocol (Fig. 1 for MMR14).
+class Process {
+ public:
+  Process(Protocol proto, int id, int n, int t, int initial);
+
+  /// Begins round 0 (broadcasts the first EST/ECHO1); outgoing messages are
+  /// appended to *out.
+  void start(std::vector<Message>* out);
+  /// Handles one delivered message; may emit messages and/or advance rounds.
+  void deliver(const Message& m, std::vector<Message>* out, CommonCoin* coin);
+
+  [[nodiscard]] int id() const { return id_; }
+  [[nodiscard]] int est() const { return est_; }
+  [[nodiscard]] int round() const { return round_; }
+  [[nodiscard]] bool decided() const { return decided_; }
+  [[nodiscard]] int decision() const { return decision_; }
+  /// Round in which the decision was made (-1 if undecided).
+  [[nodiscard]] int decision_round() const { return decision_round_; }
+
+ private:
+  struct RoundState {
+    std::set<int> est_senders[2];
+    bool sent_est[2] = {false, false};
+    ValueSet bin_values = 0;
+    bool sent_aux = false;
+    std::map<int, int> aux;  // sender -> value
+    bool sent_conf = false;
+    std::map<int, ValueSet> conf;  // sender -> value set
+    bool aux_done = false;         // AUX wait completed (Miller18)
+    std::set<int> echo1_senders[2];
+    bool sent_echo2 = false;
+    std::map<int, ValueSet> echo2;  // sender -> {0}/{1}/{⊥}
+    bool done = false;
+  };
+
+  void broadcast(MsgType type, int round, ValueSet values,
+                 std::vector<Message>* out);
+  void try_progress(int round, std::vector<Message>* out, CommonCoin* coin);
+  void advance(int decided_value_or_minus1, int new_est,
+               std::vector<Message>* out);
+
+  Protocol proto_;
+  int id_;
+  int n_;
+  int t_;
+  int est_;
+  int round_ = 0;
+  bool decided_ = false;
+  int decision_ = -1;
+  int decision_round_ = -1;
+  std::map<int, RoundState> rounds_;
+};
+
+/// The simulation: correct processes + pending message pool + coin.
+class Simulation {
+ public:
+  struct Setup {
+    Protocol proto = Protocol::kMmr14;
+    int n = 4;
+    int t = 1;
+    /// Inputs of the correct processes; ids 0..inputs.size()-1 are correct,
+    /// the remaining ids up to n-1 are Byzantine (adversary-driven).
+    std::vector<int> inputs;
+    std::uint64_t coin_seed = 1;
+  };
+
+  explicit Simulation(const Setup& setup);
+
+  [[nodiscard]] int num_correct() const {
+    return static_cast<int>(procs_.size());
+  }
+  [[nodiscard]] const Process& process(int id) const {
+    return procs_[static_cast<std::size_t>(id)];
+  }
+  [[nodiscard]] CommonCoin& coin() { return coin_; }
+  [[nodiscard]] const std::vector<Message>& pending() const {
+    return pending_;
+  }
+  [[nodiscard]] std::uint64_t messages_delivered() const {
+    return delivered_;
+  }
+
+  /// Delivers pending message #idx to its destination.
+  void deliver(std::size_t idx);
+  /// Delivers the first pending message matching `pred`; returns false if
+  /// none matches.
+  bool deliver_first(const std::function<bool(const Message&)>& pred);
+  /// Injects a Byzantine message into the pool (from must be a Byzantine
+  /// id, i.e. >= num_correct()).
+  void inject(int from, int to, MsgType type, int round, ValueSet values);
+
+  [[nodiscard]] bool all_decided() const;
+  /// Largest decision round among decided processes (-1 if none).
+  [[nodiscard]] int max_decision_round() const;
+
+ private:
+  Setup setup_;
+  std::vector<Process> procs_;
+  std::vector<Message> pending_;
+  CommonCoin coin_;
+  std::uint64_t next_seq_ = 1;
+  std::uint64_t delivered_ = 0;
+};
+
+/// Runs the simulation under a seeded uniformly-random (fair) adversary.
+struct RandomRunResult {
+  bool all_decided = false;
+  int decision_value = -1;
+  int rounds = 0;  // max decision round + 1, or rounds executed at stop
+  std::uint64_t messages = 0;
+};
+RandomRunResult run_random(const Simulation::Setup& setup,
+                           std::uint64_t adversary_seed, int max_rounds,
+                           std::uint64_t max_steps = 2'000'000);
+
+}  // namespace ctaver::sim

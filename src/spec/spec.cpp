@@ -1,0 +1,86 @@
+#include "spec/spec.h"
+
+namespace ctaver::spec {
+
+std::string LocSet::str(const ta::System& sys) const {
+  std::string out = "{";
+  for (std::size_t i = 0; i < locs.size(); ++i) {
+    if (i > 0) out += ",";
+    const auto& [coin, l] = locs[i];
+    const ta::Automaton& a = coin ? sys.coin : sys.process;
+    out += a.locations[static_cast<std::size_t>(l)].name;
+  }
+  return out + "}";
+}
+
+std::string Spec::str(const ta::System& sys) const {
+  if (shape == Shape::kEventuallyImpliesGlobally) {
+    return name + ": A( F EX" + premise.str(sys) + " -> G !EX" +
+           conclusion.str(sys) + " )";
+  }
+  return name + ": A( init-zero" + premise.str(sys) + " -> G !EX" +
+         conclusion.str(sys) + " )";
+}
+
+namespace {
+
+/// Final locations of the process automaton tagged with value v, decision
+/// locations included or excluded on demand.
+std::vector<ta::LocId> finals_with_value(const ta::System& sys, int v,
+                                         bool include_decisions) {
+  std::vector<ta::LocId> out;
+  const ta::Automaton& a = sys.process;
+  for (ta::LocId l = 0; l < static_cast<ta::LocId>(a.locations.size()); ++l) {
+    const ta::Location& loc = a.locations[static_cast<std::size_t>(l)];
+    if (loc.role != ta::LocRole::kFinal || loc.value != v) continue;
+    if (!include_decisions && loc.decision) continue;
+    out.push_back(l);
+  }
+  return out;
+}
+
+}  // namespace
+
+Spec inv1(const ta::System& sys, int v) {
+  Spec s;
+  s.name = "Inv1(v=" + std::to_string(v) + ")";
+  s.shape = Shape::kEventuallyImpliesGlobally;
+  s.premise = LocSet::process(sys.process.decisions(v));
+  s.conclusion = LocSet::process(finals_with_value(sys, 1 - v, true));
+  return s;
+}
+
+Spec inv2(const ta::System& sys, int v) {
+  Spec s;
+  s.name = "Inv2(v=" + std::to_string(v) + ")";
+  s.shape = Shape::kInitialImpliesGlobally;
+  // Premise: the round starts with nobody carrying value v — neither in I_v
+  // nor waiting at the border B_v (fairness would move them into I_v).
+  std::vector<ta::LocId> zero = sys.process.locs_with(ta::LocRole::kInitial, v);
+  for (ta::LocId b : sys.process.locs_with(ta::LocRole::kBorder, v)) {
+    zero.push_back(b);
+  }
+  s.premise = LocSet::process(zero);
+  s.conclusion = LocSet::process(finals_with_value(sys, v, true));
+  return s;
+}
+
+Spec c2(const ta::System& sys, int v) {
+  // (C2) for category (A): if nobody starts the round with value 1-v, then
+  // nobody ends it with 1-v. Identical shape to Inv2 instantiated at 1-v.
+  Spec s = inv2(sys, 1 - v);
+  s.name = "C2(v=" + std::to_string(v) + ")";
+  return s;
+}
+
+Spec binding(const ta::System& sys, const std::string& name,
+             const std::string& from, const std::string& forbidden) {
+  Spec s;
+  s.name = name;
+  s.shape = Shape::kEventuallyImpliesGlobally;
+  s.premise = LocSet::process({sys.process.find_loc(from)});
+  s.conclusion = LocSet::process({sys.process.find_loc(forbidden)});
+  return s;
+}
+
+}  // namespace ctaver::spec

@@ -1,0 +1,74 @@
+// Specification layer: the LTL−X shapes the paper checks on single-round
+// systems (Sect. V, Table III), with the shorthand
+//
+//   EX{S}  =  ∨_{ℓ∈S} κ[ℓ] > 0      (some automaton is in S)
+//   ALL-zero{S} = G ∧_{ℓ∈S} κ[ℓ] = 0 (S never occupied)
+//
+// Every non-probabilistic proof obligation the pipeline discharges fits one
+// of two shapes, both with counterexamples that are finite paths:
+//
+//   kEventuallyImpliesGlobally:  A( F EX{premise} → G ¬EX{conclusion} )
+//       CE: reach a premise state, then (later or simultaneously) a
+//       conclusion state. Covers (Inv1), (CB0)–(CB4) and the derived (C1)
+//       safety facet.
+//
+//   kInitialImpliesGlobally:     A( init-zero{premise} → G ¬EX{conclusion} )
+//       The premise requires the round to start with no process in the
+//       given locations (for value-v validity: I_v together with B_v, since
+//       fairness would otherwise push border processes into I_v).
+//       CE: a path from such an initial configuration reaching a conclusion
+//       state. Covers (Inv2) and (C2).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ta/model.h"
+
+namespace ctaver::spec {
+
+/// A set of locations, possibly spanning both automata.
+struct LocSet {
+  /// (is_coin_automaton, location id) pairs.
+  std::vector<std::pair<bool, ta::LocId>> locs;
+
+  static LocSet process(std::vector<ta::LocId> ids) {
+    LocSet s;
+    for (ta::LocId l : ids) s.locs.emplace_back(false, l);
+    return s;
+  }
+
+  [[nodiscard]] bool empty() const { return locs.empty(); }
+  [[nodiscard]] std::string str(const ta::System& sys) const;
+};
+
+enum class Shape {
+  kEventuallyImpliesGlobally,
+  kInitialImpliesGlobally,
+};
+
+/// One proof obligation on the single-round system.
+struct Spec {
+  std::string name;
+  Shape shape = Shape::kEventuallyImpliesGlobally;
+  LocSet premise;
+  LocSet conclusion;
+
+  [[nodiscard]] std::string str(const ta::System& sys) const;
+};
+
+/// Builders for the paper's named conditions; `v` is the binary value the
+/// condition is instantiated at (Table III lists the v = 0 instances).
+///
+/// (Inv1): A( F EX{D_v} → G ¬EX{F_{1-v}} )            [agreement invariant]
+Spec inv1(const ta::System& sys, int v);
+/// (Inv2): A( ALL-zero{I_v ∪ B_v} → G ¬EX{F_v} )      [validity invariant]
+Spec inv2(const ta::System& sys, int v);
+/// (C2) safety form: same as Inv2 (used by category (A) protocols).
+Spec c2(const ta::System& sys, int v);
+/// (CBi): binding sufficient conditions on the refined model; `from` and
+/// `forbidden` are location names (e.g. "M0"/"M1", "N0"/"M1", ...).
+Spec binding(const ta::System& sys, const std::string& name,
+             const std::string& from, const std::string& forbidden);
+
+}  // namespace ctaver::spec

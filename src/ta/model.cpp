@@ -1,0 +1,267 @@
+#include "ta/model.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace ctaver::ta {
+
+// ---------------------------------------------------------------------------
+// ParamExpr
+// ---------------------------------------------------------------------------
+
+ParamExpr ParamExpr::param(ParamId p, long long coeff) {
+  ParamExpr e;
+  e.add_param(p, coeff);
+  return e;
+}
+
+ParamExpr& ParamExpr::add_param(ParamId p, long long coeff) {
+  if (p >= static_cast<ParamId>(coeffs.size())) {
+    coeffs.resize(static_cast<std::size_t>(p) + 1, 0);
+  }
+  coeffs[static_cast<std::size_t>(p)] += coeff;
+  return *this;
+}
+
+ParamExpr ParamExpr::operator+(const ParamExpr& o) const {
+  ParamExpr out = *this;
+  out.constant += o.constant;
+  for (ParamId p = 0; p < static_cast<ParamId>(o.coeffs.size()); ++p) {
+    if (o.coeffs[static_cast<std::size_t>(p)] != 0) {
+      out.add_param(p, o.coeffs[static_cast<std::size_t>(p)]);
+    }
+  }
+  return out;
+}
+
+ParamExpr ParamExpr::operator-(const ParamExpr& o) const {
+  return *this + (o * -1);
+}
+
+ParamExpr ParamExpr::operator*(long long k) const {
+  ParamExpr out = *this;
+  out.constant *= k;
+  for (auto& c : out.coeffs) c *= k;
+  return out;
+}
+
+long long ParamExpr::eval(const std::vector<long long>& params) const {
+  long long acc = constant;
+  for (ParamId p = 0; p < static_cast<ParamId>(coeffs.size()); ++p) {
+    acc += coeff(p) * params[static_cast<std::size_t>(p)];
+  }
+  return acc;
+}
+
+std::string ParamExpr::str(const std::vector<Parameter>& params) const {
+  std::string out;
+  for (ParamId p = 0; p < static_cast<ParamId>(coeffs.size()); ++p) {
+    long long c = coeff(p);
+    if (c == 0) continue;
+    if (!out.empty()) out += c > 0 ? " + " : " - ";
+    else if (c < 0) out += "-";
+    long long a = c < 0 ? -c : c;
+    if (a != 1) out += std::to_string(a) + "*";
+    out += params[static_cast<std::size_t>(p)].name;
+  }
+  if (constant != 0 || out.empty()) {
+    if (!out.empty()) out += constant > 0 ? " + " : " - ";
+    else if (constant < 0) out += "-";
+    long long a = constant < 0 ? -constant : constant;
+    out += std::to_string(a);
+  }
+  return out;
+}
+
+bool ParamExpr::operator==(const ParamExpr& o) const {
+  std::size_t m = std::max(coeffs.size(), o.coeffs.size());
+  for (ParamId p = 0; p < static_cast<ParamId>(m); ++p) {
+    if (coeff(p) != o.coeff(p)) return false;
+  }
+  return constant == o.constant;
+}
+
+// ---------------------------------------------------------------------------
+// ParamConstraint / Guard
+// ---------------------------------------------------------------------------
+
+bool ParamConstraint::eval(const std::vector<long long>& params) const {
+  long long v = expr.eval(params);
+  switch (op) {
+    case CmpOp::kGe:
+      return v >= 0;
+    case CmpOp::kGt:
+      return v > 0;
+    case CmpOp::kLe:
+      return v <= 0;
+    case CmpOp::kLt:
+      return v < 0;
+    case CmpOp::kEq:
+      return v == 0;
+  }
+  return false;
+}
+
+std::string ParamConstraint::str(const std::vector<Parameter>& params) const {
+  const char* op_s = op == CmpOp::kGe   ? " >= 0"
+                     : op == CmpOp::kGt ? " > 0"
+                     : op == CmpOp::kLe ? " <= 0"
+                     : op == CmpOp::kLt ? " < 0"
+                                        : " == 0";
+  return expr.str(params) + op_s;
+}
+
+Guard Guard::coin_is(VarId cc_var) {
+  Guard g;
+  g.lhs = {{cc_var, 1}};
+  g.rel = GuardRel::kGe;
+  g.rhs = ParamExpr::constant_expr(1);
+  return g;
+}
+
+bool Guard::eval(const std::vector<long long>& var_vals,
+                 const std::vector<long long>& params) const {
+  long long l = 0;
+  for (const auto& [v, b] : lhs) l += b * var_vals[static_cast<std::size_t>(v)];
+  long long r = rhs.eval(params);
+  return rel == GuardRel::kGe ? l >= r : l < r;
+}
+
+std::string Guard::str(const std::vector<Variable>& vars,
+                       const std::vector<Parameter>& params) const {
+  std::string out;
+  for (const auto& [v, b] : lhs) {
+    if (!out.empty()) out += " + ";
+    if (b != 1) out += std::to_string(b) + "*";
+    out += vars[static_cast<std::size_t>(v)].name;
+  }
+  if (out.empty()) out = "0";
+  out += rel == GuardRel::kGe ? " >= " : " < ";
+  out += rhs.str(params);
+  return out;
+}
+
+bool Guard::operator==(const Guard& o) const {
+  return lhs == o.lhs && rel == o.rel && rhs == o.rhs;
+}
+
+// ---------------------------------------------------------------------------
+// Distribution / Rule / Automaton
+// ---------------------------------------------------------------------------
+
+bool Distribution::sums_to_one() const {
+  util::Rational total(0);
+  for (const auto& [loc, p] : outcomes) {
+    (void)loc;
+    if (!p.is_positive()) return false;
+    total += p;
+  }
+  return total == util::Rational(1);
+}
+
+bool Rule::has_zero_update() const {
+  return std::all_of(update.begin(), update.end(),
+                     [](long long u) { return u == 0; });
+}
+
+std::vector<LocId> Automaton::locs_with_role(LocRole role) const {
+  std::vector<LocId> out;
+  for (LocId l = 0; l < static_cast<LocId>(locations.size()); ++l) {
+    if (locations[static_cast<std::size_t>(l)].role == role) out.push_back(l);
+  }
+  return out;
+}
+
+std::vector<LocId> Automaton::locs_with(LocRole role, int value) const {
+  std::vector<LocId> out;
+  for (LocId l = 0; l < static_cast<LocId>(locations.size()); ++l) {
+    const Location& loc = locations[static_cast<std::size_t>(l)];
+    if (loc.role == role && loc.value == value) out.push_back(l);
+  }
+  return out;
+}
+
+std::vector<LocId> Automaton::decisions(int value) const {
+  std::vector<LocId> out;
+  for (LocId l = 0; l < static_cast<LocId>(locations.size()); ++l) {
+    const Location& loc = locations[static_cast<std::size_t>(l)];
+    if (loc.decision && (value == -1 || loc.value == value)) out.push_back(l);
+  }
+  return out;
+}
+
+LocId Automaton::find_loc(const std::string& name) const {
+  for (LocId l = 0; l < static_cast<LocId>(locations.size()); ++l) {
+    if (locations[static_cast<std::size_t>(l)].name == name) return l;
+  }
+  throw std::out_of_range("Automaton::find_loc: no location " + name);
+}
+
+RuleId Automaton::find_rule(const std::string& name) const {
+  for (RuleId r = 0; r < static_cast<RuleId>(rules.size()); ++r) {
+    if (rules[static_cast<std::size_t>(r)].name == name) return r;
+  }
+  throw std::out_of_range("Automaton::find_rule: no rule " + name);
+}
+
+// ---------------------------------------------------------------------------
+// Environment / System
+// ---------------------------------------------------------------------------
+
+ParamId Environment::find_param(const std::string& name) const {
+  for (ParamId p = 0; p < static_cast<ParamId>(params.size()); ++p) {
+    if (params[static_cast<std::size_t>(p)].name == name) return p;
+  }
+  throw std::out_of_range("Environment::find_param: no parameter " + name);
+}
+
+bool Environment::admissible(const std::vector<long long>& values) const {
+  if (values.size() != params.size()) return false;
+  for (const auto& rc : resilience) {
+    if (!rc.eval(values)) return false;
+  }
+  // Protocols without a common coin model zero coin processes.
+  return num_processes.eval(values) > 0 && num_coins.eval(values) >= 0;
+}
+
+VarId System::find_var(const std::string& name) const {
+  for (VarId v = 0; v < static_cast<VarId>(vars.size()); ++v) {
+    if (vars[static_cast<std::size_t>(v)].name == name) return v;
+  }
+  throw std::out_of_range("System::find_var: no variable " + name);
+}
+
+std::vector<VarId> System::coin_vars() const {
+  std::vector<VarId> out;
+  for (VarId v = 0; v < static_cast<VarId>(vars.size()); ++v) {
+    if (vars[static_cast<std::size_t>(v)].kind == VarKind::kCoin) {
+      out.push_back(v);
+    }
+  }
+  return out;
+}
+
+std::vector<VarId> System::shared_vars() const {
+  std::vector<VarId> out;
+  for (VarId v = 0; v < static_cast<VarId>(vars.size()); ++v) {
+    if (vars[static_cast<std::size_t>(v)].kind == VarKind::kShared) {
+      out.push_back(v);
+    }
+  }
+  return out;
+}
+
+bool System::is_coin_guard(const Guard& g) const {
+  if (g.lhs.empty()) return false;
+  return std::all_of(g.lhs.begin(), g.lhs.end(), [&](const auto& term) {
+    return vars[static_cast<std::size_t>(term.first)].kind == VarKind::kCoin;
+  });
+}
+
+bool System::is_coin_based(const Rule& r) const {
+  if (r.guards.empty()) return false;
+  return std::all_of(r.guards.begin(), r.guards.end(),
+                     [&](const Guard& g) { return is_coin_guard(g); });
+}
+
+}  // namespace ctaver::ta

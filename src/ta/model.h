@@ -1,0 +1,207 @@
+// Core model: threshold automata (TA) for correct processes and
+// probabilistic threshold automata (PTA) for the common coin, per Sect. III
+// of "Verifying Randomized Consensus Protocols with Common Coins" (DSN'24).
+//
+// A System bundles an environment (parameters Π, resilience condition RC,
+// process/coin count function N), one shared variable table (Γ ∪ Ω), the
+// process automaton TAⁿ and the common-coin automaton PTAᶜ. Process and coin
+// automata share variables but have disjoint locations and rules, exactly as
+// in the paper.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/rational.h"
+
+namespace ctaver::ta {
+
+using LocId = int;
+using VarId = int;
+using ParamId = int;
+using RuleId = int;
+
+/// Shared variables Γ count messages sent by correct processes; coin
+/// variables Ω communicate coin outcomes from the coin automaton to the
+/// processes.
+enum class VarKind { kShared, kCoin };
+
+struct Variable {
+  std::string name;
+  VarKind kind = VarKind::kShared;
+};
+
+struct Parameter {
+  std::string name;
+};
+
+/// Linear expression over parameters:  a · p + a0.
+struct ParamExpr {
+  std::vector<long long> coeffs;  // indexed by ParamId; may be shorter
+  long long constant = 0;
+
+  static ParamExpr constant_expr(long long k) { return {{}, k}; }
+  static ParamExpr param(ParamId p, long long coeff = 1);
+
+  [[nodiscard]] long long coeff(ParamId p) const {
+    return p < static_cast<ParamId>(coeffs.size())
+               ? coeffs[static_cast<std::size_t>(p)]
+               : 0;
+  }
+  ParamExpr& add_param(ParamId p, long long coeff);
+  ParamExpr operator+(const ParamExpr& o) const;
+  ParamExpr operator-(const ParamExpr& o) const;
+  ParamExpr operator*(long long k) const;
+
+  [[nodiscard]] long long eval(const std::vector<long long>& params) const;
+  [[nodiscard]] std::string str(const std::vector<Parameter>& params) const;
+  bool operator==(const ParamExpr& o) const;
+};
+
+/// Comparison operators for resilience conditions (over integers).
+enum class CmpOp { kGe, kGt, kLe, kLt, kEq };
+
+/// One conjunct of the resilience condition:  expr OP 0.
+struct ParamConstraint {
+  ParamExpr expr;
+  CmpOp op = CmpOp::kGe;
+
+  [[nodiscard]] bool eval(const std::vector<long long>& params) const;
+  [[nodiscard]] std::string str(const std::vector<Parameter>& params) const;
+};
+
+/// Threshold guard relation. Shared/coin variables only grow, so kGe guards
+/// are *rising* (once true, forever true) and kLt guards are *falling*.
+enum class GuardRel { kGe, kLt };
+
+/// Simple or coin guard:  Σ b_i·x_i  REL  a·p + a0.
+/// It is a *coin guard* iff all lhs variables are coin variables.
+struct Guard {
+  std::vector<std::pair<VarId, long long>> lhs;  // sorted by VarId
+  GuardRel rel = GuardRel::kGe;
+  ParamExpr rhs;
+
+  /// Canonical "coin equals v" guard:  cc_v >= 1 (paper writes cc_v > 0).
+  static Guard coin_is(VarId cc_var);
+
+  [[nodiscard]] bool eval(const std::vector<long long>& var_vals,
+                          const std::vector<long long>& params) const;
+  [[nodiscard]] std::string str(const std::vector<Variable>& vars,
+                                const std::vector<Parameter>& params) const;
+  bool operator==(const Guard& o) const;
+};
+
+/// Role of a location in the round structure.
+enum class LocRole {
+  kBorder,      // B: start of a round, one true-rule into the matching initial
+  kInitial,     // I: carries the process's value entering the round
+  kInternal,    // neither border/initial nor final
+  kFinal,       // F: end of a round, single outgoing round-switch rule
+  kBorderCopy,  // B′: single-round construction only (Def. 3)
+};
+
+struct Location {
+  std::string name;
+  LocRole role = LocRole::kInternal;
+  /// Binary-value tag for the B/I/F partitions (0 or 1); -1 when untagged
+  /// (internal locations, or value-neutral finals like E⊥).
+  int value = -1;
+  /// Decision location D_v ⊆ F_v (accepting).
+  bool decision = false;
+};
+
+/// Probability distribution over destination locations. Probabilities are
+/// exact rationals and must sum to 1.
+struct Distribution {
+  std::vector<std::pair<LocId, util::Rational>> outcomes;
+
+  static Distribution dirac(LocId to) { return {{{to, util::Rational(1)}}}; }
+  static Distribution uniform2(LocId a, LocId b) {
+    return {{{a, util::Rational(1, 2)}, {b, util::Rational(1, 2)}}};
+  }
+
+  [[nodiscard]] bool is_dirac() const { return outcomes.size() == 1; }
+  [[nodiscard]] LocId dirac_target() const { return outcomes.front().first; }
+  [[nodiscard]] bool sums_to_one() const;
+};
+
+/// Transition rule r = (from, δto, φ, u). For process automata all rules are
+/// Dirac; the coin automaton may use genuinely probabilistic rules.
+struct Rule {
+  std::string name;
+  LocId from = -1;
+  Distribution to;
+  std::vector<Guard> guards;          // conjunction; all-simple or all-coin
+  std::vector<long long> update;      // indexed by VarId; increments >= 0
+  bool is_round_switch = false;       // member of S (F -> B, true, 0)
+
+  [[nodiscard]] bool is_dirac() const { return to.is_dirac(); }
+  [[nodiscard]] long long update_of(VarId v) const {
+    return v < static_cast<VarId>(update.size())
+               ? update[static_cast<std::size_t>(v)]
+               : 0;
+  }
+  [[nodiscard]] bool has_zero_update() const;
+};
+
+/// One automaton: locations + rules. `kind` distinguishes the process
+/// automaton TAⁿ from the common-coin automaton PTAᶜ.
+struct Automaton {
+  enum class Kind { kProcess, kCoin };
+  Kind kind = Kind::kProcess;
+  std::vector<Location> locations;
+  std::vector<Rule> rules;
+
+  [[nodiscard]] std::vector<LocId> locs_with_role(LocRole role) const;
+  /// Locations with the given role and value tag.
+  [[nodiscard]] std::vector<LocId> locs_with(LocRole role, int value) const;
+  /// Decision locations D_v (v = 0 or 1), or all decisions for v = -1.
+  [[nodiscard]] std::vector<LocId> decisions(int value = -1) const;
+  [[nodiscard]] LocId find_loc(const std::string& name) const;
+  [[nodiscard]] RuleId find_rule(const std::string& name) const;
+};
+
+/// Environment Env = (Π, RC, N).
+struct Environment {
+  std::vector<Parameter> params;
+  std::vector<ParamConstraint> resilience;
+  /// N(p) = (number of modeled processes, number of modeled coins);
+  /// typically (n - f, 1).
+  ParamExpr num_processes;
+  ParamExpr num_coins;
+
+  [[nodiscard]] ParamId find_param(const std::string& name) const;
+  /// True iff `params` satisfies RC and yields positive process count.
+  [[nodiscard]] bool admissible(const std::vector<long long>& params) const;
+};
+
+/// A full model: environment + shared variable table + TAⁿ + PTAᶜ.
+struct System {
+  std::string name;
+  Environment env;
+  std::vector<Variable> vars;
+  Automaton process;  // TAⁿ  (locations/rules of correct processes)
+  Automaton coin;     // PTAᶜ (locations/rules of the common-coin process)
+
+  [[nodiscard]] VarId find_var(const std::string& name) const;
+  [[nodiscard]] std::vector<VarId> coin_vars() const;
+  [[nodiscard]] std::vector<VarId> shared_vars() const;
+  /// Is every lhs variable of `g` a coin variable?
+  [[nodiscard]] bool is_coin_guard(const Guard& g) const;
+  /// A rule is coin-based iff its guard conjunction is all coin guards
+  /// (and non-empty).
+  [[nodiscard]] bool is_coin_based(const Rule& r) const;
+
+  /// Total number of locations |L| = |Lⁿ| + |Lᶜ| (paper's Table II column).
+  [[nodiscard]] std::size_t total_locations() const {
+    return process.locations.size() + coin.locations.size();
+  }
+  /// Total number of rules |R| = |Rⁿ| + |Rᶜ|.
+  [[nodiscard]] std::size_t total_rules() const {
+    return process.rules.size() + coin.rules.size();
+  }
+};
+
+}  // namespace ctaver::ta

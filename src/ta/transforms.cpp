@@ -1,0 +1,173 @@
+#include "ta/transforms.h"
+
+#include <map>
+#include <set>
+#include <stdexcept>
+
+namespace ctaver::ta {
+
+System nonprobabilistic(const System& sys) {
+  System out = sys;
+  out.name = sys.name + "_np";
+  std::vector<Rule> rules;
+  for (const Rule& r : sys.coin.rules) {
+    if (r.is_dirac()) {
+      rules.push_back(r);
+      continue;
+    }
+    int branch = 0;
+    for (const auto& [to, p] : r.to.outcomes) {
+      if (!p.is_positive()) continue;
+      Rule d = r;
+      d.name = r.name + "#" + std::to_string(branch++);
+      d.to = Distribution::dirac(to);
+      rules.push_back(std::move(d));
+    }
+  }
+  out.coin.rules = std::move(rules);
+  return out;
+}
+
+namespace {
+
+void single_round_automaton(Automaton* a) {
+  const LocId n_orig = static_cast<LocId>(a->locations.size());
+  std::map<LocId, LocId> copy_of;  // border -> border copy
+  for (LocId l = 0; l < n_orig; ++l) {
+    const Location& loc = a->locations[static_cast<std::size_t>(l)];
+    if (loc.role != LocRole::kBorder) continue;
+    Location c = loc;
+    c.name += "'";
+    c.role = LocRole::kBorderCopy;
+    a->locations.push_back(std::move(c));
+    copy_of[l] = static_cast<LocId>(a->locations.size() - 1);
+  }
+  for (Rule& r : a->rules) {
+    if (!r.is_round_switch) continue;
+    // S′: redirect F -> B into F -> B′ (true guard and zero update kept).
+    r.to = Distribution::dirac(copy_of.at(r.to.dirac_target()));
+  }
+  // R_loop: self-loops at border copies.
+  const std::size_t n_vars = a->rules.empty() ? 0 : a->rules[0].update.size();
+  for (const auto& [orig, copy] : copy_of) {
+    (void)orig;
+    a->rules.push_back(Rule{
+        "loop_" + a->locations[static_cast<std::size_t>(copy)].name, copy,
+        Distribution::dirac(copy),
+        {},
+        std::vector<long long>(n_vars, 0), false});
+  }
+}
+
+std::string fresh_loc_name(const Automaton& a, const std::string& base) {
+  std::set<std::string> used;
+  for (const Location& l : a.locations) used.insert(l.name);
+  if (!used.count(base)) return base;
+  for (int i = 2;; ++i) {
+    std::string cand = base + std::to_string(i);
+    if (!used.count(cand)) return cand;
+  }
+}
+
+}  // namespace
+
+System single_round(const System& sys) {
+  System out = sys;
+  out.name = sys.name + "_rd";
+  single_round_automaton(&out.process);
+  single_round_automaton(&out.coin);
+  return out;
+}
+
+System refine_binding(const System& sys, const std::string& rule_name,
+                      VarId m0, VarId m1) {
+  System out = sys;
+  out.name = sys.name + "_refined";
+  Automaton& a = out.process;
+  RuleId target = a.find_rule(rule_name);
+  Rule orig = a.rules[static_cast<std::size_t>(target)];
+  if (!orig.is_dirac() || !orig.has_zero_update()) {
+    throw std::invalid_argument(
+        "refine_binding: rule must be Dirac with zero update");
+  }
+  const LocId src = orig.from;
+  const LocId mbot = orig.to.dirac_target();
+  const std::size_t n_vars = out.vars.size();
+
+  auto add_internal = [&](const std::string& base) {
+    a.locations.push_back(
+        {fresh_loc_name(a, base), LocRole::kInternal, -1, false});
+    return static_cast<LocId>(a.locations.size() - 1);
+  };
+  LocId n0 = add_internal("N0");
+  LocId n1 = add_internal("N1");
+  LocId nbot = add_internal("Nbot");
+
+  a.rules.erase(a.rules.begin() + target);
+
+  auto mk_rule = [&](std::string name, LocId from, LocId to,
+                     std::vector<Guard> guards) {
+    a.rules.push_back(Rule{std::move(name), from, Distribution::dirac(to),
+                           std::move(guards),
+                           std::vector<long long>(n_vars, 0), false});
+  };
+
+  Guard m0_pos{{{m0, 1}}, GuardRel::kGe, ParamExpr::constant_expr(1)};
+  Guard m1_pos{{{m1, 1}}, GuardRel::kGe, ParamExpr::constant_expr(1)};
+  Guard m0_zero{{{m0, 1}}, GuardRel::kLt, ParamExpr::constant_expr(1)};
+  Guard m1_zero{{{m1, 1}}, GuardRel::kLt, ParamExpr::constant_expr(1)};
+
+  std::vector<Guard> ga = orig.guards;
+  ga.push_back(m0_pos);
+  mk_rule(orig.name + "_A", src, n0, std::move(ga));
+  std::vector<Guard> gb = orig.guards;
+  gb.push_back(m1_pos);
+  mk_rule(orig.name + "_B", src, n1, std::move(gb));
+  std::vector<Guard> gc = orig.guards;
+  gc.push_back(m0_zero);
+  gc.push_back(m1_zero);
+  mk_rule(orig.name + "_C", src, nbot, std::move(gc));
+
+  mk_rule(orig.name + "_N0", n0, mbot, {});
+  mk_rule(orig.name + "_N1", n1, mbot, {});
+  mk_rule(orig.name + "_Nbot", nbot, mbot, {});
+  return out;
+}
+
+std::string to_dot(const System& sys) {
+  std::string out = "digraph \"" + sys.name + "\" {\n  rankdir=LR;\n";
+  auto emit = [&](const Automaton& a, const std::string& prefix,
+                  const std::string& cluster_label) {
+    out += "  subgraph cluster_" + prefix + " {\n    label=\"" +
+           cluster_label + "\";\n";
+    for (LocId l = 0; l < static_cast<LocId>(a.locations.size()); ++l) {
+      const Location& loc = a.locations[static_cast<std::size_t>(l)];
+      std::string shape = loc.decision                  ? "doublecircle"
+                          : loc.role == LocRole::kFinal ? "circle"
+                                                        : "ellipse";
+      std::string style =
+          loc.role == LocRole::kBorder || loc.role == LocRole::kBorderCopy
+              ? ",style=dashed"
+              : "";
+      out += "    " + prefix + std::to_string(l) + " [label=\"" + loc.name +
+             "\",shape=" + shape + style + "];\n";
+    }
+    for (const Rule& r : a.rules) {
+      for (const auto& [to, p] : r.to.outcomes) {
+        std::string label = r.name;
+        if (!r.to.is_dirac()) label += " (" + p.str() + ")";
+        std::string style = r.is_round_switch ? ",style=dashed" : "";
+        out += "    " + prefix + std::to_string(r.from) + " -> " + prefix +
+               std::to_string(to) + " [label=\"" + label + "\"" + style +
+               "];\n";
+      }
+    }
+    out += "  }\n";
+  };
+  emit(sys.process, "p", "TA_n (correct processes)");
+  emit(sys.coin, "c", "PTA_c (common coin)");
+  out += "}\n";
+  return out;
+}
+
+}  // namespace ctaver::ta

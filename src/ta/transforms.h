@@ -1,0 +1,43 @@
+// Model-to-model transformations from the paper:
+//
+//   * nonprobabilistic()  — Def. 1: replaces the coin automaton's
+//     probabilistic branching by nondeterminism (TA_PTA).
+//   * single_round()      — Def. 3: the single-round construction TA_rd
+//     with border copies B′, redirected round-switch rules S′ and
+//     self-loops R_loop.
+//   * refine_binding()    — Sect. V-B3 / Fig. 6: splits a rule S → M⊥ into
+//     the N0/N1/N⊥ refinement so the (CB2)-(CB4) binding conditions become
+//     expressible as location propositions.
+#pragma once
+
+#include <string>
+
+#include "ta/model.h"
+
+namespace ctaver::ta {
+
+/// Def. 1: every non-Dirac coin rule r = (from, δ, φ, u) becomes one Dirac
+/// rule per positive-probability destination. Process rules are untouched
+/// (they are Dirac by construction).
+System nonprobabilistic(const System& sys);
+
+/// Def. 3: single-round construction applied to both automata. Border copies
+/// ℓ′ get role kBorderCopy and name ℓ.name + "'"; round-switch rules are
+/// redirected to the copies (S′, keeping is_round_switch as the marker for
+/// membership in S′); self-loops (ℓ′, ℓ′, true, 0) are added.
+System single_round(const System& sys);
+
+/// Fig. 6 refinement: replaces process rule `rule_name` = (S, M⊥, φ, 0) by
+///   rA = (S, N0, φ ∧ m0 ≥ 1, 0),   rN0 = (N0, M⊥, true, 0),
+///   rB = (S, N1, φ ∧ m1 ≥ 1, 0),   rN1 = (N1, M⊥, true, 0),
+///   rC = (S, N⊥, φ ∧ m0 < 1 ∧ m1 < 1, 0),  rN⊥ = (N⊥, M⊥, true, 0).
+/// The three new locations are internal and named `N0`/`N1`/`Nbot` (with a
+/// numeric suffix on clashes). m0/m1 are the message-count variables of the
+/// original guard φ. The refinement never blocks the automaton.
+System refine_binding(const System& sys, const std::string& rule_name,
+                      VarId m0, VarId m1);
+
+/// Graphviz dot rendering of both automata (used by the figure benches).
+std::string to_dot(const System& sys);
+
+}  // namespace ctaver::ta

@@ -1,0 +1,324 @@
+#include "ta/validate.h"
+
+#include <algorithm>
+#include <functional>
+#include <stdexcept>
+
+namespace ctaver::ta {
+
+namespace {
+
+/// Tarjan SCC over the location graph of one automaton (edges = all
+/// positive-probability rule outcomes). Returns the SCC id of each location.
+/// Round-switch edges connect distinct round copies in the counter system,
+/// so for canonicity they are not cycle edges and can be excluded.
+std::vector<int> scc_ids(const Automaton& a, bool include_round_switch) {
+  const int n = static_cast<int>(a.locations.size());
+  std::vector<std::vector<int>> adj(static_cast<std::size_t>(n));
+  for (const Rule& r : a.rules) {
+    if (r.is_round_switch && !include_round_switch) continue;
+    for (const auto& [to, p] : r.to.outcomes) {
+      (void)p;
+      adj[static_cast<std::size_t>(r.from)].push_back(to);
+    }
+  }
+  std::vector<int> index(static_cast<std::size_t>(n), -1);
+  std::vector<int> low(static_cast<std::size_t>(n), 0);
+  std::vector<bool> on_stack(static_cast<std::size_t>(n), false);
+  std::vector<int> stack;
+  std::vector<int> comp(static_cast<std::size_t>(n), -1);
+  int next_index = 0, next_comp = 0;
+
+  std::function<void(int)> strongconnect = [&](int v) {
+    index[static_cast<std::size_t>(v)] = low[static_cast<std::size_t>(v)] =
+        next_index++;
+    stack.push_back(v);
+    on_stack[static_cast<std::size_t>(v)] = true;
+    for (int w : adj[static_cast<std::size_t>(v)]) {
+      if (index[static_cast<std::size_t>(w)] == -1) {
+        strongconnect(w);
+        low[static_cast<std::size_t>(v)] =
+            std::min(low[static_cast<std::size_t>(v)],
+                     low[static_cast<std::size_t>(w)]);
+      } else if (on_stack[static_cast<std::size_t>(w)]) {
+        low[static_cast<std::size_t>(v)] =
+            std::min(low[static_cast<std::size_t>(v)],
+                     index[static_cast<std::size_t>(w)]);
+      }
+    }
+    if (low[static_cast<std::size_t>(v)] == index[static_cast<std::size_t>(v)]) {
+      for (;;) {
+        int w = stack.back();
+        stack.pop_back();
+        on_stack[static_cast<std::size_t>(w)] = false;
+        comp[static_cast<std::size_t>(w)] = next_comp;
+        if (w == v) break;
+      }
+      ++next_comp;
+    }
+  };
+  for (int v = 0; v < n; ++v) {
+    if (index[static_cast<std::size_t>(v)] == -1) strongconnect(v);
+  }
+  return comp;
+}
+
+struct Checker {
+  const System& sys;
+  std::vector<std::string> errors;
+
+  void fail(const std::string& msg) { errors.push_back(msg); }
+
+  [[nodiscard]] std::string loc_name(const Automaton& a, LocId l) const {
+    return a.locations[static_cast<std::size_t>(l)].name;
+  }
+
+  void check_env() {
+    if (sys.env.num_processes == ParamExpr{}) {
+      fail("environment: N (model_counts) not set");
+    }
+  }
+
+  void check_rule_basics(const Automaton& a, const char* which) {
+    const int n_locs = static_cast<int>(a.locations.size());
+    for (const Rule& r : a.rules) {
+      if (r.from < 0 || r.from >= n_locs) {
+        fail(std::string(which) + " rule " + r.name + ": bad source");
+        continue;
+      }
+      if (r.to.outcomes.empty() || !r.to.sums_to_one()) {
+        fail(std::string(which) + " rule " + r.name +
+             ": distribution does not sum to 1");
+      }
+      for (const auto& [to, p] : r.to.outcomes) {
+        (void)p;
+        if (to < 0 || to >= n_locs) {
+          fail(std::string(which) + " rule " + r.name + ": bad target");
+        }
+      }
+      if (r.update.size() != sys.vars.size()) {
+        fail(std::string(which) + " rule " + r.name +
+             ": update vector size mismatch");
+        continue;
+      }
+      for (long long u : r.update) {
+        if (u < 0) {
+          fail(std::string(which) + " rule " + r.name +
+               ": negative update (updates must be increments)");
+        }
+      }
+      // Guard conjunction homogeneity: all-simple or all-coin (Sect. III-B).
+      bool any_coin = false, any_simple = false;
+      for (const Guard& g : r.guards) {
+        (sys.is_coin_guard(g) ? any_coin : any_simple) = true;
+      }
+      if (any_coin && any_simple) {
+        fail(std::string(which) + " rule " + r.name +
+             ": mixes simple and coin guards");
+      }
+    }
+  }
+
+  void check_process_restrictions() {
+    for (const Rule& r : sys.process.rules) {
+      if (!r.is_dirac()) {
+        fail("process rule " + r.name + ": must be Dirac (only the coin "
+             "automaton is probabilistic)");
+      }
+      for (VarId v : sys.coin_vars()) {
+        if (r.update_of(v) != 0) {
+          fail("process rule " + r.name + ": updates coin variable " +
+               sys.vars[static_cast<std::size_t>(v)].name);
+        }
+      }
+    }
+  }
+
+  void check_coin_restrictions() {
+    for (const Rule& r : sys.coin.rules) {
+      for (const Guard& g : r.guards) {
+        if (sys.is_coin_guard(g)) {
+          fail("coin rule " + r.name +
+               ": coin-automaton guards must be simple guards");
+        }
+      }
+      for (VarId v : sys.shared_vars()) {
+        if (r.update_of(v) != 0) {
+          fail("coin rule " + r.name + ": updates shared variable " +
+               sys.vars[static_cast<std::size_t>(v)].name);
+        }
+      }
+    }
+  }
+
+  void check_round_structure(const Automaton& a, const char* which,
+                             bool enforce_partition) {
+    auto borders = a.locs_with_role(LocRole::kBorder);
+    auto initials = a.locs_with_role(LocRole::kInitial);
+    if (borders.size() != initials.size()) {
+      fail(std::string(which) + ": |B| = " + std::to_string(borders.size()) +
+           " != |I| = " + std::to_string(initials.size()));
+    }
+
+    // Outgoing rules per location.
+    std::vector<std::vector<const Rule*>> out(a.locations.size());
+    for (const Rule& r : a.rules) {
+      out[static_cast<std::size_t>(r.from)].push_back(&r);
+    }
+
+    for (LocId b : borders) {
+      const auto& rules = out[static_cast<std::size_t>(b)];
+      if (rules.size() != 1) {
+        fail(std::string(which) + " border " + loc_name(a, b) +
+             ": must have exactly one outgoing rule");
+        continue;
+      }
+      const Rule& r = *rules.front();
+      if (!r.guards.empty() || !r.has_zero_update() || !r.is_dirac()) {
+        fail(std::string(which) + " border rule " + r.name +
+             ": must be (true, 0) and Dirac");
+        continue;
+      }
+      const Location& dst =
+          a.locations[static_cast<std::size_t>(r.to.dirac_target())];
+      if (dst.role != LocRole::kInitial) {
+        fail(std::string(which) + " border rule " + r.name +
+             ": must target an initial location");
+      } else if (enforce_partition &&
+                 dst.value != a.locations[static_cast<std::size_t>(b)].value) {
+        fail(std::string(which) + " border rule " + r.name +
+             ": breaks the value partition (B_v -> I_v)");
+      }
+    }
+
+    for (LocId fl : a.locs_with_role(LocRole::kFinal)) {
+      const auto& rules = out[static_cast<std::size_t>(fl)];
+      if (rules.size() != 1 || !rules.front()->is_round_switch) {
+        fail(std::string(which) + " final " + loc_name(a, fl) +
+             ": must have exactly one outgoing (round-switch) rule");
+        continue;
+      }
+      const Rule& r = *rules.front();
+      if (!r.guards.empty() || !r.has_zero_update() || !r.is_dirac()) {
+        fail(std::string(which) + " round-switch " + r.name +
+             ": must be (true, 0) and Dirac");
+        continue;
+      }
+      const Location& dst =
+          a.locations[static_cast<std::size_t>(r.to.dirac_target())];
+      if (dst.role != LocRole::kBorder) {
+        fail(std::string(which) + " round-switch " + r.name +
+             ": must target a border location");
+      } else if (enforce_partition && dst.value != -1 &&
+                 a.locations[static_cast<std::size_t>(fl)].value != dst.value) {
+        fail(std::string(which) + " round-switch " + r.name +
+             ": breaks the value partition (F_v -> B_v)");
+      }
+    }
+
+    for (const Rule& r : a.rules) {
+      if (r.is_round_switch &&
+          a.locations[static_cast<std::size_t>(r.from)].role !=
+              LocRole::kFinal) {
+        fail(std::string(which) + " rule " + r.name +
+             ": round-switch rules must start in final locations");
+      }
+    }
+
+    if (enforce_partition) {
+      for (LocRole role :
+           {LocRole::kBorder, LocRole::kInitial, LocRole::kFinal}) {
+        for (LocId l : a.locs_with_role(role)) {
+          int v = a.locations[static_cast<std::size_t>(l)].value;
+          if (role != LocRole::kFinal && v != 0 && v != 1) {
+            fail(std::string(which) + " location " + loc_name(a, l) +
+                 ": border/initial locations need a binary value tag");
+          }
+        }
+      }
+      for (LocId l : a.decisions()) {
+        const Location& loc = a.locations[static_cast<std::size_t>(l)];
+        if (loc.role != LocRole::kFinal || (loc.value != 0 && loc.value != 1)) {
+          fail(std::string(which) + " decision " + loc.name +
+               ": decision locations must be binary-tagged finals");
+        }
+      }
+    }
+  }
+
+  void check_canonical(const Automaton& a, const char* which) {
+    std::vector<int> comp = scc_ids(a, /*include_round_switch=*/false);
+    for (const Rule& r : a.rules) {
+      if (r.is_round_switch) continue;
+      for (const auto& [to, p] : r.to.outcomes) {
+        (void)p;
+        bool on_cycle =
+            (to == r.from) || (comp[static_cast<std::size_t>(r.from)] ==
+                               comp[static_cast<std::size_t>(to)]);
+        if (on_cycle && !r.has_zero_update()) {
+          fail(std::string(which) + " rule " + r.name +
+               ": lies on a cycle but has a nonzero update (not canonical)");
+        }
+      }
+    }
+  }
+};
+
+}  // namespace
+
+std::vector<std::string> validate(const System& sys) {
+  Checker c{sys, {}};
+  c.check_env();
+  c.check_rule_basics(sys.process, "process");
+  c.check_rule_basics(sys.coin, "coin");
+  c.check_process_restrictions();
+  c.check_coin_restrictions();
+  c.check_round_structure(sys.process, "process", /*enforce_partition=*/true);
+  c.check_round_structure(sys.coin, "coin", /*enforce_partition=*/false);
+  c.check_canonical(sys.process, "process");
+  c.check_canonical(sys.coin, "coin");
+  return std::move(c.errors);
+}
+
+void validate_or_throw(const System& sys) {
+  auto errors = validate(sys);
+  if (errors.empty()) return;
+  std::string msg = "invalid system " + sys.name + ":";
+  for (const auto& e : errors) msg += "\n  - " + e;
+  throw std::invalid_argument(msg);
+}
+
+std::vector<std::string> validate_single_round(const System& sys) {
+  std::vector<std::string> errors;
+  for (const Automaton* a : {&sys.process, &sys.coin}) {
+    const char* which =
+        a->kind == Automaton::Kind::kProcess ? "process" : "coin";
+    std::vector<int> comp = scc_ids(*a, /*include_round_switch=*/true);
+    // Every SCC must be a single location; cycles may only be self-loops
+    // with zero update.
+    std::vector<int> comp_size(a->locations.size(), 0);
+    for (std::size_t l = 0; l < a->locations.size(); ++l) {
+      ++comp_size[static_cast<std::size_t>(comp[l])];
+    }
+    for (std::size_t l = 0; l < a->locations.size(); ++l) {
+      if (comp_size[static_cast<std::size_t>(comp[l])] > 1) {
+        errors.push_back(std::string(which) + " location " +
+                         a->locations[l].name + ": lies on a multi-location "
+                         "cycle; single-round systems must be DAGs modulo "
+                         "self-loops");
+      }
+    }
+    for (const Rule& r : a->rules) {
+      for (const auto& [to, p] : r.to.outcomes) {
+        (void)p;
+        if (to == r.from && !r.has_zero_update()) {
+          errors.push_back(std::string(which) + " rule " + r.name +
+                           ": self-loop with nonzero update");
+        }
+      }
+    }
+  }
+  return errors;
+}
+
+}  // namespace ctaver::ta

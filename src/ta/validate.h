@@ -1,0 +1,25 @@
+// Structural validation of System models against the well-formedness rules
+// of Sect. III-B: round structure (B/I/F), value-partition respect,
+// canonicity (zero updates on cycles), homogeneity of guard conjunctions,
+// the coin/shared update separation, and probability sanity.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ta/model.h"
+
+namespace ctaver::ta {
+
+/// Returns all well-formedness violations (empty = valid).
+std::vector<std::string> validate(const System& sys);
+
+/// Throws std::invalid_argument listing all violations, if any.
+void validate_or_throw(const System& sys);
+
+/// Checks the premise of Theorem 2 on a single-round system: every location
+/// cycle is a self-loop and carries zero updates, hence all fair executions
+/// of Sys⁰ terminate. Returns violations (empty = premise holds).
+std::vector<std::string> validate_single_round(const System& sys);
+
+}  // namespace ctaver::ta

@@ -1,0 +1,38 @@
+// Minimal leveled logger. Verification runs are long; we want progress lines
+// without dragging in a logging framework.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace ctaver::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Global threshold; messages below it are dropped. Default: kWarn (quiet).
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Emits one line to stderr with a level prefix if `level` passes the
+/// threshold. Thread-safe at line granularity.
+void log_line(LogLevel level, const std::string& msg);
+
+namespace internal {
+class LogMessage {
+ public:
+  explicit LogMessage(LogLevel level) : level_(level) {}
+  ~LogMessage() { log_line(level_, stream_.str()); }
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace internal
+
+}  // namespace ctaver::util
+
+#define CTAVER_LOG(level) \
+  ::ctaver::util::internal::LogMessage(::ctaver::util::LogLevel::level).stream()

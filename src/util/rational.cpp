@@ -1,0 +1,135 @@
+#include "util/rational.h"
+
+#include <cstdlib>
+#include <ostream>
+#include <stdexcept>
+
+namespace ctaver::util {
+
+namespace {
+
+[[noreturn]] void overflow() {
+  throw std::overflow_error("Rational: 128-bit overflow");
+}
+
+Int128 checked_mul(Int128 a, Int128 b) {
+  if (a == 0 || b == 0) return 0;
+  Int128 r = a * b;
+  if (r / b != a) overflow();
+  return r;
+}
+
+Int128 checked_add(Int128 a, Int128 b) {
+  Int128 r = a + b;
+  // Same-sign operands must not flip sign.
+  if ((a > 0 && b > 0 && r < 0) || (a < 0 && b < 0 && r >= 0)) overflow();
+  return r;
+}
+
+}  // namespace
+
+Int128 gcd128(Int128 a, Int128 b) {
+  if (a < 0) a = -a;
+  if (b < 0) b = -b;
+  while (b != 0) {
+    Int128 t = a % b;
+    a = b;
+    b = t;
+  }
+  return a;
+}
+
+Rational::Rational(Int128 num, Int128 den) {
+  if (den == 0) throw std::domain_error("Rational: zero denominator");
+  if (den < 0) {
+    num = -num;
+    den = -den;
+  }
+  Int128 g = gcd128(num, den);
+  if (g > 1) {
+    num /= g;
+    den /= g;
+  }
+  num_ = num;
+  den_ = den;
+}
+
+Int128 Rational::floor() const {
+  Int128 q = num_ / den_;
+  if (num_ % den_ != 0 && num_ < 0) --q;
+  return q;
+}
+
+Int128 Rational::ceil() const {
+  Int128 q = num_ / den_;
+  if (num_ % den_ != 0 && num_ > 0) ++q;
+  return q;
+}
+
+Rational Rational::frac() const { return *this - Rational(floor(), 1); }
+
+Rational Rational::operator-() const {
+  Rational r;
+  r.num_ = -num_;
+  r.den_ = den_;
+  return r;
+}
+
+Rational Rational::operator+(const Rational& o) const {
+  Int128 g = gcd128(den_, o.den_);
+  Int128 lden = den_ / g;
+  Int128 num = checked_add(checked_mul(num_, o.den_ / g),
+                           checked_mul(o.num_, lden));
+  Int128 den = checked_mul(lden, o.den_);
+  return {num, den};
+}
+
+Rational Rational::operator-(const Rational& o) const { return *this + (-o); }
+
+Rational Rational::operator*(const Rational& o) const {
+  // Cross-reduce before multiplying to keep magnitudes small.
+  Int128 g1 = gcd128(num_, o.den_);
+  Int128 g2 = gcd128(o.num_, den_);
+  return {checked_mul(num_ / g1, o.num_ / g2),
+          checked_mul(den_ / g2, o.den_ / g1)};
+}
+
+Rational Rational::operator/(const Rational& o) const {
+  if (o.num_ == 0) throw std::domain_error("Rational: division by zero");
+  return *this * Rational(o.den_, o.num_);
+}
+
+bool Rational::operator<(const Rational& o) const {
+  // den_ > 0 on both sides, so cross-multiplication preserves order.
+  return checked_mul(num_, o.den_) < checked_mul(o.num_, den_);
+}
+
+std::string int128_str(Int128 v) {
+  if (v == 0) return "0";
+  bool neg = v < 0;
+  // Avoid overflow on INT128_MIN by peeling a digit first.
+  std::string digits;
+  while (v != 0) {
+    int d = static_cast<int>(v % 10);
+    if (d < 0) d = -d;
+    digits.push_back(static_cast<char>('0' + d));
+    v /= 10;
+  }
+  if (neg) digits.push_back('-');
+  return {digits.rbegin(), digits.rend()};
+}
+
+std::string Rational::str() const {
+  if (den_ == 1) return int128_str(num_);
+  return int128_str(num_) + "/" + int128_str(den_);
+}
+
+double Rational::to_double() const {
+  return static_cast<double>(num_) / static_cast<double>(den_);
+}
+
+std::ostream& operator<<(std::ostream& os, const Rational& r) {
+  return os << r.str();
+}
+
+}  // namespace ctaver::util

@@ -1,0 +1,79 @@
+// Exact rational arithmetic over 128-bit integers.
+//
+// The LIA solver (src/lia) runs simplex over the rationals and branches to
+// integrality; all pivoting must be exact, so we use a small rational type
+// with __int128 storage and overflow checks. Coefficients in threshold-guard
+// systems are tiny (|a| <= ~10) and tableau growth is modest, so 128 bits is
+// ample; any overflow aborts loudly rather than returning a wrong answer.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+namespace ctaver::util {
+
+/// Signed 128-bit integer used as the numerator/denominator storage type.
+using Int128 = __int128;
+
+/// Exact rational number with canonical form (gcd-reduced, denominator > 0).
+class Rational {
+ public:
+  constexpr Rational() : num_(0), den_(1) {}
+  // NOLINTNEXTLINE(google-explicit-constructor): implicit for literals.
+  constexpr Rational(long long v) : num_(v), den_(1) {}
+  Rational(Int128 num, Int128 den);
+
+  [[nodiscard]] Int128 num() const { return num_; }
+  [[nodiscard]] Int128 den() const { return den_; }
+
+  [[nodiscard]] bool is_zero() const { return num_ == 0; }
+  [[nodiscard]] bool is_integer() const { return den_ == 1; }
+  [[nodiscard]] bool is_negative() const { return num_ < 0; }
+  [[nodiscard]] bool is_positive() const { return num_ > 0; }
+
+  /// Largest integer <= this.
+  [[nodiscard]] Int128 floor() const;
+  /// Smallest integer >= this.
+  [[nodiscard]] Int128 ceil() const;
+  /// Fractional part: *this - floor(); always in [0, 1).
+  [[nodiscard]] Rational frac() const;
+
+  Rational operator-() const;
+  Rational operator+(const Rational& o) const;
+  Rational operator-(const Rational& o) const;
+  Rational operator*(const Rational& o) const;
+  Rational operator/(const Rational& o) const;
+  Rational& operator+=(const Rational& o) { return *this = *this + o; }
+  Rational& operator-=(const Rational& o) { return *this = *this - o; }
+  Rational& operator*=(const Rational& o) { return *this = *this * o; }
+  Rational& operator/=(const Rational& o) { return *this = *this / o; }
+
+  bool operator==(const Rational& o) const {
+    return num_ == o.num_ && den_ == o.den_;
+  }
+  bool operator!=(const Rational& o) const { return !(*this == o); }
+  bool operator<(const Rational& o) const;
+  bool operator<=(const Rational& o) const { return *this < o || *this == o; }
+  bool operator>(const Rational& o) const { return o < *this; }
+  bool operator>=(const Rational& o) const { return o <= *this; }
+
+  [[nodiscard]] std::string str() const;
+
+  /// Converts to double (for reporting only; never used in decisions).
+  [[nodiscard]] double to_double() const;
+
+ private:
+  Int128 num_;
+  Int128 den_;  // invariant: den_ > 0, gcd(|num_|, den_) == 1
+};
+
+std::ostream& operator<<(std::ostream& os, const Rational& r);
+
+/// Prints a 128-bit integer in decimal (the standard library cannot).
+std::string int128_str(Int128 v);
+
+/// gcd over non-negative 128-bit values.
+Int128 gcd128(Int128 a, Int128 b);
+
+}  // namespace ctaver::util

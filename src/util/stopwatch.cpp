@@ -1,0 +1,3 @@
+#include "util/stopwatch.h"
+
+// Header-only in practice; this TU anchors the target.

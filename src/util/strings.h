@@ -1,0 +1,22 @@
+// Small string helpers shared across modules.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace ctaver::util {
+
+/// Joins `parts` with `sep`.
+std::string join(const std::vector<std::string>& parts,
+                 const std::string& sep);
+
+/// True if `s` starts with `prefix`.
+bool starts_with(const std::string& s, const std::string& prefix);
+
+/// Left-pads `s` with spaces to width `w` (no-op if already wider).
+std::string pad_left(const std::string& s, std::size_t w);
+
+/// Right-pads `s` with spaces to width `w`.
+std::string pad_right(const std::string& s, std::size_t w);
+
+}  // namespace ctaver::util

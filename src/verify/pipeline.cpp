@@ -1,0 +1,337 @@
+#include "verify/pipeline.h"
+
+#include <functional>
+#include <sstream>
+
+#include "cs/explicit_system.h"
+#include "cs/state_graph.h"
+#include "spec/spec.h"
+#include "ta/transforms.h"
+#include "ta/validate.h"
+#include "util/stopwatch.h"
+#include "util/strings.h"
+
+namespace ctaver::verify {
+
+namespace {
+
+using protocols::Category;
+
+Obligation from_check(const std::string& name,
+                      const schema::CheckResult& res) {
+  Obligation o;
+  o.name = name;
+  o.holds = res.holds;
+  o.parametric = true;
+  o.complete = res.complete;
+  o.nschemas = res.nschemas;
+  o.seconds = res.seconds;
+  if (res.ce) o.detail = res.ce->text;
+  return o;
+}
+
+/// Final locations of value v (E_v and D_v) in the single-round system.
+std::vector<ta::LocId> finals_of(const ta::System& rd, int v) {
+  std::vector<ta::LocId> out;
+  const ta::Automaton& a = rd.process;
+  for (ta::LocId l = 0; l < static_cast<ta::LocId>(a.locations.size()); ++l) {
+    const ta::Location& loc = a.locations[static_cast<std::size_t>(l)];
+    if (loc.role == ta::LocRole::kFinal && loc.value == v) out.push_back(l);
+  }
+  return out;
+}
+
+/// (C1) on one instance: from every round-entry configuration, whatever the
+/// (fair) adversary does, some probabilistic resolution satisfies
+/// (G no F_0-state) ∨ (G no F_1-state). The disjunction is path-adaptive —
+/// which side stays clean may depend on the adversary's moves — so the game
+/// runs on the product of the state graph with "touched" flags.
+bool check_c1_instance(const ta::System& rd,
+                       const std::vector<long long>& params,
+                       std::size_t max_states) {
+  cs::ExplicitSystem es(rd, params, 1);
+  cs::StateGraph g(es, es.border_start_configs(), max_states);
+  std::vector<ta::LocId> f0 = finals_of(rd, 0);
+  std::vector<ta::LocId> f1 = finals_of(rd, 1);
+  auto touch = [&](const cs::Config& c) {
+    int flags = 0;
+    for (ta::LocId l : f0) {
+      if (es.kappa(c, false, l, 0) > 0) flags |= 1;
+    }
+    for (ta::LocId l : f1) {
+      if (es.kappa(c, false, l, 0) > 0) flags |= 2;
+    }
+    return flags;
+  };
+  // win(s, flags): the outcome player keeps one side untouched forever.
+  std::vector<signed char> memo(g.num_states() * 4, -1);
+  std::function<bool(std::size_t, int)> win = [&](std::size_t s,
+                                                  int flags) -> bool {
+    flags |= touch(g.config(s));
+    if (flags == 3) return false;
+    signed char& m = memo[s * 4 + static_cast<std::size_t>(flags)];
+    if (m != -1) return m == 1;
+    m = 1;  // DAG: no cycles, safe to pre-set (overwritten below)
+    bool ok = true;
+    for (const cs::StateGraph::Edge& e : g.edges(s)) {
+      bool some = false;
+      for (const auto& [succ, prob] : e.outcomes) {
+        (void)prob;
+        if (win(succ, flags)) {
+          some = true;
+          break;
+        }
+      }
+      if (!some) {
+        ok = false;
+        break;
+      }
+    }
+    m = ok ? 1 : 0;
+    return ok;
+  };
+  for (std::size_t s : g.initial_states()) {
+    if (!win(s, 0)) return false;
+  }
+  return true;
+}
+
+/// (C2′) on one instance: if all correct processes start the round with v,
+/// then whatever the adversary does, some resolution has every finishing
+/// process decide v (no process ever enters F \ D_v).
+bool check_c2prime_instance(const ta::System& rd,
+                            const std::vector<long long>& params,
+                            std::size_t max_states) {
+  cs::ExplicitSystem es(rd, params, 1);
+  for (int v : {0, 1}) {
+    // The unique border-start configuration with everyone on value v.
+    std::vector<ta::LocId> bv = rd.process.locs_with(ta::LocRole::kBorder, v);
+    std::vector<cs::Config> starts;
+    for (const cs::Config& c : es.border_start_configs()) {
+      long long here = 0;
+      for (ta::LocId l : bv) here += es.kappa(c, false, l, 0);
+      if (here == es.num_processes()) starts.push_back(c);
+    }
+    cs::StateGraph g(es, starts, max_states);
+    // bad: some process in a final location other than D_v.
+    std::vector<ta::LocId> bad_locs;
+    const ta::Automaton& a = rd.process;
+    for (ta::LocId l = 0; l < static_cast<ta::LocId>(a.locations.size());
+         ++l) {
+      const ta::Location& loc = a.locations[static_cast<std::size_t>(l)];
+      if (loc.role != ta::LocRole::kFinal) continue;
+      if (loc.decision && loc.value == v) continue;
+      bad_locs.push_back(l);
+    }
+    auto bad = g.mark([&](const cs::Config& c) {
+      for (ta::LocId l : bad_locs) {
+        if (es.kappa(c, false, l, 0) > 0) return true;
+      }
+      return false;
+    });
+    std::vector<bool> win = g.forall_adversary_exists_safe(bad);
+    for (std::size_t s : g.initial_states()) {
+      if (!win[s]) return false;
+    }
+  }
+  return true;
+}
+
+Obligation sweep_obligation(
+    const std::string& name, const protocols::ProtocolModel& pm,
+    const ta::System& rd, const Options& opts,
+    bool (*check)(const ta::System&, const std::vector<long long>&,
+                  std::size_t)) {
+  util::Stopwatch watch;
+  Obligation o;
+  o.name = name;
+  o.parametric = false;
+  o.holds = true;
+  o.complete = true;
+  std::vector<std::string> swept;
+  for (const auto& params : pm.sweep_params) {
+    bool ok = check(rd, params, opts.max_states);
+    std::string tag = "(";
+    for (std::size_t i = 0; i < params.size(); ++i) {
+      if (i > 0) tag += ",";
+      tag += std::to_string(params[i]);
+    }
+    tag += ok ? ")" : ")=FAIL";
+    swept.push_back(tag);
+    if (!ok) o.holds = false;
+  }
+  o.seconds = watch.seconds();
+  o.detail = "instances " + util::join(swept, " ");
+  return o;
+}
+
+}  // namespace
+
+bool PropertyResult::holds() const {
+  for (const Obligation& o : obligations) {
+    if (!o.holds) return false;
+  }
+  return !obligations.empty();
+}
+
+bool PropertyResult::has_counterexample() const {
+  for (const Obligation& o : obligations) {
+    if (!o.holds && !o.detail.empty()) return true;
+  }
+  return false;
+}
+
+bool PropertyResult::inconclusive() const {
+  for (const Obligation& o : obligations) {
+    if (!o.holds && o.detail.empty()) return true;
+  }
+  return false;
+}
+
+long long PropertyResult::nschemas() const {
+  long long n = 0;
+  for (const Obligation& o : obligations) n += o.nschemas;
+  return n;
+}
+
+double PropertyResult::seconds() const {
+  double s = 0;
+  for (const Obligation& o : obligations) s += o.seconds;
+  return s;
+}
+
+std::string PropertyResult::failure() const {
+  for (const Obligation& o : obligations) {
+    if (!o.holds && !o.detail.empty()) return o.name + ": " + o.detail;
+  }
+  return {};
+}
+
+ProtocolReport verify_protocol(const protocols::ProtocolModel& pm,
+                               const Options& opts) {
+  ProtocolReport report;
+  report.protocol = pm.name;
+  report.category = pm.category;
+  report.n_locations = pm.system.total_locations();
+  report.n_rules = pm.system.total_rules();
+
+  ta::System rd = ta::single_round(ta::nonprobabilistic(pm.system));
+  // Probabilistic single-round system for the (C1)/(C2′) games: the coin
+  // toss must stay a probabilistic branch (resolved by the ∃-path player),
+  // not become an adversary choice.
+  ta::System rd_prob = ta::single_round(pm.system);
+  // Premise of Theorem 2: all fair executions of Sys0 terminate.
+  if (!ta::validate_single_round(rd).empty()) {
+    throw std::invalid_argument(pm.name +
+                                ": single-round system is not a DAG modulo "
+                                "self-loops; Theorem 2 does not apply");
+  }
+
+  // Agreement and Validity via the round invariants (Prop. 1).
+  for (int v : {0, 1}) {
+    report.agreement.obligations.push_back(
+        from_check(spec::inv1(rd, v).name,
+                   schema::check_spec(rd, spec::inv1(rd, v), opts.schema)));
+    report.validity.obligations.push_back(
+        from_check(spec::inv2(rd, v).name,
+                   schema::check_spec(rd, spec::inv2(rd, v), opts.schema)));
+  }
+
+  // Almost-sure termination: category-specific sufficient conditions.
+  switch (pm.category) {
+    case Category::kA: {
+      for (int v : {0, 1}) {
+        spec::Spec c2 = spec::c2(rd, v);
+        report.termination.obligations.push_back(
+            from_check(c2.name, schema::check_spec(rd, c2, opts.schema)));
+      }
+      if (opts.run_sweeps) {
+        report.termination.obligations.push_back(
+            sweep_obligation("C1", pm, rd_prob, opts, &check_c1_instance));
+      }
+      break;
+    }
+    case Category::kB: {
+      if (opts.run_sweeps) {
+        report.termination.obligations.push_back(
+            sweep_obligation("C1", pm, rd_prob, opts, &check_c1_instance));
+        report.termination.obligations.push_back(
+            sweep_obligation("C2'", pm, rd_prob, opts, &check_c2prime_instance));
+      }
+      break;
+    }
+    case Category::kC: {
+      ta::System rdr = ta::single_round(ta::nonprobabilistic(pm.refined()));
+      struct CB {
+        const char* name;
+        const std::string* from;
+        const std::string* forbid;
+      };
+      const CB cbs[] = {
+          {"CB0", &pm.m0_loc, &pm.m1_loc}, {"CB1", &pm.m1_loc, &pm.m0_loc},
+          {"CB2", &pm.n0_loc, &pm.m1_loc}, {"CB3", &pm.n1_loc, &pm.m0_loc},
+      };
+      for (const CB& cb : cbs) {
+        spec::Spec s = spec::binding(rdr, cb.name, *cb.from, *cb.forbid);
+        report.termination.obligations.push_back(
+            from_check(cb.name, schema::check_spec(rdr, s, opts.schema)));
+      }
+      // CB4 forbids both M0 and M1 after N⊥.
+      spec::Spec cb4 = spec::binding(rdr, "CB4", pm.nbot_loc, pm.m0_loc);
+      cb4.conclusion = spec::LocSet::process(
+          {rdr.process.find_loc(pm.m0_loc), rdr.process.find_loc(pm.m1_loc)});
+      report.termination.obligations.push_back(
+          from_check("CB4", schema::check_spec(rdr, cb4, opts.schema)));
+      if (opts.run_sweeps) {
+        report.termination.obligations.push_back(
+            sweep_obligation("C2'", pm, rd_prob, opts, &check_c2prime_instance));
+      }
+      break;
+    }
+  }
+  return report;
+}
+
+std::string table2_header() {
+  std::ostringstream os;
+  os << util::pad_right("Name", 12) << util::pad_right("cat", 5)
+     << util::pad_left("|L|", 5) << util::pad_left("|R|", 5) << "  "
+     << util::pad_left("agr-nschemas", 13) << util::pad_left("agr-time", 10)
+     << util::pad_left("val-nschemas", 14) << util::pad_left("val-time", 10)
+     << util::pad_left("ast-nschemas", 14) << util::pad_left("ast-time", 10)
+     << "  verdict";
+  return os.str();
+}
+
+std::string table2_row(const ProtocolReport& r) {
+  auto fmt_time = [](double s) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.2f", s);
+    return std::string(buf);
+  };
+  const char* cat = r.category == Category::kA   ? "(A)"
+                    : r.category == Category::kB ? "(B)"
+                                                 : "(C)";
+  std::ostringstream os;
+  os << util::pad_right(r.protocol, 12) << util::pad_right(cat, 5)
+     << util::pad_left(std::to_string(r.n_locations), 5)
+     << util::pad_left(std::to_string(r.n_rules), 5) << "  "
+     << util::pad_left(std::to_string(r.agreement.nschemas()), 13)
+     << util::pad_left(fmt_time(r.agreement.seconds()), 10)
+     << util::pad_left(std::to_string(r.validity.nschemas()), 14)
+     << util::pad_left(fmt_time(r.validity.seconds()), 10)
+     << util::pad_left(std::to_string(r.termination.nschemas()), 14)
+     << util::pad_left(fmt_time(r.termination.seconds()), 10) << "  ";
+  if (r.agreement.holds() && r.validity.holds() && r.termination.holds()) {
+    os << "verified";
+  } else if (r.agreement.has_counterexample() ||
+             r.validity.has_counterexample() ||
+             r.termination.has_counterexample()) {
+    os << "CE";
+  } else {
+    os << "budget-limited";
+  }
+  return os.str();
+}
+
+}  // namespace ctaver::verify

@@ -1,0 +1,101 @@
+// Unit tests for exact rational arithmetic (src/util/rational.h).
+#include "util/rational.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace ctaver::util {
+namespace {
+
+TEST(Rational, DefaultIsZero) {
+  Rational r;
+  EXPECT_TRUE(r.is_zero());
+  EXPECT_TRUE(r.is_integer());
+  EXPECT_EQ(r.str(), "0");
+}
+
+TEST(Rational, CanonicalForm) {
+  Rational r(6, 4);
+  EXPECT_EQ(r.num(), 3);
+  EXPECT_EQ(r.den(), 2);
+  Rational neg(3, -6);
+  EXPECT_EQ(neg.num(), -1);
+  EXPECT_EQ(neg.den(), 2);
+}
+
+TEST(Rational, ZeroDenominatorThrows) {
+  EXPECT_THROW(Rational(1, 0), std::domain_error);
+}
+
+TEST(Rational, Arithmetic) {
+  Rational a(1, 2), b(1, 3);
+  EXPECT_EQ((a + b), Rational(5, 6));
+  EXPECT_EQ((a - b), Rational(1, 6));
+  EXPECT_EQ((a * b), Rational(1, 6));
+  EXPECT_EQ((a / b), Rational(3, 2));
+  EXPECT_EQ(-a, Rational(-1, 2));
+}
+
+TEST(Rational, DivisionByZeroThrows) {
+  EXPECT_THROW(Rational(1, 2) / Rational(0, 1), std::domain_error);
+}
+
+TEST(Rational, Comparison) {
+  EXPECT_LT(Rational(1, 3), Rational(1, 2));
+  EXPECT_LT(Rational(-1, 2), Rational(-1, 3));
+  EXPECT_LE(Rational(2, 4), Rational(1, 2));
+  EXPECT_GT(Rational(7, 2), Rational(3));
+  EXPECT_GE(Rational(3), Rational(3));
+}
+
+TEST(Rational, FloorCeil) {
+  EXPECT_EQ(Rational(7, 2).floor(), 3);
+  EXPECT_EQ(Rational(7, 2).ceil(), 4);
+  EXPECT_EQ(Rational(-7, 2).floor(), -4);
+  EXPECT_EQ(Rational(-7, 2).ceil(), -3);
+  EXPECT_EQ(Rational(4).floor(), 4);
+  EXPECT_EQ(Rational(4).ceil(), 4);
+}
+
+TEST(Rational, Frac) {
+  EXPECT_EQ(Rational(7, 2).frac(), Rational(1, 2));
+  EXPECT_EQ(Rational(-7, 2).frac(), Rational(1, 2));
+  EXPECT_TRUE(Rational(5).frac().is_zero());
+}
+
+TEST(Rational, Printing) {
+  std::ostringstream os;
+  os << Rational(-3, 7);
+  EXPECT_EQ(os.str(), "-3/7");
+  EXPECT_EQ(Rational(42).str(), "42");
+}
+
+TEST(Rational, Int128Printing) {
+  Int128 big = Int128(1'000'000'000'000'000'000LL) * 1000;
+  EXPECT_EQ(int128_str(big), "1000000000000000000000");
+  EXPECT_EQ(int128_str(-big), "-1000000000000000000000");
+  EXPECT_EQ(int128_str(0), "0");
+}
+
+TEST(Rational, Gcd) {
+  EXPECT_EQ(gcd128(12, 18), 6);
+  EXPECT_EQ(gcd128(-12, 18), 6);
+  EXPECT_EQ(gcd128(0, 7), 7);
+  EXPECT_EQ(gcd128(7, 0), 7);
+}
+
+TEST(Rational, LargeValuesStayExact) {
+  Rational big(Int128(1) << 80, 3);
+  Rational sum = big + big + big;
+  EXPECT_TRUE(sum.is_integer());
+  EXPECT_EQ(sum.num(), Int128(1) << 80);
+}
+
+TEST(Rational, ToDouble) {
+  EXPECT_DOUBLE_EQ(Rational(1, 2).to_double(), 0.5);
+  EXPECT_DOUBLE_EQ(Rational(-5).to_double(), -5.0);
+}
+
+}  // namespace
+}  // namespace ctaver::util

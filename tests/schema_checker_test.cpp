@@ -1,0 +1,207 @@
+// Tests for the schema-based parametric checker: guard analysis, milestone
+// enumeration/counting, and end-to-end checks on small systems where the
+// expected verdicts are known (naive voting, coin adoption).
+#include <gtest/gtest.h>
+
+#include "schema/checker.h"
+#include "schema/guards.h"
+#include "spec/spec.h"
+#include "ta/builder.h"
+#include "ta/transforms.h"
+
+namespace ctaver::schema {
+namespace {
+
+using ta::LocId;
+using ta::ParamId;
+using ta::SystemBuilder;
+using ta::VarId;
+
+ta::System naive_voting(bool allow_byzantine) {
+  SystemBuilder b(allow_byzantine ? "NaiveVoting" : "NaiveVotingNoFaults");
+  ParamId n = b.param("n");
+  ParamId f = b.param("f");
+  b.require(b.P(n) - b.P(f) * 2, ta::CmpOp::kGt);
+  b.require(b.P(f), ta::CmpOp::kGe);
+  if (!allow_byzantine) b.require(b.P(f) * -1, ta::CmpOp::kGe);  // f == 0
+  b.model_counts(b.P(n) - b.P(f), SystemBuilder::K(0));
+  VarId v0 = b.shared("v0");
+  VarId v1 = b.shared("v1");
+  LocId j0 = b.border("J0", 0), j1 = b.border("J1", 1);
+  LocId i0 = b.initial("I0", 0), i1 = b.initial("I1", 1);
+  LocId s = b.internal("S");
+  LocId d0 = b.final_loc("D0", 0, true), d1 = b.final_loc("D1", 1, true);
+  b.border_entry(j0, i0);
+  b.border_entry(j1, i1);
+  b.rule("r1", i0, s, {}, {{v0, 1}});
+  b.rule("r2", i1, s, {}, {{v1, 1}});
+  // 2*(v_b + f) >= n + 1
+  b.rule("r3", s, d0, {b.ge({{v0, 2}}, b.P("n") - b.P("f") * 2 + b.K(1))});
+  b.rule("r4", s, d1, {b.ge({{v1, 2}}, b.P("n") - b.P("f") * 2 + b.K(1))});
+  b.round_switch(d0, j0);
+  b.round_switch(d1, j1);
+  return b.build();
+}
+
+ta::System mini_coin_system() {
+  SystemBuilder b("MiniCoin");
+  ParamId n = b.param("n");
+  ParamId f = b.param("f");
+  b.require(b.P(n) - b.P(f) * 3, ta::CmpOp::kGt);
+  b.require(b.P(f), ta::CmpOp::kGe);
+  b.model_counts(b.P(n) - b.P(f), SystemBuilder::K(1));
+  VarId cc0 = b.coin_var("cc0");
+  VarId cc1 = b.coin_var("cc1");
+  LocId j0 = b.border("J0", 0), j1 = b.border("J1", 1);
+  LocId i0 = b.initial("I0", 0), i1 = b.initial("I1", 1);
+  LocId e0 = b.final_loc("E0", 0), e1 = b.final_loc("E1", 1);
+  b.border_entry(j0, i0);
+  b.border_entry(j1, i1);
+  b.rule("adopt0_from0", i0, e0, {b.coin_is(cc0)});
+  b.rule("adopt1_from0", i0, e1, {b.coin_is(cc1)});
+  b.rule("adopt0_from1", i1, e0, {b.coin_is(cc0)});
+  b.rule("adopt1_from1", i1, e1, {b.coin_is(cc1)});
+  b.round_switch(e0, j0);
+  b.round_switch(e1, j1);
+  LocId j2 = b.coin_border("J2");
+  LocId i2 = b.coin_initial("I2");
+  LocId n0 = b.coin_internal("N0");
+  LocId n1 = b.coin_internal("N1");
+  LocId c0 = b.coin_final("C0", 0);
+  LocId c1 = b.coin_final("C1", 1);
+  b.coin_border_entry(j2, i2);
+  b.coin_prob_rule("rb", i2, ta::Distribution::uniform2(n0, n1), {});
+  b.coin_rule("rc", n0, c0, {}, {{cc0, 1}});
+  b.coin_rule("rd", n1, c1, {}, {{cc1, 1}});
+  b.coin_round_switch(c0, j2);
+  b.coin_round_switch(c1, j2);
+  return b.build();
+}
+
+ta::System prepared(const ta::System& sys) {
+  return ta::single_round(ta::nonprobabilistic(sys));
+}
+
+TEST(GuardAnalysis, NaiveVotingGuards) {
+  ta::System rd = prepared(naive_voting(true));
+  GuardTable table = analyze_guards(rd, /*prune=*/true);
+  ASSERT_EQ(table.num_guards(), 2);
+  for (const GuardInfo& g : table.guards) {
+    EXPECT_TRUE(g.rising);
+    EXPECT_TRUE(g.flippable);
+    // Thresholds are provably positive under n > 2f.
+    EXPECT_FALSE(g.can_start_true);
+    // v0/v1 are incremented by guard-free rules: no precedence.
+    EXPECT_TRUE(g.must_follow.empty());
+  }
+}
+
+TEST(GuardAnalysis, CoinGuardsHaveNoPrerequisites) {
+  ta::System rd = prepared(mini_coin_system());
+  GuardTable table = analyze_guards(rd, true);
+  ASSERT_EQ(table.num_guards(), 2);  // cc0 >= 1, cc1 >= 1
+  for (const GuardInfo& g : table.guards) {
+    EXPECT_TRUE(g.rising);
+    EXPECT_TRUE(g.flippable);  // coin rules rc/rd increment cc0/cc1
+    EXPECT_FALSE(g.can_start_true);
+  }
+}
+
+TEST(SchemaCount, ArrangementTimesCutPositions) {
+  // Unpruned: orders {}, (a), (b), (ab), (ba); two unordered cuts give
+  // m(m+1) placements per order with m segments.
+  ta::System rd = prepared(naive_voting(true));
+  spec::Spec inv1 = spec::inv1(rd, 0);
+  long long raw = count_schemas(rd, inv1, false, 1'000'000);
+  EXPECT_EQ(raw, 2 + 6 + 6 + 12 + 12);
+  // Pruned: the two guards gate only zero-update decision rules, so they
+  // commute and (b, a) collapses into (a, b).
+  long long pruned = count_schemas(rd, inv1, true, 1'000'000);
+  EXPECT_EQ(pruned, 2 + 6 + 6 + 12);
+  // Single-cut shape: m placements per order.
+  spec::Spec inv2 = spec::inv2(rd, 0);
+  EXPECT_EQ(count_schemas(rd, inv2, false, 1'000'000), 1 + 2 + 2 + 3 + 3);
+  EXPECT_EQ(count_schemas(rd, inv2, true, 1'000'000), 1 + 2 + 2 + 3);
+}
+
+TEST(SchemaCount, MilestoneCount) {
+  EXPECT_EQ(count_milestones(prepared(naive_voting(true)), true), 2);
+  EXPECT_EQ(count_milestones(prepared(mini_coin_system()), true), 2);
+}
+
+TEST(CheckSpec, NaiveVotingAgreementFailsWithByzantine) {
+  ta::System rd = prepared(naive_voting(true));
+  CheckResult res = check_spec(rd, spec::inv1(rd, 0));
+  EXPECT_FALSE(res.holds);
+  ASSERT_TRUE(res.ce.has_value());
+  // Minimal witness: n = 3, t/f = 1 (both thresholds reachable).
+  EXPECT_EQ(res.ce->params[0], 3);  // n
+  EXPECT_EQ(res.ce->params[1], 1);  // f
+  EXPECT_GT(res.nschemas, 0);
+}
+
+TEST(CheckSpec, NaiveVotingAgreementHoldsWithoutFaults) {
+  ta::System rd = prepared(naive_voting(false));
+  CheckResult res = check_spec(rd, spec::inv1(rd, 0));
+  EXPECT_TRUE(res.holds);
+  EXPECT_TRUE(res.complete);
+  CheckResult res1 = check_spec(rd, spec::inv1(rd, 1));
+  EXPECT_TRUE(res1.holds);
+}
+
+TEST(CheckSpec, NaiveVotingValidityHoldsEvenWithByzantine) {
+  ta::System rd = prepared(naive_voting(true));
+  for (int v : {0, 1}) {
+    CheckResult res = check_spec(rd, spec::inv2(rd, v));
+    EXPECT_TRUE(res.holds) << "v=" << v;
+    EXPECT_TRUE(res.complete);
+  }
+}
+
+TEST(CheckSpec, CoinAdoptionAgreementViolatedAcrossCoinValues) {
+  // MiniCoin lets different processes read different coin throws only if
+  // both cc0 and cc1 are set — impossible with one coin per round, so E0
+  // and E1 cannot both be entered... unless processes start with different
+  // values? No: everyone adopts the coin. Expect: A(F EX{E0} -> G !EX{E1})
+  // holds.
+  ta::System rd = prepared(mini_coin_system());
+  spec::Spec s;
+  s.name = "coin-consistency";
+  s.shape = spec::Shape::kEventuallyImpliesGlobally;
+  s.premise = spec::LocSet::process({rd.process.find_loc("E0")});
+  s.conclusion = spec::LocSet::process({rd.process.find_loc("E1")});
+  CheckResult res = check_spec(rd, s);
+  EXPECT_TRUE(res.holds);
+  EXPECT_TRUE(res.complete);
+}
+
+TEST(CheckSpec, EmptyPremiseHoldsVacuously) {
+  ta::System rd = prepared(mini_coin_system());
+  // No decision locations: Inv1's premise EX{D_v} is empty.
+  CheckResult res = check_spec(rd, spec::inv1(rd, 0));
+  EXPECT_TRUE(res.holds);
+  EXPECT_TRUE(res.complete);
+  EXPECT_EQ(res.nschemas, 0);
+}
+
+TEST(CheckSpec, BudgetExhaustionIsInconclusive) {
+  ta::System rd = prepared(naive_voting(false));
+  CheckOptions opts;
+  opts.max_schemas = 1;  // way too small to finish
+  CheckResult res = check_spec(rd, spec::inv1(rd, 0), opts);
+  EXPECT_FALSE(res.complete);
+  EXPECT_FALSE(res.holds);  // inconclusive must not report "verified"
+}
+
+TEST(CheckSpec, UnprunedEnumerationStillSound) {
+  ta::System rd = prepared(naive_voting(true));
+  CheckOptions opts;
+  opts.prune = false;
+  CheckResult res = check_spec(rd, spec::inv1(rd, 0), opts);
+  EXPECT_FALSE(res.holds);
+  ASSERT_TRUE(res.ce.has_value());
+  EXPECT_EQ(res.ce->params[0], 3);
+}
+
+}  // namespace
+}  // namespace ctaver::schema

@@ -1,0 +1,337 @@
+// Unit tests for the threshold-automata core: builder, validation,
+// non-probabilistic projection (Def. 1), single-round construction (Def. 3)
+// and the Fig.-6 binding refinement.
+#include <gtest/gtest.h>
+
+#include "ta/builder.h"
+#include "ta/model.h"
+#include "ta/transforms.h"
+#include "ta/validate.h"
+
+namespace ctaver::ta {
+namespace {
+
+// Naive voting (paper Fig. 2/3) wrapped in the round structure, no coin.
+System naive_voting() {
+  SystemBuilder b("NaiveVoting");
+  ParamId n = b.param("n");
+  ParamId f = b.param("f");
+  b.require(b.P(n) - b.P(f) * 2, CmpOp::kGt);  // n > 2f
+  b.require(b.P(f), CmpOp::kGe);               // f >= 0
+  b.model_counts(b.P(n) - b.P(f), SystemBuilder::K(0));
+
+  VarId v0 = b.shared("v0");
+  VarId v1 = b.shared("v1");
+
+  LocId j0 = b.border("J0", 0), j1 = b.border("J1", 1);
+  LocId i0 = b.initial("I0", 0), i1 = b.initial("I1", 1);
+  LocId s = b.internal("S");
+  LocId d0 = b.final_loc("D0", 0, /*decision=*/true);
+  LocId d1 = b.final_loc("D1", 1, /*decision=*/true);
+
+  b.border_entry(j0, i0);
+  b.border_entry(j1, i1);
+  b.rule("r1", i0, s, {}, {{v0, 1}});
+  b.rule("r2", i1, s, {}, {{v1, 1}});
+  // 2*(v_b + f) >= n + 1   <=>   2*v_b >= n + 1 - 2f
+  b.rule("r3", s, d0, {b.ge({{v0, 2}}, b.P("n") - b.P("f") * 2 + b.K(1))});
+  b.rule("r4", s, d1, {b.ge({{v1, 2}}, b.P("n") - b.P("f") * 2 + b.K(1))});
+  b.round_switch(d0, j0);
+  b.round_switch(d1, j1);
+  return b.build();
+}
+
+// A minimal coin-flipping system: one process location pair waiting on the
+// coin, one coin automaton as in Fig. 4(b).
+System mini_coin_system() {
+  SystemBuilder b("MiniCoin");
+  ParamId n = b.param("n");
+  ParamId f = b.param("f");
+  b.require(b.P(n) - b.P(f) * 3, CmpOp::kGt);
+  b.model_counts(b.P(n) - b.P(f), SystemBuilder::K(1));
+
+  VarId cc0 = b.coin_var("cc0");
+  VarId cc1 = b.coin_var("cc1");
+
+  LocId j0 = b.border("J0", 0), j1 = b.border("J1", 1);
+  LocId i0 = b.initial("I0", 0), i1 = b.initial("I1", 1);
+  LocId e0 = b.final_loc("E0", 0), e1 = b.final_loc("E1", 1);
+  b.border_entry(j0, i0);
+  b.border_entry(j1, i1);
+  // Adopt the coin outcome regardless of the starting value.
+  b.rule("adopt0_from0", i0, e0, {b.coin_is(cc0)});
+  b.rule("adopt1_from0", i0, e1, {b.coin_is(cc1)});
+  b.rule("adopt0_from1", i1, e0, {b.coin_is(cc0)});
+  b.rule("adopt1_from1", i1, e1, {b.coin_is(cc1)});
+  b.round_switch(e0, j0);
+  b.round_switch(e1, j1);
+
+  LocId j2 = b.coin_border("J2");
+  LocId i2 = b.coin_initial("I2");
+  LocId n0 = b.coin_internal("N0");
+  LocId n1 = b.coin_internal("N1");
+  LocId c0 = b.coin_final("C0", 0);
+  LocId c1 = b.coin_final("C1", 1);
+  b.coin_border_entry(j2, i2);
+  b.coin_prob_rule("rb", i2, Distribution::uniform2(n0, n1), {});
+  b.coin_rule("rc", n0, c0, {}, {{cc0, 1}});
+  b.coin_rule("rd", n1, c1, {}, {{cc1, 1}});
+  b.coin_round_switch(c0, j2);
+  b.coin_round_switch(c1, j2);
+  return b.build();
+}
+
+TEST(Builder, NaiveVotingIsValid) {
+  System sys = naive_voting();
+  EXPECT_TRUE(validate(sys).empty());
+  EXPECT_EQ(sys.total_locations(), 7u);
+  EXPECT_EQ(sys.total_rules(), 8u);
+  EXPECT_EQ(sys.process.decisions(0).size(), 1u);
+  EXPECT_EQ(sys.process.decisions(1).size(), 1u);
+  EXPECT_EQ(sys.process.find_loc("S"), 4);
+  EXPECT_THROW((void)sys.process.find_loc("nope"), std::out_of_range);
+}
+
+TEST(Builder, MiniCoinIsValid) {
+  System sys = mini_coin_system();
+  EXPECT_TRUE(validate(sys).empty());
+  EXPECT_EQ(sys.coin.locations.size(), 6u);
+  // rb is the only non-Dirac rule.
+  int non_dirac = 0;
+  for (const auto& r : sys.coin.rules) non_dirac += r.is_dirac() ? 0 : 1;
+  EXPECT_EQ(non_dirac, 1);
+}
+
+TEST(Builder, CoinGuardClassification) {
+  System sys = mini_coin_system();
+  VarId cc0 = sys.find_var("cc0");
+  EXPECT_TRUE(sys.is_coin_guard(Guard::coin_is(cc0)));
+  const Rule& adopt = sys.process.rules[static_cast<std::size_t>(
+      sys.process.find_rule("adopt0_from0"))];
+  EXPECT_TRUE(sys.is_coin_based(adopt));
+  const Rule& entry = sys.process.rules[static_cast<std::size_t>(
+      sys.process.find_rule("enter_I0"))];
+  EXPECT_FALSE(sys.is_coin_based(entry));
+}
+
+TEST(Environment, Admissibility) {
+  System sys = naive_voting();
+  EXPECT_TRUE(sys.env.admissible({4, 1}));   // n=4 > 2f=2
+  EXPECT_FALSE(sys.env.admissible({4, 2}));  // n=4 == 2f
+  EXPECT_FALSE(sys.env.admissible({0, 0}));  // no processes
+  EXPECT_FALSE(sys.env.admissible({4}));     // arity mismatch
+}
+
+TEST(Validate, RejectsProbabilisticProcessRule) {
+  SystemBuilder b("Bad");
+  ParamId n = b.param("n");
+  b.model_counts(b.P(n), SystemBuilder::K(0));
+  LocId j0 = b.border("J0", 0), j1 = b.border("J1", 1);
+  LocId i0 = b.initial("I0", 0), i1 = b.initial("I1", 1);
+  LocId e0 = b.final_loc("E0", 0), e1 = b.final_loc("E1", 1);
+  b.border_entry(j0, i0);
+  b.border_entry(j1, i1);
+  b.rule("ok0", i0, e0, {});
+  b.rule("ok1", i1, e1, {});
+  b.round_switch(e0, j0);
+  b.round_switch(e1, j1);
+  System sys = b.peek();
+  sys.env.num_processes = ParamExpr::param(n);
+  // Force a probabilistic process rule behind the builder's back.
+  sys.process.rules[2].to = Distribution::uniform2(e0, e1);
+  sys.process.rules[2].update.resize(sys.vars.size(), 0);
+  auto errors = validate(sys);
+  ASSERT_FALSE(errors.empty());
+  EXPECT_NE(errors.front().find("must be Dirac"), std::string::npos);
+}
+
+TEST(Validate, RejectsNonCanonicalCycle) {
+  SystemBuilder b("Cyclic");
+  ParamId n = b.param("n");
+  b.model_counts(b.P(n), SystemBuilder::K(0));
+  VarId x = b.shared("x");
+  LocId j0 = b.border("J0", 0), j1 = b.border("J1", 1);
+  LocId i0 = b.initial("I0", 0), i1 = b.initial("I1", 1);
+  LocId s = b.internal("S");
+  LocId e0 = b.final_loc("E0", 0), e1 = b.final_loc("E1", 1);
+  b.border_entry(j0, i0);
+  b.border_entry(j1, i1);
+  b.rule("go0", i0, s, {});
+  b.rule("go1", i1, s, {});
+  b.rule("self", s, s, {}, {{x, 1}});  // nonzero update on a cycle
+  b.rule("out0", s, e0, {});
+  b.rule("out1", s, e1, {});
+  b.round_switch(e0, j0);
+  b.round_switch(e1, j1);
+  EXPECT_THROW((void)b.build(), std::invalid_argument);
+}
+
+TEST(Validate, RejectsNegativeUpdate) {
+  SystemBuilder b("Neg");
+  ParamId n = b.param("n");
+  b.model_counts(b.P(n), SystemBuilder::K(0));
+  VarId x = b.shared("x");
+  LocId j0 = b.border("J0", 0), j1 = b.border("J1", 1);
+  LocId i0 = b.initial("I0", 0), i1 = b.initial("I1", 1);
+  LocId e0 = b.final_loc("E0", 0), e1 = b.final_loc("E1", 1);
+  b.border_entry(j0, i0);
+  b.border_entry(j1, i1);
+  b.rule("dec", i0, e0, {}, {{x, -1}});
+  b.rule("ok", i1, e1, {});
+  b.round_switch(e0, j0);
+  b.round_switch(e1, j1);
+  EXPECT_THROW((void)b.build(), std::invalid_argument);
+}
+
+TEST(Validate, RejectsCoinRuleTouchingSharedVars) {
+  SystemBuilder b("CoinShared");
+  ParamId n = b.param("n");
+  b.model_counts(b.P(n), SystemBuilder::K(1));
+  VarId x = b.shared("x");
+  LocId j0 = b.border("J0", 0), j1 = b.border("J1", 1);
+  LocId i0 = b.initial("I0", 0), i1 = b.initial("I1", 1);
+  LocId e0 = b.final_loc("E0", 0), e1 = b.final_loc("E1", 1);
+  b.border_entry(j0, i0);
+  b.border_entry(j1, i1);
+  b.rule("a", i0, e0, {});
+  b.rule("c", i1, e1, {});
+  b.round_switch(e0, j0);
+  b.round_switch(e1, j1);
+  LocId j2 = b.coin_border("J2");
+  LocId i2 = b.coin_initial("I2");
+  LocId c0 = b.coin_final("C0");
+  b.coin_border_entry(j2, i2);
+  b.coin_rule("bad", i2, c0, {}, {{x, 1}});  // coin rule bumps shared var
+  b.coin_round_switch(c0, j2);
+  EXPECT_THROW((void)b.build(), std::invalid_argument);
+}
+
+TEST(Transforms, NonprobabilisticSplitsToss) {
+  System sys = mini_coin_system();
+  System np = nonprobabilistic(sys);
+  // rb (1 rule, 2 outcomes) becomes rb#0, rb#1.
+  EXPECT_EQ(np.coin.rules.size(), sys.coin.rules.size() + 1);
+  for (const Rule& r : np.coin.rules) EXPECT_TRUE(r.is_dirac());
+  EXPECT_NO_THROW((void)np.coin.find_rule("rb#0"));
+  EXPECT_NO_THROW((void)np.coin.find_rule("rb#1"));
+  // Process side untouched.
+  EXPECT_EQ(np.process.rules.size(), sys.process.rules.size());
+}
+
+TEST(Transforms, SingleRoundConstruction) {
+  System sys = naive_voting();
+  System rd = single_round(sys);
+  // Two border copies J0', J1' appear.
+  EXPECT_EQ(rd.process.locations.size(), sys.process.locations.size() + 2);
+  LocId j0p = rd.process.find_loc("J0'");
+  EXPECT_EQ(rd.process.locations[static_cast<std::size_t>(j0p)].role,
+            LocRole::kBorderCopy);
+  // Round-switch rules now target the copies.
+  for (const Rule& r : rd.process.rules) {
+    if (!r.is_round_switch) continue;
+    LocRole role =
+        rd.process.locations[static_cast<std::size_t>(r.to.dirac_target())]
+            .role;
+    EXPECT_EQ(role, LocRole::kBorderCopy);
+  }
+  // Self loops at copies; +2 rules.
+  EXPECT_EQ(rd.process.rules.size(), sys.process.rules.size() + 2);
+  // The single-round premise of Theorem 2 holds.
+  EXPECT_TRUE(validate_single_round(rd).empty());
+}
+
+TEST(Transforms, SingleRoundOfMultiRoundLoopFailsNowhere) {
+  System rd = single_round(mini_coin_system());
+  EXPECT_TRUE(validate_single_round(rd).empty());
+  // The multi-round original is NOT a DAG (rounds loop).
+  EXPECT_FALSE(validate_single_round(mini_coin_system()).empty());
+}
+
+TEST(Transforms, RefineBindingSplitsRule) {
+  // Build a tiny system with an M⊥-style rule and refine it.
+  SystemBuilder b("Refine");
+  ParamId n = b.param("n");
+  ParamId t = b.param("t");
+  ParamId f = b.param("f");
+  b.require(b.P(n) - b.P(t) * 3, CmpOp::kGt);
+  b.model_counts(b.P(n) - b.P(f), SystemBuilder::K(0));
+  VarId m0 = b.shared("m0");
+  VarId m1 = b.shared("m1");
+  LocId j0 = b.border("J0", 0), j1 = b.border("J1", 1);
+  LocId i0 = b.initial("I0", 0), i1 = b.initial("I1", 1);
+  LocId s = b.internal("S");
+  LocId mb = b.internal("Mbot");
+  LocId e0 = b.final_loc("E0", 0), e1 = b.final_loc("E1", 1);
+  b.border_entry(j0, i0);
+  b.border_entry(j1, i1);
+  b.rule("send0", i0, s, {}, {{m0, 1}});
+  b.rule("send1", i1, s, {}, {{m1, 1}});
+  b.rule("r3", s, mb,
+         {b.ge({{m0, 1}, {m1, 1}}, b.P("n") - b.P("t") - b.P("f"))});
+  b.rule("out0", mb, e0, {});
+  b.rule("out1", mb, e1, {});
+  b.round_switch(e0, j0);
+  b.round_switch(e1, j1);
+  System sys = b.build();
+
+  System refined = refine_binding(sys, "r3", m0, m1);
+  EXPECT_EQ(refined.process.locations.size(),
+            sys.process.locations.size() + 3);
+  // r3 replaced by three split rules + three exits = net +5 rules.
+  EXPECT_EQ(refined.process.rules.size(), sys.process.rules.size() + 5);
+  EXPECT_THROW((void)refined.process.find_rule("r3"), std::out_of_range);
+  RuleId ra = refined.process.find_rule("r3_A");
+  const Rule& rule_a = refined.process.rules[static_cast<std::size_t>(ra)];
+  // Guard = original phi plus m0 >= 1.
+  ASSERT_EQ(rule_a.guards.size(), 2u);
+  EXPECT_EQ(rule_a.guards[1].lhs.size(), 1u);
+  EXPECT_EQ(rule_a.guards[1].lhs[0].first, m0);
+  // The C branch demands m0 = 0 and m1 = 0 via falling guards.
+  RuleId rc = refined.process.find_rule("r3_C");
+  const Rule& rule_c = refined.process.rules[static_cast<std::size_t>(rc)];
+  ASSERT_EQ(rule_c.guards.size(), 3u);
+  EXPECT_EQ(rule_c.guards[1].rel, GuardRel::kLt);
+  EXPECT_EQ(rule_c.guards[2].rel, GuardRel::kLt);
+}
+
+TEST(Transforms, RefineBindingRejectsUpdatingRule) {
+  System sys = naive_voting();
+  VarId v0 = sys.find_var("v0");
+  VarId v1 = sys.find_var("v1");
+  EXPECT_THROW((void)refine_binding(sys, "r1", v0, v1),
+               std::invalid_argument);
+}
+
+TEST(Transforms, DotExportMentionsEverything) {
+  System sys = mini_coin_system();
+  std::string dot = to_dot(sys);
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+  EXPECT_NE(dot.find("TA_n"), std::string::npos);
+  EXPECT_NE(dot.find("PTA_c"), std::string::npos);
+  EXPECT_NE(dot.find("1/2"), std::string::npos);  // coin toss probability
+}
+
+TEST(Guards, EvalAndPrint) {
+  System sys = naive_voting();
+  const Rule& r3 =
+      sys.process.rules[static_cast<std::size_t>(sys.process.find_rule("r3"))];
+  ASSERT_EQ(r3.guards.size(), 1u);
+  // n=4, f=1: guard 2*v0 >= 3 is false for v0=1, true for v0=2.
+  EXPECT_FALSE(r3.guards[0].eval({1, 0}, {4, 1}));
+  EXPECT_TRUE(r3.guards[0].eval({2, 0}, {4, 1}));
+  std::string s = r3.guards[0].str(sys.vars, sys.env.params);
+  EXPECT_NE(s.find("v0"), std::string::npos);
+  EXPECT_NE(s.find(">="), std::string::npos);
+}
+
+TEST(ParamExpr, Algebra) {
+  ParamExpr e = ParamExpr::param(0, 2) - ParamExpr::param(1, 1);
+  e = e + ParamExpr::constant_expr(3);
+  EXPECT_EQ(e.eval({5, 4}), 2 * 5 - 4 + 3);
+  ParamExpr scaled = e * -2;
+  EXPECT_EQ(scaled.eval({5, 4}), -18);
+  EXPECT_EQ(e.coeff(7), 0);
+}
+
+}  // namespace
+}  // namespace ctaver::ta

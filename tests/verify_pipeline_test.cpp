@@ -1,0 +1,114 @@
+// Integration tests for the verification pipeline (src/verify): category
+// (A)/(B) protocols verify end-to-end; report aggregation and Table-II
+// formatting behave; the C1/C2' instance games give the expected verdicts.
+#include <gtest/gtest.h>
+
+#include "protocols/protocols.h"
+#include "verify/pipeline.h"
+
+namespace ctaver::verify {
+namespace {
+
+Options fast_options() {
+  Options opts;
+  opts.schema.time_budget_s = 120.0;
+  return opts;
+}
+
+TEST(Pipeline, Cc85aFullyVerifies) {
+  ProtocolReport r = verify_protocol(protocols::cc85a(), fast_options());
+  EXPECT_TRUE(r.agreement.holds());
+  EXPECT_TRUE(r.validity.holds());
+  EXPECT_TRUE(r.termination.holds());
+  EXPECT_FALSE(r.agreement.inconclusive());
+  // Agreement/validity come from the parametric checker.
+  for (const Obligation& o : r.agreement.obligations) {
+    EXPECT_TRUE(o.parametric);
+    EXPECT_TRUE(o.complete);
+    EXPECT_GT(o.nschemas, 0);
+  }
+  // Category (B) termination: the two instance sweeps.
+  ASSERT_EQ(r.termination.obligations.size(), 2u);
+  EXPECT_EQ(r.termination.obligations[0].name, "C1");
+  EXPECT_EQ(r.termination.obligations[1].name, "C2'");
+  for (const Obligation& o : r.termination.obligations) {
+    EXPECT_FALSE(o.parametric);
+    EXPECT_TRUE(o.holds);
+    EXPECT_NE(o.detail.find("instances"), std::string::npos);
+    EXPECT_EQ(o.detail.find("FAIL"), std::string::npos);
+  }
+}
+
+TEST(Pipeline, Rabin83CategoryAVerifies) {
+  ProtocolReport r = verify_protocol(protocols::rabin83(), fast_options());
+  EXPECT_EQ(r.category, protocols::Category::kA);
+  EXPECT_TRUE(r.validity.holds());
+  EXPECT_TRUE(r.termination.holds());
+  // Category (A): C2 parametric (two values) + the C1 sweep.
+  ASSERT_EQ(r.termination.obligations.size(), 3u);
+  EXPECT_TRUE(r.termination.obligations[0].parametric);
+  EXPECT_TRUE(r.termination.obligations[1].parametric);
+  EXPECT_FALSE(r.termination.obligations[2].parametric);
+}
+
+TEST(Pipeline, Fmr05AndCc85bVerify) {
+  for (auto builder : {protocols::fmr05, protocols::cc85b}) {
+    ProtocolReport r = verify_protocol(builder(), fast_options());
+    EXPECT_TRUE(r.agreement.holds()) << r.protocol;
+    EXPECT_TRUE(r.validity.holds()) << r.protocol;
+    EXPECT_TRUE(r.termination.holds()) << r.protocol;
+  }
+}
+
+TEST(Pipeline, Ks16Verifies) {
+  ProtocolReport r = verify_protocol(protocols::ks16(), fast_options());
+  EXPECT_TRUE(r.agreement.holds());
+  EXPECT_TRUE(r.validity.holds());
+  EXPECT_TRUE(r.termination.holds());
+}
+
+TEST(Pipeline, TableFormatting) {
+  ProtocolReport r = verify_protocol(protocols::cc85a(), fast_options());
+  std::string header = table2_header();
+  std::string row = table2_row(r);
+  EXPECT_NE(header.find("nschemas"), std::string::npos);
+  EXPECT_NE(row.find("CC85a"), std::string::npos);
+  EXPECT_NE(row.find("(B)"), std::string::npos);
+  EXPECT_NE(row.find("verified"), std::string::npos);
+}
+
+TEST(Pipeline, BudgetLimitedVerdictIsNotCE) {
+  Options opts;
+  opts.schema.max_schemas = 1;  // everything inconclusive
+  opts.run_sweeps = false;
+  ProtocolReport r = verify_protocol(protocols::cc85a(), opts);
+  EXPECT_FALSE(r.agreement.holds());
+  EXPECT_FALSE(r.agreement.has_counterexample());
+  EXPECT_TRUE(r.agreement.inconclusive());
+  EXPECT_NE(table2_row(r).find("budget-limited"), std::string::npos);
+}
+
+TEST(Pipeline, PropertyResultAggregation) {
+  PropertyResult pr;
+  EXPECT_FALSE(pr.holds());  // no obligations -> nothing proved
+  Obligation a;
+  a.name = "x";
+  a.holds = true;
+  a.nschemas = 5;
+  a.seconds = 0.5;
+  pr.obligations.push_back(a);
+  Obligation b = a;
+  b.holds = false;
+  b.detail = "ce";
+  b.nschemas = 7;
+  pr.obligations.push_back(b);
+  EXPECT_FALSE(pr.holds());
+  EXPECT_TRUE(pr.has_counterexample());
+  EXPECT_FALSE(pr.inconclusive());
+  EXPECT_EQ(pr.nschemas(), 12);
+  EXPECT_NEAR(pr.seconds(), 1.0, 1e-9);
+  EXPECT_EQ(pr.failure(), "x: ce");
+}
+
+}  // namespace
+}  // namespace ctaver::verify
