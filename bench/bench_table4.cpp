@@ -58,7 +58,11 @@ ta::System merged_variant(const ta::System& base, int merges) {
       }
     }
   }
-  sys.name = base.name + (merges > 0 ? "-" + std::to_string(merges) : "");
+  sys.name = base.name;
+  if (merges > 0) {
+    sys.name += '-';
+    sys.name += std::to_string(merges);
+  }
   return sys;
 }
 

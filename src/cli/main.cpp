@@ -1,0 +1,277 @@
+// ctaver — command-line driver for the verification pipeline.
+//
+//   ctaver list                       # registered protocols
+//   ctaver parse specs/mmr14.cta      # front-end only: summary or diagnostics
+//   ctaver verify MMR14               # full pipeline on a built-in model
+//   ctaver verify specs/mmr14.cta     # ... or on a .cta spec file
+//   ctaver table2                     # the paper's Table-II benchmark run
+//
+// Protocol arguments are resolved through frontend::ProtocolRegistry, so
+// built-ins and spec files are interchangeable everywhere.
+#include <filesystem>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "frontend/diag.h"
+#include "frontend/registry.h"
+#include "verify/pipeline.h"
+
+namespace {
+
+using ctaver::frontend::ParseError;
+using ctaver::frontend::ProtocolRegistry;
+using ctaver::protocols::Category;
+using ctaver::protocols::ProtocolModel;
+
+int usage(std::ostream& os, int code) {
+  os << "usage: ctaver <command> [options] [protocol...]\n"
+        "\n"
+        "commands:\n"
+        "  list               list registered protocols\n"
+        "  parse SPEC...      run the front-end only; print a model summary\n"
+        "  verify SPEC...     full pipeline; obligations plus Table-II row\n"
+        "  table2 [SPEC...]   Table-II rows (default: the eight benchmarks)\n"
+        "\n"
+        "SPEC is a registered protocol name or a path to a .cta file.\n"
+        "\n"
+        "options:\n"
+        "  --specs DIR        register every .cta file in DIR\n"
+        "  --no-sweeps        skip the explicit-instance (C1)/(C2') sweeps\n"
+        "  --max-states N     state cap per swept instance\n"
+        "  --max-schemas N    schema cap per obligation\n"
+        "  --time-budget S    wall-clock budget per obligation (seconds)\n"
+        "  --sweep a,b,...    override sweep instances (repeatable)\n"
+        "  --quiet            verify: print only the Table-II rows\n";
+  return code;
+}
+
+struct Args {
+  std::string command;
+  std::vector<std::string> protocols;
+  std::string specs_dir;
+  bool no_sweeps = false;
+  bool quiet = false;
+  std::size_t max_states = 0;  // 0: keep the pipeline default
+  long long max_schemas = 0;   // 0: keep the pipeline default
+  double time_budget = 0;      // 0: keep the pipeline default
+  std::vector<std::vector<long long>> sweep_override;
+};
+
+bool parse_sweep(const std::string& s, std::vector<long long>& out) {
+  std::istringstream is(s);
+  std::string item;
+  while (std::getline(is, item, ',')) {
+    try {
+      out.push_back(std::stoll(item));
+    } catch (const std::exception&) {
+      return false;
+    }
+  }
+  return !out.empty();
+}
+
+bool parse_args(int argc, char** argv, Args& args) {
+  if (argc < 2) return false;
+  args.command = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    std::string a = argv[i];
+    auto value = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (a == "--no-sweeps") {
+      args.no_sweeps = true;
+    } else if (a == "--quiet") {
+      args.quiet = true;
+    } else if (a == "--specs") {
+      const char* v = value();
+      if (v == nullptr) return false;
+      args.specs_dir = v;
+    } else if (a == "--max-states" || a == "--max-schemas" ||
+               a == "--time-budget") {
+      const char* v = value();
+      if (v == nullptr) return false;
+      try {
+        if (a == "--max-states") {
+          args.max_states = std::stoull(v);
+        } else if (a == "--max-schemas") {
+          args.max_schemas = std::stoll(v);
+        } else {
+          args.time_budget = std::stod(v);
+        }
+      } catch (const std::exception&) {
+        std::cerr << "ctaver: " << a << " needs a number, got '" << v << "'\n";
+        return false;
+      }
+    } else if (a == "--sweep") {
+      const char* v = value();
+      std::vector<long long> vals;
+      if (v == nullptr || !parse_sweep(v, vals)) return false;
+      args.sweep_override.push_back(std::move(vals));
+    } else if (!a.empty() && a[0] == '-') {
+      std::cerr << "ctaver: unknown option '" << a << "'\n";
+      return false;
+    } else {
+      args.protocols.push_back(std::move(a));
+    }
+  }
+  return true;
+}
+
+const char* category_str(Category c) {
+  return c == Category::kA ? "(A)" : c == Category::kB ? "(B)" : "(C)";
+}
+
+void print_summary(const ProtocolModel& pm, const std::string& origin) {
+  const ctaver::ta::System& sys = pm.system;
+  std::cout << pm.name << " " << category_str(pm.category) << "  [" << origin
+            << "]\n"
+            << "  parameters:";
+  for (const auto& p : sys.env.params) std::cout << " " << p.name;
+  std::cout << "\n  resilience:";
+  for (const auto& rc : sys.env.resilience) {
+    std::cout << "  " << rc.str(sys.env.params);
+  }
+  std::cout << "\n  |L| = " << sys.total_locations() << " (process "
+            << sys.process.locations.size() << " + coin "
+            << sys.coin.locations.size() << ")"
+            << "\n  |R| = " << sys.total_rules() << " (process "
+            << sys.process.rules.size() << " + coin " << sys.coin.rules.size()
+            << ")"
+            << "\n  shared vars = " << sys.shared_vars().size()
+            << ", coin vars = " << sys.coin_vars().size()
+            << "\n  sweep instances = " << pm.sweep_params.size() << "\n";
+}
+
+void print_property(const std::string& title,
+                    const ctaver::verify::PropertyResult& pr) {
+  std::cout << "  " << title << ": "
+            << (pr.holds()                ? "holds"
+                : pr.has_counterexample() ? "COUNTEREXAMPLE"
+                                          : "inconclusive")
+            << "\n";
+  for (const ctaver::verify::Obligation& o : pr.obligations) {
+    std::cout << "    " << o.name << ": " << (o.holds ? "ok" : "FAIL") << " ["
+              << (o.parametric ? "parametric" : "sweep")
+              << (o.complete ? "" : ", budget-limited") << "]";
+    if (o.nschemas > 0) std::cout << " " << o.nschemas << " schemas";
+    std::cout << "\n";
+    if (!o.holds && !o.detail.empty()) {
+      std::cout << "      " << o.detail << "\n";
+    }
+  }
+}
+
+int cmd_list(const ProtocolRegistry& registry) {
+  for (const std::string& name : registry.names()) {
+    ProtocolModel pm = registry.make(name);
+    std::cout << name << "  " << category_str(pm.category)
+              << "  |L|=" << pm.system.total_locations()
+              << " |R|=" << pm.system.total_rules() << "  ["
+              << registry.origin(name) << "]\n";
+  }
+  return 0;
+}
+
+int cmd_parse(const ProtocolRegistry& registry, const Args& args) {
+  if (args.protocols.empty()) return usage(std::cerr, 2);
+  for (const std::string& spec : args.protocols) {
+    ProtocolModel pm = registry.resolve(spec);
+    print_summary(pm, spec);
+  }
+  return 0;
+}
+
+int cmd_verify(const ProtocolRegistry& registry, const Args& args,
+               bool rows_only, const std::vector<std::string>& protocols) {
+  if (protocols.empty()) return usage(std::cerr, 2);
+  ctaver::verify::Options opts;
+  opts.run_sweeps = !args.no_sweeps;
+  if (args.max_states > 0) opts.max_states = args.max_states;
+  if (args.max_schemas > 0) opts.schema.max_schemas = args.max_schemas;
+  if (args.time_budget > 0) opts.schema.time_budget_s = args.time_budget;
+
+  bool all_verified = true;
+  std::cout << ctaver::verify::table2_header() << "\n";
+  for (const std::string& spec : protocols) {
+    ProtocolModel pm = registry.resolve(spec);
+    if (!args.sweep_override.empty()) {
+      // The frontend validates spec-file sweeps; hold CLI overrides to the
+      // same bar or ParamExpr::eval would read past the valuation vector.
+      for (const auto& vals : args.sweep_override) {
+        if (vals.size() != pm.system.env.params.size()) {
+          throw std::runtime_error(
+              "--sweep instance has " + std::to_string(vals.size()) +
+              " values but " + pm.name + " has " +
+              std::to_string(pm.system.env.params.size()) + " parameters");
+        }
+        if (!pm.system.env.admissible(vals)) {
+          throw std::runtime_error(
+              "--sweep instance violates the resilience condition of " +
+              pm.name);
+        }
+      }
+      pm.sweep_params = args.sweep_override;
+    }
+    ctaver::verify::ProtocolReport report =
+        ctaver::verify::verify_protocol(pm, opts);
+    if (!rows_only) {
+      std::cout << "== " << report.protocol << " "
+                << category_str(report.category)
+                << " |L|=" << report.n_locations
+                << " |R|=" << report.n_rules << "\n";
+      print_property("Agreement", report.agreement);
+      print_property("Validity", report.validity);
+      print_property("Almost-sure termination", report.termination);
+    }
+    std::cout << ctaver::verify::table2_row(report) << "\n";
+    all_verified = all_verified && report.agreement.holds() &&
+                   report.validity.holds() && report.termination.holds();
+  }
+  return all_verified ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  if (!parse_args(argc, argv, args)) return usage(std::cerr, 2);
+  if (args.command == "help" || args.command == "--help" ||
+      args.command == "-h") {
+    return usage(std::cout, 0);
+  }
+  try {
+    ProtocolRegistry registry = ProtocolRegistry::with_builtins();
+    if (!args.specs_dir.empty()) {
+      for (const auto& entry :
+           std::filesystem::directory_iterator(args.specs_dir)) {
+        if (entry.path().extension() == ".cta") {
+          registry.add_file(entry.path().string());
+        }
+      }
+    }
+    if (args.command == "list") return cmd_list(registry);
+    if (args.command == "parse") return cmd_parse(registry, args);
+    if (args.command == "verify") {
+      return cmd_verify(registry, args, args.quiet, args.protocols);
+    }
+    if (args.command == "table2") {
+      std::vector<std::string> protocols = args.protocols;
+      if (protocols.empty()) {
+        // The paper's Table-II order (NaiveVoting is the warm-up, not a row).
+        protocols = {"Rabin83", "CC85a", "CC85b",    "FMR05",
+                     "KS16",    "MMR14", "Miller18", "ABY22"};
+      }
+      return cmd_verify(registry, args, /*rows_only=*/true, protocols);
+    }
+    std::cerr << "ctaver: unknown command '" << args.command << "'\n";
+    return usage(std::cerr, 2);
+  } catch (const ParseError& e) {
+    std::cerr << e.what() << "\n";
+    return 2;
+  } catch (const std::exception& e) {
+    std::cerr << "ctaver: " << e.what() << "\n";
+    return 2;
+  }
+}

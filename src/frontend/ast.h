@@ -1,0 +1,126 @@
+// Abstract syntax for .cta protocol descriptions. The AST is deliberately
+// name-based (no ids yet): the lowering pass in frontend/lower.h resolves
+// every identifier against the declaration tables and reports undeclared or
+// duplicate names with source positions.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "frontend/diag.h"
+
+namespace ctaver::frontend::ast {
+
+/// Linear expression over identifiers:  Σ coeff·ident + constant. Which
+/// idents are legal (parameters vs. shared/coin variables) depends on where
+/// the expression occurs and is checked during lowering.
+struct LinExpr {
+  std::vector<std::pair<long long, std::string>> terms;
+  long long constant = 0;
+  Pos pos;
+};
+
+/// Comparison spelling as written; guards are restricted to >= / < during
+/// lowering, resilience conditions accept all five.
+enum class Cmp { kGe, kGt, kLe, kLt, kEq };
+
+/// One `resilience LHS OP RHS;` conjunct.
+struct Resilience {
+  LinExpr lhs;
+  Cmp op = Cmp::kGe;
+  LinExpr rhs;
+  Pos pos;
+};
+
+/// Threshold or coin guard `LHS OP RHS` inside a rule's `when` clause.
+struct Guard {
+  LinExpr lhs;
+  Cmp op = Cmp::kGe;
+  LinExpr rhs;
+  Pos pos;
+};
+
+/// `var += k` inside a rule's `do` clause.
+struct Update {
+  std::string var;
+  long long increment = 0;
+  Pos pos;
+};
+
+/// One destination of a rule: plain `LOC` (Dirac) or `NUM/DEN : LOC`.
+struct Outcome {
+  bool has_prob = false;
+  long long num = 1;
+  long long den = 1;
+  std::string loc;
+  Pos pos;
+};
+
+/// `border NAME : V;` / `initial NAME : V;` / `internal NAME;` /
+/// `final NAME : V [decides];` — coin-automaton locations omit the value.
+struct LocDecl {
+  enum class Role { kBorder, kInitial, kInternal, kFinal };
+  Role role = Role::kInternal;
+  std::string name;
+  int value = -1;  // -1: no value tag written
+  bool decides = false;
+  Pos pos;
+};
+
+/// `rule NAME: FROM -> OUTCOMES [when G, ...] [do U, ...];` plus the two
+/// sugared forms `entry B -> I;` and `switch F -> B;` that lower to the
+/// builder's border-entry / round-switch rules (with their derived names).
+struct RuleDecl {
+  enum class Kind { kRule, kEntry, kSwitch };
+  Kind kind = Kind::kRule;
+  std::string name;  // empty for entry/switch
+  std::string from;
+  std::vector<Outcome> outcomes;
+  std::vector<Guard> guards;
+  std::vector<Update> updates;
+  Pos pos;
+};
+
+/// Body of a `process { ... }` or `coin { ... }` block.
+struct Section {
+  std::vector<LocDecl> locs;
+  std::vector<RuleDecl> rules;
+  Pos pos;
+};
+
+/// Category-(C) crusader-agreement metadata (Fig. 6 refinement hooks).
+struct Crusader {
+  bool present = false;
+  std::vector<std::string> outputs;   // M0, M1, M⊥ location names
+  std::vector<std::string> splits;    // N0, N1, N⊥ location names
+  std::vector<std::string> counters;  // m0/m1 message-count variables
+  std::string refine_rule;            // empty: model is built pre-refined
+  Pos pos;
+  Pos outputs_pos, splits_pos, counters_pos, refine_pos;
+};
+
+struct VarDecl {
+  std::string name;
+  bool is_coin = false;
+  Pos pos;
+};
+
+struct Protocol {
+  std::string name;
+  std::string category;  // "A" | "B" | "C"; empty if missing
+  Pos category_pos;
+  std::vector<std::pair<std::string, Pos>> params;
+  std::vector<Resilience> resilience;
+  bool has_counts = false;
+  LinExpr processes, coins;
+  Pos counts_pos;
+  std::vector<VarDecl> vars;  // declaration order defines VarId order
+  Section process, coin;
+  bool has_coin_section = false;
+  Crusader crusader;
+  std::vector<std::pair<std::vector<long long>, Pos>> sweeps;
+  Pos pos;
+};
+
+}  // namespace ctaver::frontend::ast

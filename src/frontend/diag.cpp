@@ -1,0 +1,35 @@
+#include "frontend/diag.h"
+
+namespace ctaver::frontend {
+
+std::string Diagnostic::str(const std::string& file) const {
+  std::string out = file;
+  out += ':';
+  out += std::to_string(pos.line);
+  out += ':';
+  out += std::to_string(pos.col);
+  out += ": ";
+  out += message;
+  return out;
+}
+
+namespace {
+
+std::string format_all(const std::string& file,
+                       const std::vector<Diagnostic>& diags) {
+  std::string out;
+  for (const Diagnostic& d : diags) {
+    if (!out.empty()) out += '\n';
+    out += d.str(file);
+  }
+  return out;
+}
+
+}  // namespace
+
+ParseError::ParseError(std::string file, std::vector<Diagnostic> diags)
+    : std::runtime_error(format_all(file, diags)),
+      file_(std::move(file)),
+      diags_(std::move(diags)) {}
+
+}  // namespace ctaver::frontend

@@ -1,0 +1,43 @@
+// Positioned diagnostics for the .cta protocol front-end. Both the lexer /
+// parser (syntax) and the lowering pass (semantics) report through these, so
+// a malformed spec always produces file:line:col messages instead of a crash
+// deep inside ta::SystemBuilder.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace ctaver::frontend {
+
+/// 1-based source position inside a .cta file.
+struct Pos {
+  int line = 1;
+  int col = 1;
+};
+
+struct Diagnostic {
+  Pos pos;
+  std::string message;
+
+  /// "file:line:col: message".
+  [[nodiscard]] std::string str(const std::string& file) const;
+};
+
+/// Carries every diagnostic collected for one spec; what() is the full
+/// newline-joined list.
+class ParseError : public std::runtime_error {
+ public:
+  ParseError(std::string file, std::vector<Diagnostic> diags);
+
+  [[nodiscard]] const std::string& file() const { return file_; }
+  [[nodiscard]] const std::vector<Diagnostic>& diagnostics() const {
+    return diags_;
+  }
+
+ private:
+  std::string file_;
+  std::vector<Diagnostic> diags_;
+};
+
+}  // namespace ctaver::frontend

@@ -1,0 +1,185 @@
+#include "frontend/lexer.h"
+
+#include <cctype>
+#include <cstdint>
+
+namespace ctaver::frontend {
+
+const char* token_kind_str(TokKind kind) {
+  switch (kind) {
+    case TokKind::kIdent: return "identifier";
+    case TokKind::kInt: return "integer";
+    case TokKind::kLBrace: return "'{'";
+    case TokKind::kRBrace: return "'}'";
+    case TokKind::kLParen: return "'('";
+    case TokKind::kRParen: return "')'";
+    case TokKind::kColon: return "':'";
+    case TokKind::kSemi: return "';'";
+    case TokKind::kComma: return "','";
+    case TokKind::kArrow: return "'->'";
+    case TokKind::kBar: return "'|'";
+    case TokKind::kAssign: return "'='";
+    case TokKind::kEq: return "'=='";
+    case TokKind::kGe: return "'>='";
+    case TokKind::kGt: return "'>'";
+    case TokKind::kLe: return "'<='";
+    case TokKind::kLt: return "'<'";
+    case TokKind::kPlus: return "'+'";
+    case TokKind::kPlusEq: return "'+='";
+    case TokKind::kMinus: return "'-'";
+    case TokKind::kStar: return "'*'";
+    case TokKind::kSlash: return "'/'";
+    case TokKind::kEof: return "end of input";
+  }
+  return "?";
+}
+
+namespace {
+
+class Lexer {
+ public:
+  Lexer(const std::string& text, const std::string& file)
+      : text_(text), file_(file) {}
+
+  std::vector<Token> run() {
+    std::vector<Token> out;
+    for (;;) {
+      skip_blank();
+      Pos pos{line_, col_};
+      if (at_end()) {
+        out.push_back({TokKind::kEof, "", 0, pos});
+        return out;
+      }
+      char c = peek();
+      if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+        out.push_back(ident(pos));
+      } else if (std::isdigit(static_cast<unsigned char>(c))) {
+        out.push_back(integer(pos));
+      } else {
+        out.push_back(symbol(pos));
+      }
+    }
+  }
+
+ private:
+  [[nodiscard]] bool at_end() const { return i_ >= text_.size(); }
+  [[nodiscard]] char peek(std::size_t ahead = 0) const {
+    return i_ + ahead < text_.size() ? text_[i_ + ahead] : '\0';
+  }
+  char advance() {
+    char c = text_[i_++];
+    if (c == '\n') {
+      ++line_;
+      col_ = 1;
+    } else {
+      ++col_;
+    }
+    return c;
+  }
+
+  void skip_blank() {
+    for (;;) {
+      if (at_end()) return;
+      char c = peek();
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        advance();
+      } else if (c == '#' || (c == '/' && peek(1) == '/')) {
+        while (!at_end() && peek() != '\n') advance();
+      } else {
+        return;
+      }
+    }
+  }
+
+  Token ident(Pos pos) {
+    std::string s;
+    while (!at_end()) {
+      char c = peek();
+      if (std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+          c == '\'') {
+        s.push_back(advance());
+      } else {
+        break;
+      }
+    }
+    return {TokKind::kIdent, s, 0, pos};
+  }
+
+  Token integer(Pos pos) {
+    long long v = 0;
+    while (!at_end() && std::isdigit(static_cast<unsigned char>(peek()))) {
+      int d = advance() - '0';
+      if (v > (INT64_MAX - d) / 10) {
+        fail(pos, "integer literal does not fit in 64 bits");
+      }
+      v = v * 10 + d;
+    }
+    return {TokKind::kInt, "", v, pos};
+  }
+
+  Token symbol(Pos pos) {
+    char c = advance();
+    switch (c) {
+      case '{': return {TokKind::kLBrace, "{", 0, pos};
+      case '}': return {TokKind::kRBrace, "}", 0, pos};
+      case '(': return {TokKind::kLParen, "(", 0, pos};
+      case ')': return {TokKind::kRParen, ")", 0, pos};
+      case ':': return {TokKind::kColon, ":", 0, pos};
+      case ';': return {TokKind::kSemi, ";", 0, pos};
+      case ',': return {TokKind::kComma, ",", 0, pos};
+      case '|': return {TokKind::kBar, "|", 0, pos};
+      case '*': return {TokKind::kStar, "*", 0, pos};
+      case '/': return {TokKind::kSlash, "/", 0, pos};
+      case '=':
+        if (peek() == '=') {
+          advance();
+          return {TokKind::kEq, "==", 0, pos};
+        }
+        return {TokKind::kAssign, "=", 0, pos};
+      case '>':
+        if (peek() == '=') {
+          advance();
+          return {TokKind::kGe, ">=", 0, pos};
+        }
+        return {TokKind::kGt, ">", 0, pos};
+      case '<':
+        if (peek() == '=') {
+          advance();
+          return {TokKind::kLe, "<=", 0, pos};
+        }
+        return {TokKind::kLt, "<", 0, pos};
+      case '+':
+        if (peek() == '=') {
+          advance();
+          return {TokKind::kPlusEq, "+=", 0, pos};
+        }
+        return {TokKind::kPlus, "+", 0, pos};
+      case '-':
+        if (peek() == '>') {
+          advance();
+          return {TokKind::kArrow, "->", 0, pos};
+        }
+        return {TokKind::kMinus, "-", 0, pos};
+      default:
+        fail(pos, std::string("stray character '") + c + "' in input");
+    }
+  }
+
+  [[noreturn]] void fail(Pos pos, std::string msg) {
+    throw ParseError(file_, {{pos, std::move(msg)}});
+  }
+
+  const std::string& text_;
+  const std::string& file_;
+  std::size_t i_ = 0;
+  int line_ = 1;
+  int col_ = 1;
+};
+
+}  // namespace
+
+std::vector<Token> lex(const std::string& text, const std::string& file) {
+  return Lexer(text, file).run();
+}
+
+}  // namespace ctaver::frontend

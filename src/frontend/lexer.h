@@ -1,0 +1,56 @@
+// Tokenizer for the .cta protocol description language.
+//
+// Identifiers may contain primes (S0', B0') because the paper's location
+// names use them; `//` and `#` start line comments. Keywords are not
+// distinguished here — the parser matches identifier text, so protocol
+// entities may reuse words like `coin` as names where unambiguous.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "frontend/diag.h"
+
+namespace ctaver::frontend {
+
+enum class TokKind {
+  kIdent,
+  kInt,
+  kLBrace,  // {
+  kRBrace,  // }
+  kLParen,  // (
+  kRParen,  // )
+  kColon,   // :
+  kSemi,    // ;
+  kComma,   // ,
+  kArrow,   // ->
+  kBar,     // |
+  kAssign,  // =
+  kEq,      // ==
+  kGe,      // >=
+  kGt,      // >
+  kLe,      // <=
+  kLt,      // <
+  kPlus,    // +
+  kPlusEq,  // +=
+  kMinus,   // -
+  kStar,    // *
+  kSlash,   // /
+  kEof,
+};
+
+struct Token {
+  TokKind kind = TokKind::kEof;
+  std::string text;      // identifier spelling (kIdent) or symbol
+  long long value = 0;   // kInt
+  Pos pos;
+};
+
+/// Human-readable token-kind name for diagnostics ("'->'", "integer", ...).
+const char* token_kind_str(TokKind kind);
+
+/// Tokenizes `text`; throws ParseError (tagged with `file`) on stray
+/// characters or integer literals that do not fit in long long.
+std::vector<Token> lex(const std::string& text, const std::string& file);
+
+}  // namespace ctaver::frontend

@@ -1,0 +1,515 @@
+#include "frontend/lower.h"
+
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <utility>
+
+#include "frontend/parser.h"
+#include "ta/builder.h"
+
+namespace ctaver::frontend {
+
+namespace {
+
+using ast::Cmp;
+
+ta::CmpOp to_cmp_op(Cmp c) {
+  switch (c) {
+    case Cmp::kGe: return ta::CmpOp::kGe;
+    case Cmp::kGt: return ta::CmpOp::kGt;
+    case Cmp::kLe: return ta::CmpOp::kLe;
+    case Cmp::kLt: return ta::CmpOp::kLt;
+    case Cmp::kEq: return ta::CmpOp::kEq;
+  }
+  return ta::CmpOp::kGe;
+}
+
+const char* cmp_spelling(Cmp c) {
+  switch (c) {
+    case Cmp::kGe: return ">=";
+    case Cmp::kGt: return ">";
+    case Cmp::kLe: return "<=";
+    case Cmp::kLt: return "<";
+    case Cmp::kEq: return "==";
+  }
+  return "?";
+}
+
+/// A rule with every name resolved, ready to replay through SystemBuilder.
+struct LoweredRule {
+  ast::RuleDecl::Kind kind = ast::RuleDecl::Kind::kRule;
+  std::string name;  // kRule only; sugar rules derive their builder names
+  ta::LocId from = -1;
+  std::vector<std::pair<ta::LocId, util::Rational>> outcomes;
+  std::vector<ta::Guard> guards;
+  std::vector<std::pair<ta::VarId, long long>> updates;
+};
+
+class Lowerer {
+ public:
+  Lowerer(const ast::Protocol& p, const std::string& file)
+      : p_(p), file_(file) {}
+
+  protocols::ProtocolModel run() {
+    check_header();
+    declare_params();
+    declare_vars();
+    const std::size_t diags_before_env = diags_.size();
+    lower_env();
+    env_ok_ = diags_.size() == diags_before_env && p_.has_counts;
+    declare_locs(p_.process, proc_locs_, /*coin=*/false);
+    declare_locs(p_.coin, coin_locs_, /*coin=*/true);
+    lower_rules(p_.process, /*coin=*/false, proc_rules_);
+    lower_rules(p_.coin, /*coin=*/true, coin_rules_);
+    check_crusader();
+    check_sweeps();
+    if (!diags_.empty()) throw ParseError(file_, diags_);
+    return build();
+  }
+
+ private:
+  void diag(Pos pos, std::string msg) {
+    diags_.push_back({pos, std::move(msg)});
+  }
+
+  // --- declaration tables -------------------------------------------------
+  void check_header() {
+    if (p_.category.empty()) {
+      diag(p_.pos, "protocol is missing a 'category A|B|C;' statement");
+    } else if (p_.category != "A" && p_.category != "B" &&
+               p_.category != "C") {
+      diag(p_.category_pos,
+           "unknown category '" + p_.category + "' (expected A, B or C)");
+    }
+  }
+
+  void declare_params() {
+    for (const auto& [name, pos] : p_.params) {
+      if (!params_.emplace(name, static_cast<ta::ParamId>(param_order_.size()))
+               .second) {
+        diag(pos, "duplicate parameter '" + name + "'");
+        continue;
+      }
+      param_order_.push_back(name);
+    }
+  }
+
+  void declare_vars() {
+    for (const ast::VarDecl& v : p_.vars) {
+      if (params_.count(v.name) != 0) {
+        diag(v.pos, "variable '" + v.name + "' collides with a parameter");
+        continue;
+      }
+      if (!vars_.emplace(v.name, static_cast<ta::VarId>(var_order_.size()))
+               .second) {
+        diag(v.pos, "duplicate variable '" + v.name + "'");
+        continue;
+      }
+      var_order_.push_back(v);
+    }
+  }
+
+  // --- environment --------------------------------------------------------
+  ta::ParamExpr param_expr(const ast::LinExpr& e, const char* context) {
+    ta::ParamExpr out = ta::ParamExpr::constant_expr(e.constant);
+    for (const auto& [coeff, name] : e.terms) {
+      auto it = params_.find(name);
+      if (it == params_.end()) {
+        if (vars_.count(name) != 0) {
+          diag(e.pos, "shared variable '" + name + "' cannot appear in " +
+                          context + " (parameters only)");
+        } else {
+          diag(e.pos, "undeclared parameter '" + name + "' in " + context);
+        }
+        continue;
+      }
+      out.add_param(it->second, coeff);
+    }
+    return out;
+  }
+
+  void lower_env() {
+    for (const ast::Resilience& r : p_.resilience) {
+      ta::ParamExpr diff = param_expr(r.lhs, "a resilience condition") -
+                           param_expr(r.rhs, "a resilience condition");
+      env_.resilience.push_back({std::move(diff), to_cmp_op(r.op)});
+    }
+    if (!p_.has_counts) {
+      diag(p_.pos,
+           "protocol is missing a 'counts processes = ..., coins = ...;' "
+           "statement");
+      return;
+    }
+    env_.num_processes = param_expr(p_.processes, "the process count");
+    env_.num_coins = param_expr(p_.coins, "the coin count");
+  }
+
+  // --- locations ----------------------------------------------------------
+  void declare_locs(const ast::Section& s,
+                    std::map<std::string, ta::LocId>& table, bool coin) {
+    const char* side = coin ? "coin" : "process";
+    for (const ast::LocDecl& d : s.locs) {
+      if (!table.emplace(d.name, static_cast<ta::LocId>(table.size()))
+               .second) {
+        diag(d.pos, std::string("duplicate location '") + d.name +
+                        "' in the " + side + " automaton");
+        // Keep table ids consistent with SystemBuilder, which would have
+        // pushed a second location; drop the duplicate everywhere instead.
+        continue;
+      }
+      using Role = ast::LocDecl::Role;
+      bool needs_value =
+          !coin && (d.role == Role::kBorder || d.role == Role::kInitial);
+      if (needs_value && d.value == -1) {
+        diag(d.pos, "process border/initial location '" + d.name +
+                        "' needs a binary value tag (': 0' or ': 1')");
+      }
+      if (d.value != -1 && d.value != 0 && d.value != 1) {
+        diag(d.pos, "value tag of '" + d.name + "' must be 0 or 1");
+      }
+      if (d.value != -1 && coin && d.role != Role::kFinal) {
+        diag(d.pos, "only final coin locations carry a value tag");
+      }
+      if (d.value != -1 && !coin && d.role == Role::kInternal) {
+        diag(d.pos, "internal locations carry no value tag");
+      }
+      if (d.decides && (coin || d.role != Role::kFinal)) {
+        diag(d.pos, "'decides' is only meaningful on process final locations");
+      }
+    }
+  }
+
+  // --- guards and rules ---------------------------------------------------
+  ta::Guard lower_guard(const ast::Guard& g) {
+    ta::Guard out;
+    if (g.op == Cmp::kGe) {
+      out.rel = ta::GuardRel::kGe;
+    } else if (g.op == Cmp::kLt) {
+      out.rel = ta::GuardRel::kLt;
+    } else {
+      diag(g.pos, std::string("threshold guards must use '>=' or '<', not '") +
+                      cmp_spelling(g.op) + "'");
+    }
+    for (const auto& [coeff, name] : g.lhs.terms) {
+      auto it = vars_.find(name);
+      if (it == vars_.end()) {
+        if (params_.count(name) != 0) {
+          diag(g.pos, "parameter '" + name +
+                          "' on the message-count side of a guard (move it "
+                          "to the threshold side)");
+        } else {
+          diag(g.pos, "undeclared shared variable '" + name + "' in guard");
+        }
+        continue;
+      }
+      out.lhs.emplace_back(it->second, coeff);
+    }
+    if (g.lhs.constant != 0) {
+      diag(g.pos,
+           "constant term on the message-count side of a guard (move it to "
+           "the threshold side)");
+    }
+    for (const auto& [coeff, name] : g.rhs.terms) {
+      (void)coeff;
+      if (vars_.count(name) != 0) {
+        diag(g.pos, "shared variable '" + name +
+                        "' on the threshold side of a guard (thresholds are "
+                        "linear in the parameters)");
+      }
+    }
+    out.rhs = param_expr(g.rhs, "a guard threshold");
+    return out;
+  }
+
+  ta::LocId resolve_loc(const std::string& name, Pos pos, bool coin) {
+    const auto& table = coin ? coin_locs_ : proc_locs_;
+    auto it = table.find(name);
+    if (it != table.end()) return it->second;
+    diag(pos, std::string("undeclared location '") + name + "' in the " +
+                  (coin ? "coin" : "process") + " automaton");
+    return -1;
+  }
+
+  void lower_rules(const ast::Section& s, bool coin,
+                   std::vector<LoweredRule>& out) {
+    std::set<std::string> names;
+    auto claim_name = [&](const std::string& name, Pos pos) {
+      if (!names.insert(name).second) {
+        diag(pos, "duplicate rule name '" + name + "'");
+      }
+    };
+    for (const ast::RuleDecl& r : s.rules) {
+      LoweredRule lr;
+      lr.kind = r.kind;
+      lr.name = r.name;
+      lr.from = resolve_loc(r.from, r.pos, coin);
+      for (const ast::Outcome& o : r.outcomes) {
+        ta::LocId to = resolve_loc(o.loc, o.pos, coin);
+        util::Rational prob(1);
+        if (o.has_prob) {
+          if (o.den == 0) {
+            diag(o.pos, "zero denominator in probability fraction");
+          } else {
+            prob = util::Rational(o.num, o.den);
+          }
+        }
+        lr.outcomes.emplace_back(to, prob);
+      }
+      if (r.kind == ast::RuleDecl::Kind::kRule) {
+        claim_name(r.name, r.pos);
+        if (!coin && (r.outcomes.size() > 1 || r.outcomes[0].has_prob)) {
+          diag(r.pos,
+               "probabilistic rules are only allowed in the coin automaton");
+        }
+        if (r.outcomes.size() > 1 || r.outcomes[0].has_prob) {
+          util::Rational total(0);
+          bool well_formed = true;
+          for (const ast::Outcome& o : r.outcomes) {
+            if (!o.has_prob && r.outcomes.size() > 1) {
+              diag(o.pos, "outcome '" + o.loc +
+                              "' of a probabilistic rule needs a "
+                              "probability ('NUM/DEN: " +
+                              o.loc + "')");
+            }
+            if (!o.has_prob || o.den == 0) {
+              well_formed = false;
+              continue;
+            }
+            total += util::Rational(o.num, o.den);
+          }
+          if (well_formed && total != util::Rational(1)) {
+            diag(r.pos, "outcome probabilities sum to " + total.str() +
+                            ", expected 1");
+          }
+        }
+        for (const ast::Guard& g : r.guards) {
+          lr.guards.push_back(lower_guard(g));
+        }
+        for (const ast::Update& u : r.updates) {
+          auto it = vars_.find(u.var);
+          if (it == vars_.end()) {
+            diag(u.pos,
+                 "undeclared shared variable '" + u.var + "' in update");
+            continue;
+          }
+          lr.updates.emplace_back(it->second, u.increment);
+        }
+      } else {
+        // entry B -> I lowers to rule "enter_I"; switch F -> B to
+        // "switch_F" — claim the derived names so clashes are caught here.
+        const std::string derived =
+            r.kind == ast::RuleDecl::Kind::kEntry
+                ? "enter_" + r.outcomes[0].loc
+                : "switch_" + r.from;
+        claim_name(derived, r.pos);
+      }
+      out.push_back(std::move(lr));
+    }
+  }
+
+  // --- protocol-level metadata -------------------------------------------
+  void check_crusader() {
+    const ast::Crusader& c = p_.crusader;
+    if (!c.present) {
+      if (p_.category == "C") {
+        diag(p_.pos,
+             "category C protocols need a 'crusader { ... }' block naming "
+             "the M/N locations and message counters");
+      }
+      return;
+    }
+    if (p_.category != "C") {
+      diag(c.pos, "'crusader' block is only meaningful for category C");
+    }
+    if (c.outputs.empty()) diag(c.pos, "crusader block is missing 'outputs'");
+    if (c.splits.empty()) diag(c.pos, "crusader block is missing 'splits'");
+    if (c.counters.empty()) {
+      diag(c.pos, "crusader block is missing 'counters'");
+    }
+    for (const std::string& name : c.outputs) {
+      if (proc_locs_.count(name) == 0) {
+        diag(c.outputs_pos, "undeclared location '" + name + "' in outputs");
+      }
+    }
+    if (c.refine_rule.empty()) {
+      // Pre-refined model: the split locations must already exist.
+      for (const std::string& name : c.splits) {
+        if (proc_locs_.count(name) == 0) {
+          diag(c.splits_pos, "undeclared location '" + name +
+                                 "' in splits (only models with a 'refine' "
+                                 "rule may name fresh split locations)");
+        }
+      }
+    } else {
+      bool found = false;
+      for (const ast::RuleDecl& r : p_.process.rules) {
+        if (r.kind == ast::RuleDecl::Kind::kRule && r.name == c.refine_rule) {
+          found = true;
+          break;
+        }
+      }
+      if (!found) {
+        diag(c.refine_pos,
+             "undeclared process rule '" + c.refine_rule + "' in refine");
+      }
+    }
+    for (const std::string& name : c.counters) {
+      auto it = vars_.find(name);
+      if (it == vars_.end()) {
+        diag(c.counters_pos,
+             "undeclared shared variable '" + name + "' in counters");
+      } else if (var_order_[static_cast<std::size_t>(it->second)].is_coin) {
+        diag(c.counters_pos,
+             "'" + name + "' is a coin variable; counters must be shared "
+             "message counts");
+      }
+    }
+  }
+
+  void check_sweeps() {
+    env_.params.clear();
+    for (const std::string& name : param_order_) env_.params.push_back({name});
+    for (const auto& [vals, pos] : p_.sweeps) {
+      if (vals.size() != param_order_.size()) {
+        diag(pos, "sweep instance has " + std::to_string(vals.size()) +
+                      " values for " + std::to_string(param_order_.size()) +
+                      " parameters");
+        continue;
+      }
+      if (!env_ok_) continue;  // env is half-built; admissibility unknowable
+      if (!env_.admissible(vals)) {
+        diag(pos,
+             "sweep instance does not satisfy the resilience condition (or "
+             "yields a non-positive process count)");
+      }
+    }
+  }
+
+  // --- replay through SystemBuilder --------------------------------------
+  protocols::ProtocolModel build() {
+    ta::SystemBuilder b(p_.name);
+    for (const std::string& name : param_order_) b.param(name);
+    for (const ta::ParamConstraint& rc : env_.resilience) {
+      b.require(rc.expr, rc.op);
+    }
+    b.model_counts(env_.num_processes, env_.num_coins);
+    for (const ast::VarDecl& v : var_order_) {
+      if (v.is_coin) {
+        b.coin_var(v.name);
+      } else {
+        b.shared(v.name);
+      }
+    }
+    for (const ast::LocDecl& d : p_.process.locs) {
+      using Role = ast::LocDecl::Role;
+      switch (d.role) {
+        case Role::kBorder: b.border(d.name, d.value); break;
+        case Role::kInitial: b.initial(d.name, d.value); break;
+        case Role::kInternal: b.internal(d.name); break;
+        case Role::kFinal: b.final_loc(d.name, d.value, d.decides); break;
+      }
+    }
+    for (const ast::LocDecl& d : p_.coin.locs) {
+      using Role = ast::LocDecl::Role;
+      switch (d.role) {
+        case Role::kBorder: b.coin_border(d.name); break;
+        case Role::kInitial: b.coin_initial(d.name); break;
+        case Role::kInternal: b.coin_internal(d.name); break;
+        case Role::kFinal: b.coin_final(d.name, d.value); break;
+      }
+    }
+    for (const LoweredRule& r : proc_rules_) {
+      switch (r.kind) {
+        case ast::RuleDecl::Kind::kEntry:
+          b.border_entry(r.from, r.outcomes[0].first);
+          break;
+        case ast::RuleDecl::Kind::kSwitch:
+          b.round_switch(r.from, r.outcomes[0].first);
+          break;
+        case ast::RuleDecl::Kind::kRule:
+          b.rule(r.name, r.from, r.outcomes[0].first, r.guards, r.updates);
+          break;
+      }
+    }
+    for (const LoweredRule& r : coin_rules_) {
+      switch (r.kind) {
+        case ast::RuleDecl::Kind::kEntry:
+          b.coin_border_entry(r.from, r.outcomes[0].first);
+          break;
+        case ast::RuleDecl::Kind::kSwitch:
+          b.coin_round_switch(r.from, r.outcomes[0].first);
+          break;
+        case ast::RuleDecl::Kind::kRule:
+          b.coin_prob_rule(r.name, r.from, ta::Distribution{r.outcomes},
+                           r.guards, r.updates);
+          break;
+      }
+    }
+
+    protocols::ProtocolModel pm;
+    pm.name = p_.name;
+    pm.category = p_.category == "A"   ? protocols::Category::kA
+                  : p_.category == "C" ? protocols::Category::kC
+                                       : protocols::Category::kB;
+    try {
+      pm.system = b.build();
+    } catch (const std::invalid_argument& e) {
+      // Structural well-formedness violations (round structure, guard
+      // homogeneity, ...) surface from ta::validate with model-level text;
+      // anchor them at the protocol header.
+      throw ParseError(file_, {{p_.pos, e.what()}});
+    }
+    const ast::Crusader& c = p_.crusader;
+    if (c.present) {
+      pm.mbot_rule = c.refine_rule;
+      pm.m0 = vars_.at(c.counters[0]);
+      pm.m1 = vars_.at(c.counters[1]);
+      pm.m0_loc = c.outputs[0];
+      pm.m1_loc = c.outputs[1];
+      pm.mbot_loc = c.outputs[2];
+      pm.n0_loc = c.splits[0];
+      pm.n1_loc = c.splits[1];
+      pm.nbot_loc = c.splits[2];
+    }
+    for (const auto& [vals, pos] : p_.sweeps) pm.sweep_params.push_back(vals);
+    return pm;
+  }
+
+  const ast::Protocol& p_;
+  const std::string& file_;
+  std::vector<Diagnostic> diags_;
+  std::map<std::string, ta::ParamId> params_;
+  std::vector<std::string> param_order_;
+  std::map<std::string, ta::VarId> vars_;
+  std::vector<ast::VarDecl> var_order_;
+  std::map<std::string, ta::LocId> proc_locs_, coin_locs_;
+  std::vector<LoweredRule> proc_rules_, coin_rules_;
+  ta::Environment env_;
+  bool env_ok_ = false;
+};
+
+}  // namespace
+
+protocols::ProtocolModel lower(const ast::Protocol& p,
+                               const std::string& file) {
+  return Lowerer(p, file).run();
+}
+
+protocols::ProtocolModel load_spec_string(const std::string& text,
+                                          const std::string& file) {
+  return lower(parse(text, file), file);
+}
+
+protocols::ProtocolModel load_spec_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::runtime_error("cannot read spec file: " + path);
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return load_spec_string(buf.str(), path);
+}
+
+}  // namespace ctaver::frontend

@@ -1,0 +1,398 @@
+#include "frontend/parser.h"
+
+namespace ctaver::frontend {
+
+namespace {
+
+using ast::Cmp;
+
+class Parser {
+ public:
+  Parser(std::vector<Token> toks, const std::string& file)
+      : toks_(std::move(toks)), file_(file) {}
+
+  ast::Protocol run() {
+    ast::Protocol p;
+    p.pos = peek().pos;
+    expect_kw("protocol");
+    p.name = expect(TokKind::kIdent).text;
+    expect(TokKind::kLBrace);
+    while (!at(TokKind::kRBrace)) statement(p);
+    expect(TokKind::kRBrace);
+    expect(TokKind::kEof);
+    return p;
+  }
+
+ private:
+  // --- token plumbing -----------------------------------------------------
+  [[nodiscard]] const Token& peek(std::size_t ahead = 0) const {
+    std::size_t i = i_ + ahead;
+    return i < toks_.size() ? toks_[i] : toks_.back();
+  }
+  [[nodiscard]] bool at(TokKind k) const { return peek().kind == k; }
+  [[nodiscard]] bool at_kw(const char* kw) const {
+    return at(TokKind::kIdent) && peek().text == kw;
+  }
+  const Token& advance() { return toks_[i_ < toks_.size() ? i_++ : i_]; }
+  const Token& expect(TokKind k) {
+    if (!at(k)) {
+      fail(peek().pos, std::string("expected ") + token_kind_str(k) +
+                           ", found " + describe(peek()));
+    }
+    return advance();
+  }
+  void expect_kw(const char* kw) {
+    if (!at_kw(kw)) {
+      fail(peek().pos,
+           std::string("expected '") + kw + "', found " + describe(peek()));
+    }
+    advance();
+  }
+  bool accept_kw(const char* kw) {
+    if (!at_kw(kw)) return false;
+    advance();
+    return true;
+  }
+  [[nodiscard]] static std::string describe(const Token& t) {
+    if (t.kind == TokKind::kIdent) return "'" + t.text + "'";
+    if (t.kind == TokKind::kInt) return "integer";
+    return token_kind_str(t.kind);
+  }
+  [[noreturn]] void fail(Pos pos, std::string msg) const {
+    throw ParseError(file_, {{pos, std::move(msg)}});
+  }
+
+  // --- expressions --------------------------------------------------------
+  ast::LinExpr expr() {
+    ast::LinExpr e = term();
+    while (at(TokKind::kPlus) || at(TokKind::kMinus)) {
+      bool neg = advance().kind == TokKind::kMinus;
+      add(e, term(), neg ? -1 : 1);
+    }
+    return e;
+  }
+
+  ast::LinExpr term() {
+    ast::LinExpr e = factor();
+    while (at(TokKind::kStar) || at(TokKind::kSlash)) {
+      bool divide = advance().kind == TokKind::kSlash;
+      Pos op_pos = peek().pos;
+      ast::LinExpr rhs = factor();
+      if (divide) {
+        if (!rhs.terms.empty()) {
+          fail(op_pos, "cannot divide by an expression over identifiers");
+        }
+        if (rhs.constant == 0) {
+          fail(op_pos, "zero denominator in threshold fraction");
+        }
+        if (!e.terms.empty() || e.constant % rhs.constant != 0) {
+          fail(op_pos,
+               "threshold fractions are not expressible over integers; "
+               "scale the comparison by the denominator instead "
+               "(e.g. 2*v0 >= n + 1 rather than v0 >= (n+1)/2)");
+        }
+        e.constant /= rhs.constant;
+      } else {
+        if (!e.terms.empty() && !rhs.terms.empty()) {
+          fail(op_pos, "non-linear product of two identifier expressions");
+        }
+        if (e.terms.empty()) std::swap(e, rhs);
+        long long k = rhs.constant;
+        for (auto& [c, name] : e.terms) c *= k;
+        e.constant *= k;
+      }
+    }
+    return e;
+  }
+
+  ast::LinExpr factor() {
+    ast::LinExpr e;
+    e.pos = peek().pos;
+    if (at(TokKind::kInt)) {
+      e.constant = advance().value;
+    } else if (at(TokKind::kIdent)) {
+      const Token& t = advance();
+      e.terms.emplace_back(1, t.text);
+    } else if (at(TokKind::kMinus)) {
+      advance();
+      e = factor();
+      for (auto& [c, name] : e.terms) c = -c;
+      e.constant = -e.constant;
+    } else if (at(TokKind::kLParen)) {
+      advance();
+      e = expr();
+      expect(TokKind::kRParen);
+    } else {
+      fail(peek().pos, "expected expression, found " + describe(peek()));
+    }
+    return e;
+  }
+
+  static void add(ast::LinExpr& into, const ast::LinExpr& other,
+                  long long sign) {
+    for (const auto& [c, name] : other.terms) {
+      bool merged = false;
+      for (auto& [ec, ename] : into.terms) {
+        if (ename == name) {
+          ec += sign * c;
+          merged = true;
+          break;
+        }
+      }
+      if (!merged) into.terms.emplace_back(sign * c, name);
+    }
+    into.constant += sign * other.constant;
+  }
+
+  Cmp cmp() {
+    switch (peek().kind) {
+      case TokKind::kGe: advance(); return Cmp::kGe;
+      case TokKind::kGt: advance(); return Cmp::kGt;
+      case TokKind::kLe: advance(); return Cmp::kLe;
+      case TokKind::kLt: advance(); return Cmp::kLt;
+      case TokKind::kEq: advance(); return Cmp::kEq;
+      default:
+        fail(peek().pos,
+             "expected comparison operator, found " + describe(peek()));
+    }
+  }
+
+  // --- statements ---------------------------------------------------------
+  void statement(ast::Protocol& p) {
+    Pos pos = peek().pos;
+    if (accept_kw("category")) {
+      p.category_pos = pos;
+      p.category = expect(TokKind::kIdent).text;
+      expect(TokKind::kSemi);
+    } else if (accept_kw("parameters")) {
+      do {
+        const Token& t = expect(TokKind::kIdent);
+        p.params.emplace_back(t.text, t.pos);
+      } while (accept(TokKind::kComma));
+      expect(TokKind::kSemi);
+    } else if (accept_kw("resilience")) {
+      ast::Resilience r;
+      r.pos = pos;
+      r.lhs = expr();
+      r.op = cmp();
+      r.rhs = expr();
+      expect(TokKind::kSemi);
+      p.resilience.push_back(std::move(r));
+    } else if (accept_kw("counts")) {
+      p.has_counts = true;
+      p.counts_pos = pos;
+      expect_kw("processes");
+      expect(TokKind::kAssign);
+      p.processes = expr();
+      expect(TokKind::kComma);
+      expect_kw("coins");
+      expect(TokKind::kAssign);
+      p.coins = expr();
+      expect(TokKind::kSemi);
+    } else if (accept_kw("shared")) {
+      var_list(p, /*is_coin=*/false);
+    } else if (at_kw("coin") && peek(1).kind == TokKind::kLBrace) {
+      advance();
+      p.has_coin_section = true;
+      p.coin.pos = pos;
+      section(p.coin);
+    } else if (accept_kw("coin")) {
+      var_list(p, /*is_coin=*/true);
+    } else if (accept_kw("process")) {
+      p.process.pos = pos;
+      section(p.process);
+    } else if (accept_kw("crusader")) {
+      crusader(p.crusader, pos);
+    } else if (accept_kw("sweep")) {
+      do {
+        Pos tpos = peek().pos;
+        expect(TokKind::kLParen);
+        std::vector<long long> vals;
+        do {
+          vals.push_back(integer());
+        } while (accept(TokKind::kComma));
+        expect(TokKind::kRParen);
+        p.sweeps.emplace_back(std::move(vals), tpos);
+      } while (accept(TokKind::kComma));
+      expect(TokKind::kSemi);
+    } else {
+      fail(pos, "expected protocol statement, found " + describe(peek()));
+    }
+  }
+
+  bool accept(TokKind k) {
+    if (!at(k)) return false;
+    advance();
+    return true;
+  }
+
+  long long integer() {
+    long long sign = 1;
+    if (accept(TokKind::kMinus)) sign = -1;
+    return sign * expect(TokKind::kInt).value;
+  }
+
+  void var_list(ast::Protocol& p, bool is_coin) {
+    do {
+      const Token& t = expect(TokKind::kIdent);
+      p.vars.push_back({t.text, is_coin, t.pos});
+    } while (accept(TokKind::kComma));
+    expect(TokKind::kSemi);
+  }
+
+  // --- sections -----------------------------------------------------------
+  void section(ast::Section& s) {
+    expect(TokKind::kLBrace);
+    while (!at(TokKind::kRBrace)) {
+      Pos pos = peek().pos;
+      if (at_kw("border") || at_kw("initial") || at_kw("internal") ||
+          at_kw("final")) {
+        s.locs.push_back(loc_decl());
+      } else if (accept_kw("entry")) {
+        s.rules.push_back(sugar_rule(ast::RuleDecl::Kind::kEntry, pos));
+      } else if (accept_kw("switch")) {
+        s.rules.push_back(sugar_rule(ast::RuleDecl::Kind::kSwitch, pos));
+      } else if (accept_kw("rule")) {
+        s.rules.push_back(rule_decl(pos));
+      } else {
+        fail(pos, "expected location or rule declaration, found " +
+                      describe(peek()));
+      }
+    }
+    expect(TokKind::kRBrace);
+  }
+
+  ast::LocDecl loc_decl() {
+    ast::LocDecl d;
+    d.pos = peek().pos;
+    const std::string role = advance().text;
+    d.role = role == "border"    ? ast::LocDecl::Role::kBorder
+             : role == "initial" ? ast::LocDecl::Role::kInitial
+             : role == "final"   ? ast::LocDecl::Role::kFinal
+                                 : ast::LocDecl::Role::kInternal;
+    d.name = expect(TokKind::kIdent).text;
+    if (accept(TokKind::kColon)) {
+      d.value = static_cast<int>(expect(TokKind::kInt).value);
+    }
+    if (accept_kw("decides")) d.decides = true;
+    expect(TokKind::kSemi);
+    return d;
+  }
+
+  ast::RuleDecl sugar_rule(ast::RuleDecl::Kind kind, Pos pos) {
+    ast::RuleDecl r;
+    r.kind = kind;
+    r.pos = pos;
+    r.from = expect(TokKind::kIdent).text;
+    expect(TokKind::kArrow);
+    ast::Outcome o;
+    o.pos = peek().pos;
+    o.loc = expect(TokKind::kIdent).text;
+    r.outcomes.push_back(std::move(o));
+    expect(TokKind::kSemi);
+    return r;
+  }
+
+  ast::RuleDecl rule_decl(Pos pos) {
+    ast::RuleDecl r;
+    r.pos = pos;
+    r.name = expect(TokKind::kIdent).text;
+    expect(TokKind::kColon);
+    r.from = expect(TokKind::kIdent).text;
+    expect(TokKind::kArrow);
+    do {
+      r.outcomes.push_back(outcome());
+    } while (accept(TokKind::kBar));
+    if (accept_kw("when")) {
+      do {
+        ast::Guard g;
+        g.pos = peek().pos;
+        g.lhs = expr();
+        g.op = cmp();
+        g.rhs = expr();
+        r.guards.push_back(std::move(g));
+      } while (accept(TokKind::kComma));
+    }
+    if (accept_kw("do")) {
+      do {
+        ast::Update u;
+        const Token& v = expect(TokKind::kIdent);
+        u.var = v.text;
+        u.pos = v.pos;
+        expect(TokKind::kPlusEq);
+        u.increment = expect(TokKind::kInt).value;
+        r.updates.push_back(std::move(u));
+      } while (accept(TokKind::kComma));
+    }
+    expect(TokKind::kSemi);
+    return r;
+  }
+
+  ast::Outcome outcome() {
+    ast::Outcome o;
+    o.pos = peek().pos;
+    if (at(TokKind::kInt)) {
+      o.has_prob = true;
+      o.num = advance().value;
+      expect(TokKind::kSlash);
+      o.den = expect(TokKind::kInt).value;
+      expect(TokKind::kColon);
+    }
+    o.loc = expect(TokKind::kIdent).text;
+    return o;
+  }
+
+  void crusader(ast::Crusader& c, Pos pos) {
+    c.present = true;
+    c.pos = pos;
+    expect(TokKind::kLBrace);
+    while (!at(TokKind::kRBrace)) {
+      Pos spos = peek().pos;
+      if (accept_kw("outputs")) {
+        c.outputs_pos = spos;
+        c.outputs = ident_list(3);
+      } else if (accept_kw("splits")) {
+        c.splits_pos = spos;
+        c.splits = ident_list(3);
+      } else if (accept_kw("counters")) {
+        c.counters_pos = spos;
+        c.counters = ident_list(2);
+      } else if (accept_kw("refine")) {
+        c.refine_pos = spos;
+        c.refine_rule = expect(TokKind::kIdent).text;
+        expect(TokKind::kSemi);
+      } else {
+        fail(spos, "expected crusader statement (outputs / splits / "
+                   "counters / refine), found " +
+                       describe(peek()));
+      }
+    }
+    expect(TokKind::kRBrace);
+  }
+
+  std::vector<std::string> ident_list(std::size_t count) {
+    Pos pos = peek().pos;
+    std::vector<std::string> out;
+    do {
+      out.push_back(expect(TokKind::kIdent).text);
+    } while (accept(TokKind::kComma));
+    if (out.size() != count) {
+      fail(pos, "expected exactly " + std::to_string(count) +
+                    " names, found " + std::to_string(out.size()));
+    }
+    expect(TokKind::kSemi);
+    return out;
+  }
+
+  std::vector<Token> toks_;
+  const std::string& file_;
+  std::size_t i_ = 0;
+};
+
+}  // namespace
+
+ast::Protocol parse(const std::string& text, const std::string& file) {
+  return Parser(lex(text, file), file).run();
+}
+
+}  // namespace ctaver::frontend

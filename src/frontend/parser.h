@@ -1,0 +1,54 @@
+// Recursive-descent parser for the .cta protocol description language.
+//
+// Grammar (EBNF; `//` and `#` start line comments):
+//
+//   protocol   := "protocol" IDENT "{" stmt* "}"
+//   stmt       := "category" ("A"|"B"|"C") ";"
+//               | "parameters" IDENT ("," IDENT)* ";"
+//               | "resilience" expr CMP expr ";"
+//               | "counts" "processes" "=" expr "," "coins" "=" expr ";"
+//               | "shared" IDENT ("," IDENT)* ";"
+//               | "coin" IDENT ("," IDENT)* ";"
+//               | "process" "{" section "}"
+//               | "coin" "{" section "}"
+//               | "crusader" "{" crusader* "}"
+//               | "sweep" tuple ("," tuple)* ";"
+//   section    := (locdecl | ruledecl)*
+//   locdecl    := ("border"|"initial"|"internal"|"final")
+//                 IDENT [":" INT] ["decides"] ";"
+//   ruledecl   := "rule" IDENT ":" IDENT "->" outcome ("|" outcome)*
+//                 ["when" guard ("," guard)*] ["do" update ("," update)*] ";"
+//               | "entry" IDENT "->" IDENT ";"
+//               | "switch" IDENT "->" IDENT ";"
+//   outcome    := [INT "/" INT ":"] IDENT
+//   guard      := expr CMP expr
+//   update     := IDENT "+=" INT
+//   crusader   := "outputs" IDENT "," IDENT "," IDENT ";"
+//               | "splits" IDENT "," IDENT "," IDENT ";"
+//               | "counters" IDENT "," IDENT ";"
+//               | "refine" IDENT ";"
+//   tuple      := "(" INT ("," INT)* ")"
+//   expr       := term (("+"|"-") term)*
+//   term       := factor (("*"|"/") factor)*       // linear over idents
+//   factor     := INT | IDENT | "-" factor | "(" expr ")"
+//   CMP        := ">=" | ">" | "<=" | "<" | "=="
+//
+// Expressions are folded into linear forms while parsing; products of two
+// non-constant forms and fractions with parameters or a zero denominator are
+// rejected with positioned diagnostics (threshold fractions like (n+1)/2
+// must be written integer-scaled, e.g. 2*v0 >= n + 1).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "frontend/ast.h"
+#include "frontend/lexer.h"
+
+namespace ctaver::frontend {
+
+/// Parses one protocol description; throws ParseError on the first syntax
+/// error (tagged with `file`).
+ast::Protocol parse(const std::string& text, const std::string& file);
+
+}  // namespace ctaver::frontend

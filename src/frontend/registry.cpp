@@ -1,0 +1,95 @@
+#include "frontend/registry.h"
+
+#include <stdexcept>
+
+#include "frontend/lower.h"
+#include "util/strings.h"
+
+namespace ctaver::frontend {
+
+ProtocolRegistry ProtocolRegistry::with_builtins() {
+  ProtocolRegistry r;
+  r.add("NaiveVoting", &protocols::naive_voting, "builtin");
+  r.add("Rabin83", &protocols::rabin83, "builtin");
+  r.add("CC85a", &protocols::cc85a, "builtin");
+  r.add("CC85b", &protocols::cc85b, "builtin");
+  r.add("FMR05", &protocols::fmr05, "builtin");
+  r.add("KS16", &protocols::ks16, "builtin");
+  r.add("MMR14", &protocols::mmr14, "builtin");
+  r.add("Miller18", &protocols::miller18, "builtin");
+  r.add("ABY22", &protocols::aby22, "builtin");
+  return r;
+}
+
+void ProtocolRegistry::add(const std::string& name, Factory factory,
+                           std::string origin) {
+  for (Entry& e : entries_) {
+    if (e.name == name) {
+      e.factory = std::move(factory);
+      e.origin = std::move(origin);
+      return;
+    }
+  }
+  entries_.push_back({name, std::move(factory), std::move(origin)});
+}
+
+std::string ProtocolRegistry::add_file(const std::string& path) {
+  protocols::ProtocolModel pm = load_spec_file(path);
+  std::string name = pm.name;
+  add(name, [pm = std::move(pm)]() { return pm; }, path);
+  return name;
+}
+
+const ProtocolRegistry::Entry* ProtocolRegistry::find(
+    const std::string& name) const {
+  for (const Entry& e : entries_) {
+    if (e.name == name) return &e;
+  }
+  return nullptr;
+}
+
+bool ProtocolRegistry::contains(const std::string& name) const {
+  return find(name) != nullptr;
+}
+
+protocols::ProtocolModel ProtocolRegistry::make(const std::string& name) const {
+  const Entry* e = find(name);
+  if (e == nullptr) {
+    std::vector<std::string> known = names();
+    throw std::out_of_range("unknown protocol '" + name + "' (registered: " +
+                            util::join(known, ", ") + ")");
+  }
+  return e->factory();
+}
+
+const std::string& ProtocolRegistry::origin(const std::string& name) const {
+  const Entry* e = find(name);
+  if (e == nullptr) {
+    throw std::out_of_range("unknown protocol '" + name + "'");
+  }
+  return e->origin;
+}
+
+std::vector<std::string> ProtocolRegistry::names() const {
+  std::vector<std::string> out;
+  out.reserve(entries_.size());
+  for (const Entry& e : entries_) out.push_back(e.name);
+  return out;
+}
+
+namespace {
+
+bool looks_like_path(const std::string& s) {
+  if (s.find('/') != std::string::npos) return true;
+  return s.size() > 4 && s.compare(s.size() - 4, 4, ".cta") == 0;
+}
+
+}  // namespace
+
+protocols::ProtocolModel ProtocolRegistry::resolve(
+    const std::string& name_or_path) const {
+  if (looks_like_path(name_or_path)) return load_spec_file(name_or_path);
+  return make(name_or_path);
+}
+
+}  // namespace ctaver::frontend

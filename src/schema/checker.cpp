@@ -285,9 +285,11 @@ class Encoder {
         }
         reachable[static_cast<std::size_t>(
             gloc(rv.id.coin, rv.rule->to.dirac_target()))] = true;
-        lia::Var x = solver.new_var(
-            "x" + std::to_string(batch_serial++) + "_" + rv.rule->name, 0,
-            kBatchCap);
+        std::string xname = "x";
+        xname += std::to_string(batch_serial++);
+        xname += '_';
+        xname += rv.rule->name;
+        lia::Var x = solver.new_var(xname, 0, kBatchCap);
         batches.push_back({x, &rv, segment});
         // Token availability before the batch.
         LinExpr& from = kappa[static_cast<std::size_t>(
@@ -301,8 +303,11 @@ class Encoder {
           for (const auto& [v, b] : info.guard.lhs) {
             delta += b * rv.rule->update_of(v);
           }
-          lia::Var used = solver.new_var(
-              "b" + std::to_string(batch_serial) + "_" + rv.rule->name, 0, 1);
+          std::string bname = "b";
+          bname += std::to_string(batch_serial);
+          bname += '_';
+          bname += rv.rule->name;
+          lia::Var used = solver.new_var(bname, 0, 1);
           solver.add(Constraint::le0(LinExpr::term(x) -
                                      LinExpr::term(used, Rational(kBatchCap))));
           // lhs_before + delta*(x-1) <= rhs - 1 + BigM*(1-used)

@@ -132,10 +132,13 @@ std::string Guard::str(const std::vector<Variable>& vars,
   std::string out;
   for (const auto& [v, b] : lhs) {
     if (!out.empty()) out += " + ";
-    if (b != 1) out += std::to_string(b) + "*";
+    if (b != 1) {
+      out += std::to_string(b);
+      out += '*';
+    }
     out += vars[static_cast<std::size_t>(v)].name;
   }
-  if (out.empty()) out = "0";
+  if (out.empty()) out.push_back('0');
   out += rel == GuardRel::kGe ? " >= " : " < ";
   out += rhs.str(params);
   return out;

@@ -12,31 +12,31 @@ namespace {
   throw std::overflow_error("Rational: 128-bit overflow");
 }
 
+}  // namespace
+
 Int128 checked_mul(Int128 a, Int128 b) {
-  if (a == 0 || b == 0) return 0;
-  Int128 r = a * b;
-  if (r / b != a) overflow();
+  // The overflow builtins are defined behavior on signed types (unlike the
+  // multiply-then-divide probe), so these stay clean under UBSan.
+  Int128 r;
+  if (__builtin_mul_overflow(a, b, &r)) overflow();
   return r;
 }
 
 Int128 checked_add(Int128 a, Int128 b) {
-  Int128 r = a + b;
-  // Same-sign operands must not flip sign.
-  if ((a > 0 && b > 0 && r < 0) || (a < 0 && b < 0 && r >= 0)) overflow();
+  Int128 r;
+  if (__builtin_add_overflow(a, b, &r)) overflow();
   return r;
 }
 
-}  // namespace
-
 Int128 gcd128(Int128 a, Int128 b) {
-  if (a < 0) a = -a;
-  if (b < 0) b = -b;
+  // Euclid is fine on negative operands (% truncates toward zero); negating
+  // only the final result keeps gcd128(INT128_MIN, k) defined for k != 0.
   while (b != 0) {
     Int128 t = a % b;
     a = b;
     b = t;
   }
-  return a;
+  return a < 0 ? -a : a;
 }
 
 Rational::Rational(Int128 num, Int128 den) {

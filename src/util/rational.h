@@ -73,7 +73,14 @@ std::ostream& operator<<(std::ostream& os, const Rational& r);
 /// Prints a 128-bit integer in decimal (the standard library cannot).
 std::string int128_str(Int128 v);
 
-/// gcd over non-negative 128-bit values.
+/// gcd of the absolute values. Negative operands are fine: the sign is
+/// stripped from the final result only, so gcd128(INT128_MIN, k) is
+/// defined for every k != 0.
 Int128 gcd128(Int128 a, Int128 b);
+
+/// Overflow-checked 128-bit arithmetic; throws std::overflow_error instead
+/// of wrapping. All Rational operations funnel through these.
+Int128 checked_add(Int128 a, Int128 b);
+Int128 checked_mul(Int128 a, Int128 b);
 
 }  // namespace ctaver::util

@@ -1,0 +1,520 @@
+// Tests for the .cta front-end (src/frontend): lexer/parser behavior, the
+// semantic error paths of the lowering pass (every malformed input must
+// produce a positioned diagnostic, never a crash), and the protocol
+// registry.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "frontend/lower.h"
+#include "frontend/parser.h"
+#include "frontend/registry.h"
+
+namespace ctaver::frontend {
+namespace {
+
+/// A minimal spec that passes both lowering and ta::validate.
+const char* kMiniSpec = R"(
+protocol Mini {
+  category B;
+  parameters n, f;
+  resilience n > 2*f;
+  resilience f >= 0;
+  counts processes = n - f, coins = 0;
+  shared v0, v1;
+  process {
+    border J0 : 0;
+    border J1 : 1;
+    initial I0 : 0;
+    initial I1 : 1;
+    internal S;
+    final D0 : 0 decides;
+    final D1 : 1 decides;
+    entry J0 -> I0;
+    entry J1 -> I1;
+    rule r1: I0 -> S do v0 += 1;
+    rule r2: I1 -> S do v1 += 1;
+    rule r3: S -> D0 when 2*v0 >= n - 2*f + 1;
+    rule r4: S -> D1 when 2*v1 >= n - 2*f + 1;
+    switch D0 -> J0;
+    switch D1 -> J1;
+  }
+  sweep (3, 0), (4, 1);
+}
+)";
+
+std::vector<Diagnostic> diags_of(const std::string& text) {
+  try {
+    load_spec_string(text, "test.cta");
+  } catch (const ParseError& e) {
+    EXPECT_FALSE(e.diagnostics().empty());
+    return e.diagnostics();
+  }
+  ADD_FAILURE() << "expected a ParseError";
+  return {};
+}
+
+bool has_diag(const std::vector<Diagnostic>& diags, const std::string& text) {
+  for (const Diagnostic& d : diags) {
+    if (d.message.find(text) != std::string::npos) return true;
+  }
+  return false;
+}
+
+std::string all_messages(const std::vector<Diagnostic>& diags) {
+  std::string out;
+  for (const Diagnostic& d : diags) out += d.message + "\n";
+  return out;
+}
+
+// --- the happy path ---------------------------------------------------------
+
+TEST(Frontend, MinimalSpecLowers) {
+  protocols::ProtocolModel pm = load_spec_string(kMiniSpec, "mini.cta");
+  EXPECT_EQ(pm.name, "Mini");
+  EXPECT_EQ(pm.category, protocols::Category::kB);
+  EXPECT_EQ(pm.system.process.locations.size(), 7u);
+  EXPECT_EQ(pm.system.process.rules.size(), 8u);
+  EXPECT_TRUE(pm.system.coin.locations.empty());
+  ASSERT_EQ(pm.sweep_params.size(), 2u);
+  EXPECT_EQ(pm.sweep_params[0], (std::vector<long long>{3, 0}));
+}
+
+TEST(Frontend, CommentsAndPrimedIdentifiers) {
+  ast::Protocol p = parse(
+      "// comment\n# another\nprotocol P { process { internal S0'; } }",
+      "t.cta");
+  ASSERT_EQ(p.process.locs.size(), 1u);
+  EXPECT_EQ(p.process.locs[0].name, "S0'");
+}
+
+// --- syntax errors ----------------------------------------------------------
+
+TEST(Frontend, StrayCharacterIsPositioned) {
+  try {
+    parse("protocol P {\n  @\n}", "t.cta");
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    ASSERT_EQ(e.diagnostics().size(), 1u);
+    EXPECT_EQ(e.diagnostics()[0].pos.line, 2);
+    EXPECT_EQ(e.diagnostics()[0].pos.col, 3);
+    EXPECT_NE(std::string(e.what()).find("t.cta:2:3"), std::string::npos);
+  }
+}
+
+TEST(Frontend, MissingSemicolonIsSyntaxError) {
+  EXPECT_THROW(parse("protocol P { parameters n }", "t.cta"), ParseError);
+}
+
+TEST(Frontend, ZeroDenominatorThresholdFraction) {
+  auto diags = diags_of(R"(
+protocol P {
+  category B;
+  parameters n;
+  counts processes = n, coins = 0;
+  shared v0;
+  process {
+    internal A;
+    internal B;
+    rule r: A -> B when v0 >= (n + 1)/0;
+  }
+}
+)");
+  EXPECT_TRUE(has_diag(diags, "zero denominator in threshold fraction"))
+      << all_messages(diags);
+}
+
+TEST(Frontend, ParameterFractionIsRejectedWithHint) {
+  auto diags = diags_of(R"(
+protocol P {
+  category B;
+  parameters n;
+  counts processes = n, coins = 0;
+  shared v0;
+  process {
+    internal A;
+    internal B;
+    rule r: A -> B when v0 >= (n + 1)/2;
+  }
+}
+)");
+  EXPECT_TRUE(has_diag(diags, "scale the comparison by the denominator"))
+      << all_messages(diags);
+}
+
+TEST(Frontend, NonLinearProductIsRejected) {
+  auto diags = diags_of(R"(
+protocol P {
+  category B;
+  parameters n;
+  counts processes = n, coins = 0;
+  shared v0;
+  process {
+    internal A;
+    internal B;
+    rule r: A -> B when v0 >= n*n;
+  }
+}
+)");
+  EXPECT_TRUE(has_diag(diags, "non-linear product")) << all_messages(diags);
+}
+
+// --- semantic errors (collected, positioned) --------------------------------
+
+TEST(Frontend, MalformedGuardOperator) {
+  auto diags = diags_of(R"(
+protocol P {
+  category B;
+  parameters n;
+  counts processes = n, coins = 0;
+  shared v0;
+  process {
+    internal A;
+    internal B;
+    rule r: A -> B when v0 > n;
+  }
+}
+)");
+  EXPECT_TRUE(has_diag(diags, "threshold guards must use '>=' or '<'"))
+      << all_messages(diags);
+  EXPECT_EQ(diags[0].pos.line, 10);
+}
+
+TEST(Frontend, UndeclaredSharedVariableInGuard) {
+  auto diags = diags_of(R"(
+protocol P {
+  category B;
+  parameters n;
+  counts processes = n, coins = 0;
+  shared v0;
+  process {
+    internal A;
+    internal B;
+    rule r: A -> B when w0 >= n;
+  }
+}
+)");
+  EXPECT_TRUE(has_diag(diags, "undeclared shared variable 'w0'"))
+      << all_messages(diags);
+}
+
+TEST(Frontend, UndeclaredVariableInUpdate) {
+  auto diags = diags_of(R"(
+protocol P {
+  category B;
+  parameters n;
+  counts processes = n, coins = 0;
+  shared v0;
+  process {
+    internal A;
+    internal B;
+    rule r: A -> B do w0 += 1;
+  }
+}
+)");
+  EXPECT_TRUE(has_diag(diags, "undeclared shared variable 'w0' in update"))
+      << all_messages(diags);
+}
+
+TEST(Frontend, SidesOfGuardAreChecked) {
+  auto diags = diags_of(R"(
+protocol P {
+  category B;
+  parameters n;
+  counts processes = n, coins = 0;
+  shared v0;
+  process {
+    internal A;
+    internal B;
+    rule r: A -> B when n >= v0;
+  }
+}
+)");
+  EXPECT_TRUE(has_diag(diags, "parameter 'n' on the message-count side"))
+      << all_messages(diags);
+  EXPECT_TRUE(has_diag(diags, "shared variable 'v0' on the threshold side"))
+      << all_messages(diags);
+}
+
+TEST(Frontend, DuplicateLocationName) {
+  auto diags = diags_of(R"(
+protocol P {
+  category B;
+  parameters n;
+  counts processes = n, coins = 0;
+  process {
+    internal A;
+    internal A;
+  }
+}
+)");
+  EXPECT_TRUE(has_diag(diags, "duplicate location 'A'"))
+      << all_messages(diags);
+  EXPECT_EQ(diags[0].pos.line, 8);
+  EXPECT_EQ(diags[0].pos.col, 5);
+}
+
+TEST(Frontend, DuplicateParameterVariableAndRule) {
+  auto diags = diags_of(R"(
+protocol P {
+  category B;
+  parameters n, n;
+  counts processes = n, coins = 0;
+  shared v0, v0;
+  process {
+    internal A;
+    internal B;
+    rule r: A -> B;
+    rule r: B -> A;
+  }
+}
+)");
+  EXPECT_TRUE(has_diag(diags, "duplicate parameter 'n'"))
+      << all_messages(diags);
+  EXPECT_TRUE(has_diag(diags, "duplicate variable 'v0'"))
+      << all_messages(diags);
+  EXPECT_TRUE(has_diag(diags, "duplicate rule name 'r'"))
+      << all_messages(diags);
+}
+
+TEST(Frontend, UndeclaredLocationInRule) {
+  auto diags = diags_of(R"(
+protocol P {
+  category B;
+  parameters n;
+  counts processes = n, coins = 0;
+  process {
+    internal A;
+    rule r: A -> Nowhere;
+  }
+}
+)");
+  EXPECT_TRUE(has_diag(diags, "undeclared location 'Nowhere'"))
+      << all_messages(diags);
+}
+
+TEST(Frontend, ZeroDenominatorProbability) {
+  auto diags = diags_of(R"(
+protocol P {
+  category B;
+  parameters n;
+  counts processes = n, coins = 1;
+  coin cc0;
+  coin {
+    internal A;
+    internal B;
+    internal C;
+    rule toss: A -> 1/0: B | 1/1: C;
+  }
+}
+)");
+  EXPECT_TRUE(has_diag(diags, "zero denominator in probability fraction"))
+      << all_messages(diags);
+}
+
+TEST(Frontend, ProbabilitiesMustSumToOne) {
+  auto diags = diags_of(R"(
+protocol P {
+  category B;
+  parameters n;
+  counts processes = n, coins = 1;
+  coin {
+    internal A;
+    internal B;
+    internal C;
+    rule toss: A -> 1/2: B | 1/3: C;
+  }
+}
+)");
+  EXPECT_TRUE(has_diag(diags, "probabilities sum to 5/6"))
+      << all_messages(diags);
+}
+
+TEST(Frontend, BareOutcomeInProbabilisticRule) {
+  auto diags = diags_of(R"(
+protocol P {
+  category B;
+  parameters n;
+  counts processes = n, coins = 1;
+  coin {
+    internal A;
+    internal B;
+    internal C;
+    rule toss: A -> 1/2: B | C;
+  }
+}
+)");
+  EXPECT_TRUE(has_diag(diags, "outcome 'C' of a probabilistic rule needs"))
+      << all_messages(diags);
+}
+
+TEST(Frontend, ProbabilisticProcessRuleRejected) {
+  auto diags = diags_of(R"(
+protocol P {
+  category B;
+  parameters n;
+  counts processes = n, coins = 0;
+  process {
+    internal A;
+    internal B;
+    internal C;
+    rule r: A -> 1/2: B | 1/2: C;
+  }
+}
+)");
+  EXPECT_TRUE(has_diag(
+      diags, "probabilistic rules are only allowed in the coin automaton"))
+      << all_messages(diags);
+}
+
+TEST(Frontend, MissingCategoryAndCounts) {
+  auto diags = diags_of("protocol P { }");
+  EXPECT_TRUE(has_diag(diags, "missing a 'category"))
+      << all_messages(diags);
+  EXPECT_TRUE(has_diag(diags, "missing a 'counts")) << all_messages(diags);
+}
+
+TEST(Frontend, ResilienceSanityOfSweeps) {
+  auto diags = diags_of(R"(
+protocol P {
+  category B;
+  parameters n, f;
+  resilience n > 2*f;
+  counts processes = n - f, coins = 0;
+  process {
+    internal A;
+  }
+  sweep (3, 0, 7), (2, 1);
+}
+)");
+  EXPECT_TRUE(has_diag(diags, "sweep instance has 3 values for 2 parameters"))
+      << all_messages(diags);
+  EXPECT_TRUE(
+      has_diag(diags, "does not satisfy the resilience condition"))
+      << all_messages(diags);
+}
+
+TEST(Frontend, UndeclaredParameterInResilience) {
+  auto diags = diags_of(R"(
+protocol P {
+  category B;
+  parameters n;
+  resilience n > 3*t;
+  counts processes = n, coins = 0;
+  process { internal A; }
+}
+)");
+  EXPECT_TRUE(
+      has_diag(diags, "undeclared parameter 't' in a resilience condition"))
+      << all_messages(diags);
+}
+
+TEST(Frontend, CategoryCNeedsCrusaderBlock) {
+  auto diags = diags_of(R"(
+protocol P {
+  category C;
+  parameters n;
+  counts processes = n, coins = 0;
+  process { internal A; }
+}
+)");
+  EXPECT_TRUE(has_diag(diags, "category C protocols need a 'crusader"))
+      << all_messages(diags);
+}
+
+TEST(Frontend, CrusaderNamesAreResolved) {
+  auto diags = diags_of(R"(
+protocol P {
+  category C;
+  parameters n;
+  counts processes = n, coins = 0;
+  shared a0;
+  process { internal M0; internal M1; internal Mbot; }
+  crusader {
+    outputs M0, M1, Missing;
+    splits N0, N1, Nbot;
+    counters a0, a9;
+  }
+}
+)");
+  EXPECT_TRUE(has_diag(diags, "undeclared location 'Missing' in outputs"))
+      << all_messages(diags);
+  EXPECT_TRUE(has_diag(diags, "undeclared location 'N0' in splits"))
+      << all_messages(diags);
+  EXPECT_TRUE(has_diag(diags, "undeclared shared variable 'a9' in counters"))
+      << all_messages(diags);
+}
+
+TEST(Frontend, MultipleErrorsAreCollected) {
+  auto diags = diags_of(R"(
+protocol P {
+  category B;
+  parameters n;
+  counts processes = n, coins = 0;
+  shared v0;
+  process {
+    internal A;
+    internal A;
+    rule r: A -> B when w0 >= n;
+  }
+}
+)");
+  EXPECT_GE(diags.size(), 3u) << all_messages(diags);
+}
+
+TEST(Frontend, StructuralViolationsBecomeParseErrors) {
+  // Passes lowering but breaks the round structure (border without an
+  // entry rule): ta::validate's message must surface as a ParseError, not
+  // as a raw std::invalid_argument.
+  EXPECT_THROW(load_spec_string(R"(
+protocol P {
+  category B;
+  parameters n;
+  counts processes = n, coins = 0;
+  process {
+    border J0 : 0;
+    internal A;
+  }
+}
+)",
+                                "t.cta"),
+               ParseError);
+}
+
+// --- registry ---------------------------------------------------------------
+
+TEST(Registry, BuiltinsArePopulated) {
+  ProtocolRegistry r = ProtocolRegistry::with_builtins();
+  EXPECT_EQ(r.names().size(), 9u);
+  EXPECT_TRUE(r.contains("MMR14"));
+  EXPECT_EQ(r.origin("MMR14"), "builtin");
+  EXPECT_EQ(r.make("Rabin83").category, protocols::Category::kA);
+}
+
+TEST(Registry, UnknownNameListsWhatIsRegistered) {
+  ProtocolRegistry r = ProtocolRegistry::with_builtins();
+  try {
+    (void)r.make("NoSuchProtocol");
+    FAIL() << "expected std::out_of_range";
+  } catch (const std::out_of_range& e) {
+    EXPECT_NE(std::string(e.what()).find("MMR14"), std::string::npos);
+  }
+}
+
+TEST(Registry, SpecFilesResolveByPath) {
+  const char* dir = std::getenv("CTAVER_SPEC_DIR");
+  std::string specs = dir != nullptr ? dir : "specs";
+  ProtocolRegistry r = ProtocolRegistry::with_builtins();
+  protocols::ProtocolModel pm = r.resolve(specs + "/mmr14.cta");
+  EXPECT_EQ(pm.name, "MMR14");
+  // Registering the file shadows the builtin under the same name.
+  std::string name = r.add_file(specs + "/mmr14.cta");
+  EXPECT_EQ(name, "MMR14");
+  EXPECT_EQ(r.origin("MMR14"), specs + "/mmr14.cta");
+  EXPECT_EQ(r.names().size(), 9u);
+}
+
+}  // namespace
+}  // namespace ctaver::frontend

@@ -22,7 +22,9 @@ TEST_P(RandomSystems, AgreesWithBruteForce) {
 
   Solver s;
   for (int i = 0; i < nv; ++i) {
-    s.new_var("x" + std::to_string(i), lo, hi);
+    std::string name = "x";
+    name += std::to_string(i);
+    s.new_var(name, lo, hi);
   }
   struct Row {
     long long c[3];

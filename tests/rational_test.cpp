@@ -97,5 +97,50 @@ TEST(Rational, ToDouble) {
   EXPECT_DOUBLE_EQ(Rational(-5).to_double(), -5.0);
 }
 
+// --- overflow paths near the Int128 limits ---------------------------------
+
+constexpr Int128 kInt128Max = ~(Int128(1) << 127);
+constexpr Int128 kInt128Min = Int128(1) << 127;
+
+TEST(Rational, CheckedAddNearLimits) {
+  EXPECT_EQ(checked_add(kInt128Max, 0), kInt128Max);
+  EXPECT_EQ(checked_add(kInt128Max - 1, 1), kInt128Max);
+  EXPECT_EQ(checked_add(kInt128Min, kInt128Max), Int128(-1));
+  EXPECT_THROW(checked_add(kInt128Max, 1), std::overflow_error);
+  EXPECT_THROW(checked_add(kInt128Min, -1), std::overflow_error);
+  EXPECT_THROW(checked_add(kInt128Min, kInt128Min), std::overflow_error);
+}
+
+TEST(Rational, CheckedMulNearLimits) {
+  EXPECT_EQ(checked_mul(kInt128Max, 1), kInt128Max);
+  EXPECT_EQ(checked_mul(kInt128Min, 1), kInt128Min);
+  EXPECT_EQ(checked_mul(kInt128Max / 2, 2), kInt128Max - 1);
+  EXPECT_EQ(checked_mul(0, kInt128Max), Int128(0));
+  EXPECT_THROW(checked_mul(kInt128Max, 2), std::overflow_error);
+  EXPECT_THROW(checked_mul(kInt128Max / 2 + 1, 2), std::overflow_error);
+  // -INT128_MIN is not representable.
+  EXPECT_THROW(checked_mul(kInt128Min, -1), std::overflow_error);
+  EXPECT_THROW(checked_mul(Int128(1) << 64, Int128(1) << 64),
+               std::overflow_error);
+}
+
+TEST(Rational, ArithmeticOverflowThrows) {
+  Rational huge(kInt128Max, 1);
+  EXPECT_THROW(huge + Rational(1), std::overflow_error);
+  EXPECT_THROW(huge * Rational(2), std::overflow_error);
+  // Denominators multiply in +: 1/p + 1/q with huge coprime p, q overflows.
+  Rational a(1, kInt128Max), b(1, kInt128Max - 1);
+  EXPECT_THROW(a + b, std::overflow_error);
+}
+
+TEST(Rational, Int128MinPrinting) {
+  EXPECT_EQ(int128_str(kInt128Min),
+            "-170141183460469231731687303715884105728");
+  EXPECT_EQ(int128_str(kInt128Max),
+            "170141183460469231731687303715884105727");
+  EXPECT_EQ(Rational(kInt128Min, 1).str(),
+            "-170141183460469231731687303715884105728");
+}
+
 }  // namespace
 }  // namespace ctaver::util

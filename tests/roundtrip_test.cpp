@@ -1,0 +1,177 @@
+// Round-trip equivalence: every specs/*.cta file, lowered through the .cta
+// front-end, must produce a ProtocolModel identical in shape to its
+// hand-coded builder in src/protocols — same environment, variables,
+// locations, rules (guards, updates, distributions, round-switch markers),
+// crusader metadata and sweep instances. This is what keeps the DSL honest:
+// the spec files are the builders, just textual.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+
+#include "frontend/lower.h"
+#include "verify/pipeline.h"
+
+namespace ctaver::frontend {
+namespace {
+
+std::string spec_dir() {
+  const char* dir = std::getenv("CTAVER_SPEC_DIR");
+  return dir != nullptr ? dir : "specs";
+}
+
+void expect_env_eq(const ta::Environment& a, const ta::Environment& b) {
+  ASSERT_EQ(a.params.size(), b.params.size());
+  for (std::size_t i = 0; i < a.params.size(); ++i) {
+    EXPECT_EQ(a.params[i].name, b.params[i].name) << "parameter " << i;
+  }
+  ASSERT_EQ(a.resilience.size(), b.resilience.size());
+  for (std::size_t i = 0; i < a.resilience.size(); ++i) {
+    EXPECT_TRUE(a.resilience[i].expr == b.resilience[i].expr)
+        << "resilience " << i << ": " << a.resilience[i].str(a.params)
+        << " vs " << b.resilience[i].str(b.params);
+    EXPECT_EQ(a.resilience[i].op, b.resilience[i].op) << "resilience op " << i;
+  }
+  EXPECT_TRUE(a.num_processes == b.num_processes) << "N processes";
+  EXPECT_TRUE(a.num_coins == b.num_coins) << "N coins";
+}
+
+void expect_automaton_eq(const ta::Automaton& a, const ta::Automaton& b,
+                         const char* which) {
+  EXPECT_EQ(a.kind, b.kind) << which;
+  ASSERT_EQ(a.locations.size(), b.locations.size()) << which << " |L|";
+  for (std::size_t i = 0; i < a.locations.size(); ++i) {
+    const ta::Location& la = a.locations[i];
+    const ta::Location& lb = b.locations[i];
+    EXPECT_EQ(la.name, lb.name) << which << " location " << i;
+    EXPECT_EQ(la.role, lb.role) << which << " role of " << la.name;
+    EXPECT_EQ(la.value, lb.value) << which << " value of " << la.name;
+    EXPECT_EQ(la.decision, lb.decision) << which << " decision of " << la.name;
+  }
+  ASSERT_EQ(a.rules.size(), b.rules.size()) << which << " |R|";
+  for (std::size_t i = 0; i < a.rules.size(); ++i) {
+    const ta::Rule& ra = a.rules[i];
+    const ta::Rule& rb = b.rules[i];
+    EXPECT_EQ(ra.name, rb.name) << which << " rule " << i;
+    EXPECT_EQ(ra.from, rb.from) << which << " source of " << ra.name;
+    ASSERT_EQ(ra.to.outcomes.size(), rb.to.outcomes.size())
+        << which << " outcomes of " << ra.name;
+    for (std::size_t j = 0; j < ra.to.outcomes.size(); ++j) {
+      EXPECT_EQ(ra.to.outcomes[j].first, rb.to.outcomes[j].first)
+          << which << " outcome target " << j << " of " << ra.name;
+      EXPECT_TRUE(ra.to.outcomes[j].second == rb.to.outcomes[j].second)
+          << which << " outcome probability " << j << " of " << ra.name;
+    }
+    ASSERT_EQ(ra.guards.size(), rb.guards.size())
+        << which << " guards of " << ra.name;
+    for (std::size_t j = 0; j < ra.guards.size(); ++j) {
+      EXPECT_TRUE(ra.guards[j] == rb.guards[j])
+          << which << " guard " << j << " of " << ra.name;
+    }
+    EXPECT_EQ(ra.update, rb.update) << which << " update of " << ra.name;
+    EXPECT_EQ(ra.is_round_switch, rb.is_round_switch)
+        << which << " round-switch flag of " << ra.name;
+  }
+}
+
+void expect_model_eq(const protocols::ProtocolModel& spec,
+                     const protocols::ProtocolModel& builtin) {
+  EXPECT_EQ(spec.name, builtin.name);
+  EXPECT_EQ(spec.category, builtin.category);
+  expect_env_eq(spec.system.env, builtin.system.env);
+  ASSERT_EQ(spec.system.vars.size(), builtin.system.vars.size());
+  for (std::size_t i = 0; i < spec.system.vars.size(); ++i) {
+    EXPECT_EQ(spec.system.vars[i].name, builtin.system.vars[i].name)
+        << "variable " << i;
+    EXPECT_EQ(spec.system.vars[i].kind, builtin.system.vars[i].kind)
+        << "kind of " << spec.system.vars[i].name;
+  }
+  expect_automaton_eq(spec.system.process, builtin.system.process, "process");
+  expect_automaton_eq(spec.system.coin, builtin.system.coin, "coin");
+  EXPECT_EQ(spec.mbot_rule, builtin.mbot_rule);
+  EXPECT_EQ(spec.m0, builtin.m0);
+  EXPECT_EQ(spec.m1, builtin.m1);
+  EXPECT_EQ(spec.m0_loc, builtin.m0_loc);
+  EXPECT_EQ(spec.m1_loc, builtin.m1_loc);
+  EXPECT_EQ(spec.mbot_loc, builtin.mbot_loc);
+  EXPECT_EQ(spec.n0_loc, builtin.n0_loc);
+  EXPECT_EQ(spec.n1_loc, builtin.n1_loc);
+  EXPECT_EQ(spec.nbot_loc, builtin.nbot_loc);
+  EXPECT_EQ(spec.sweep_params, builtin.sweep_params);
+}
+
+struct Case {
+  const char* file;
+  protocols::ProtocolModel (*builtin)();
+};
+
+class RoundTrip : public ::testing::TestWithParam<Case> {};
+
+TEST_P(RoundTrip, SpecMatchesBuilder) {
+  const Case& c = GetParam();
+  protocols::ProtocolModel spec =
+      load_spec_file(spec_dir() + "/" + c.file);
+  expect_model_eq(spec, c.builtin());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSpecs, RoundTrip,
+    ::testing::Values(Case{"naive_voting.cta", &protocols::naive_voting},
+                      Case{"rabin83.cta", &protocols::rabin83},
+                      Case{"cc85a.cta", &protocols::cc85a},
+                      Case{"cc85b.cta", &protocols::cc85b},
+                      Case{"fmr05.cta", &protocols::fmr05},
+                      Case{"ks16.cta", &protocols::ks16},
+                      Case{"mmr14.cta", &protocols::mmr14},
+                      Case{"miller18.cta", &protocols::miller18},
+                      Case{"aby22.cta", &protocols::aby22}),
+    [](const ::testing::TestParamInfo<Case>& info) {
+      std::string name = info.param.file;
+      return name.substr(0, name.find('.'));
+    });
+
+// The refined() hook must behave identically too: MMR14's lazy Fig.-6
+// refinement keys off mbot_rule/m0/m1, which the spec file sets via its
+// crusader block.
+TEST(RoundTripRefined, Mmr14RefinementMatches) {
+  protocols::ProtocolModel spec = load_spec_file(spec_dir() + "/mmr14.cta");
+  protocols::ProtocolModel builtin = protocols::mmr14();
+  ta::System a = spec.refined();
+  ta::System b = builtin.refined();
+  ASSERT_EQ(a.process.locations.size(), b.process.locations.size());
+  ASSERT_EQ(a.process.rules.size(), b.process.rules.size());
+  for (std::size_t i = 0; i < a.process.locations.size(); ++i) {
+    EXPECT_EQ(a.process.locations[i].name, b.process.locations[i].name);
+  }
+  for (std::size_t i = 0; i < a.process.rules.size(); ++i) {
+    EXPECT_EQ(a.process.rules[i].name, b.process.rules[i].name);
+  }
+}
+
+// End-to-end equivalence on the cheapest model: the verification pipeline
+// must produce the same obligations with the same verdicts and schema
+// counts for the spec-loaded and hand-coded NaiveVoting.
+TEST(RoundTripPipeline, NaiveVotingReportsMatch) {
+  protocols::ProtocolModel spec =
+      load_spec_file(spec_dir() + "/naive_voting.cta");
+  protocols::ProtocolModel builtin = protocols::naive_voting();
+  verify::Options opts;
+  verify::ProtocolReport ra = verify::verify_protocol(spec, opts);
+  verify::ProtocolReport rb = verify::verify_protocol(builtin, opts);
+  EXPECT_EQ(ra.protocol, rb.protocol);
+  EXPECT_EQ(ra.n_locations, rb.n_locations);
+  EXPECT_EQ(ra.n_rules, rb.n_rules);
+  for (auto [pa, pb] : {std::pair{&ra.agreement, &rb.agreement},
+                        std::pair{&ra.validity, &rb.validity},
+                        std::pair{&ra.termination, &rb.termination}}) {
+    ASSERT_EQ(pa->obligations.size(), pb->obligations.size());
+    for (std::size_t i = 0; i < pa->obligations.size(); ++i) {
+      EXPECT_EQ(pa->obligations[i].name, pb->obligations[i].name);
+      EXPECT_EQ(pa->obligations[i].holds, pb->obligations[i].holds);
+      EXPECT_EQ(pa->obligations[i].nschemas, pb->obligations[i].nschemas);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ctaver::frontend
