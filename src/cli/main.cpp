@@ -8,7 +8,8 @@
 //
 // Protocol arguments are resolved through frontend::ProtocolRegistry, so
 // built-ins and spec files are interchangeable everywhere.
-#include <filesystem>
+#include <algorithm>
+#include <exception>
 #include <iostream>
 #include <sstream>
 #include <string>
@@ -16,6 +17,7 @@
 
 #include "frontend/diag.h"
 #include "frontend/registry.h"
+#include "util/thread_pool.h"
 #include "verify/pipeline.h"
 
 namespace {
@@ -40,8 +42,10 @@ int usage(std::ostream& os, int code) {
         "  --specs DIR        register every .cta file in DIR\n"
         "  --no-sweeps        skip the explicit-instance (C1)/(C2') sweeps\n"
         "  --max-states N     state cap per swept instance\n"
-        "  --max-schemas N    schema cap per obligation\n"
-        "  --time-budget S    wall-clock budget per obligation (seconds)\n"
+        "  --max-schemas N    schema cap shared by a protocol's obligations\n"
+        "  --time-budget S    wall-clock budget per protocol (seconds)\n"
+        "  --jobs N           obligation-scheduler workers (0 = all cores,\n"
+        "                     1 = serial; reports are identical either way)\n"
         "  --sweep a,b,...    override sweep instances (repeatable)\n"
         "  --quiet            verify: print only the Table-II rows\n";
   return code;
@@ -56,6 +60,7 @@ struct Args {
   std::size_t max_states = 0;  // 0: keep the pipeline default
   long long max_schemas = 0;   // 0: keep the pipeline default
   double time_budget = 0;      // 0: keep the pipeline default
+  int jobs = 0;                // 0: one worker per hardware thread
   std::vector<std::vector<long long>> sweep_override;
 };
 
@@ -89,7 +94,7 @@ bool parse_args(int argc, char** argv, Args& args) {
       if (v == nullptr) return false;
       args.specs_dir = v;
     } else if (a == "--max-states" || a == "--max-schemas" ||
-               a == "--time-budget") {
+               a == "--time-budget" || a == "--jobs") {
       const char* v = value();
       if (v == nullptr) return false;
       try {
@@ -97,6 +102,9 @@ bool parse_args(int argc, char** argv, Args& args) {
           args.max_states = std::stoull(v);
         } else if (a == "--max-schemas") {
           args.max_schemas = std::stoll(v);
+        } else if (a == "--jobs") {
+          args.jobs = std::stoi(v);
+          if (args.jobs < 0) throw std::invalid_argument("negative");
         } else {
           args.time_budget = std::stod(v);
         }
@@ -157,8 +165,9 @@ void print_property(const std::string& title,
               << (o.complete ? "" : ", budget-limited") << "]";
     if (o.nschemas > 0) std::cout << " " << o.nschemas << " schemas";
     std::cout << "\n";
-    if (!o.holds && !o.detail.empty()) {
-      std::cout << "      " << o.detail << "\n";
+    if (!o.holds) {
+      if (!o.ce.empty()) std::cout << "      " << o.ce << "\n";
+      if (!o.detail.empty()) std::cout << "      " << o.detail << "\n";
     }
   }
 }
@@ -188,13 +197,12 @@ int cmd_verify(const ProtocolRegistry& registry, const Args& args,
   if (protocols.empty()) return usage(std::cerr, 2);
   ctaver::verify::Options opts;
   opts.run_sweeps = !args.no_sweeps;
+  opts.jobs = args.jobs;
   if (args.max_states > 0) opts.max_states = args.max_states;
   if (args.max_schemas > 0) opts.schema.max_schemas = args.max_schemas;
   if (args.time_budget > 0) opts.schema.time_budget_s = args.time_budget;
 
-  bool all_verified = true;
-  std::cout << ctaver::verify::table2_header() << "\n";
-  for (const std::string& spec : protocols) {
+  auto verify_one = [&](const std::string& spec) {
     ProtocolModel pm = registry.resolve(spec);
     if (!args.sweep_override.empty()) {
       // The frontend validates spec-file sweeps; hold CLI overrides to the
@@ -214,8 +222,47 @@ int cmd_verify(const ProtocolRegistry& registry, const Args& args,
       }
       pm.sweep_params = args.sweep_override;
     }
-    ctaver::verify::ProtocolReport report =
-        ctaver::verify::verify_protocol(pm, opts);
+    return ctaver::verify::verify_protocol(pm, opts);
+  };
+
+  // Whole protocols run concurrently too (the biggest lever for the full
+  // Table-II sweep, where a single dominant obligation otherwise caps the
+  // within-protocol speedup). The --jobs width is split between the two
+  // levels — outer workers × inner obligation workers ≤ jobs — so the
+  // thread count never multiplies past what was asked for. Reports are
+  // buffered and printed in argument order, so the output is identical to
+  // the serial run's.
+  std::vector<ctaver::verify::ProtocolReport> reports(protocols.size());
+  std::vector<std::exception_ptr> errors(protocols.size());
+  int jobs = args.jobs > 0 ? args.jobs
+                           : ctaver::util::ThreadPool::hardware_workers();
+  if (jobs <= 1 || protocols.size() <= 1) {
+    for (std::size_t i = 0; i < protocols.size(); ++i) {
+      reports[i] = verify_one(protocols[i]);
+    }
+  } else {
+    int outer = static_cast<int>(std::min<std::size_t>(
+        static_cast<std::size_t>(jobs), protocols.size()));
+    opts.jobs = std::max(1, jobs / outer);
+    ctaver::util::ThreadPool pool(outer);
+    for (std::size_t i = 0; i < protocols.size(); ++i) {
+      pool.submit([&, i]() {
+        try {
+          reports[i] = verify_one(protocols[i]);
+        } catch (...) {
+          errors[i] = std::current_exception();
+        }
+      });
+    }
+    pool.wait();
+    for (const std::exception_ptr& e : errors) {
+      if (e) std::rethrow_exception(e);
+    }
+  }
+
+  bool all_verified = true;
+  std::cout << ctaver::verify::table2_header() << "\n";
+  for (const ctaver::verify::ProtocolReport& report : reports) {
     if (!rows_only) {
       std::cout << "== " << report.protocol << " "
                 << category_str(report.category)
@@ -243,14 +290,7 @@ int main(int argc, char** argv) {
   }
   try {
     ProtocolRegistry registry = ProtocolRegistry::with_builtins();
-    if (!args.specs_dir.empty()) {
-      for (const auto& entry :
-           std::filesystem::directory_iterator(args.specs_dir)) {
-        if (entry.path().extension() == ".cta") {
-          registry.add_file(entry.path().string());
-        }
-      }
-    }
+    if (!args.specs_dir.empty()) registry.add_directory(args.specs_dir);
     if (args.command == "list") return cmd_list(registry);
     if (args.command == "parse") return cmd_parse(registry, args);
     if (args.command == "verify") {

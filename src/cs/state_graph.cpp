@@ -8,7 +8,8 @@ namespace ctaver::cs {
 
 StateGraph::StateGraph(const ExplicitSystem& sys,
                        const std::vector<Config>& initials,
-                       std::size_t max_states)
+                       std::size_t max_states,
+                       const util::CancelSource* cancel)
     : sys_(&sys) {
   std::unordered_map<Config, std::size_t, ConfigHash> index;
   std::deque<std::size_t> frontier;
@@ -29,9 +30,11 @@ StateGraph::StateGraph(const ExplicitSystem& sys,
 
   for (const Config& c : initials) initials_.push_back(intern(c));
 
+  std::size_t expanded = 0;
   while (!frontier.empty()) {
     std::size_t s = frontier.front();
     frontier.pop_front();
+    if (cancel != nullptr && (++expanded & 0x3ff) == 0) cancel->check();
     // configs_ may grow during the loop; copy the source config.
     Config c = configs_[s];
     for (const Action& a : sys.applicable_actions(c)) {

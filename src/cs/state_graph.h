@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "cs/explicit_system.h"
+#include "util/cancel.h"
 
 namespace ctaver::cs {
 
@@ -29,9 +30,15 @@ class StateGraph {
   using Pred = std::function<bool(const Config&)>;
 
   /// Builds the reachable graph from `initials`. Throws std::runtime_error
-  /// if more than `max_states` states are reached.
+  /// if more than `max_states` states are reached. If `cancel` is non-null
+  /// the exploration polls it periodically and throws util::Cancelled once
+  /// it reports cancellation — this is how the pipeline aborts in-flight
+  /// sweep instances when the shared verification budget (flag or wall-clock
+  /// deadline) is exhausted. All state is local to the instance, so
+  /// concurrent StateGraph builds are independent.
   StateGraph(const ExplicitSystem& sys, const std::vector<Config>& initials,
-             std::size_t max_states = 2'000'000);
+             std::size_t max_states = 2'000'000,
+             const util::CancelSource* cancel = nullptr);
 
   [[nodiscard]] const ExplicitSystem& system() const { return *sys_; }
   [[nodiscard]] std::size_t num_states() const { return configs_.size(); }

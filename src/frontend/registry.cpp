@@ -1,5 +1,7 @@
 #include "frontend/registry.h"
 
+#include <algorithm>
+#include <filesystem>
 #include <stdexcept>
 
 #include "frontend/lower.h"
@@ -38,6 +40,23 @@ std::string ProtocolRegistry::add_file(const std::string& path) {
   std::string name = pm.name;
   add(name, [pm = std::move(pm)]() { return pm; }, path);
   return name;
+}
+
+std::vector<std::string> ProtocolRegistry::add_directory(
+    const std::string& dir) {
+  // Sorted for a deterministic registration (and thus `names()`) order —
+  // directory_iterator order is filesystem-dependent.
+  std::vector<std::string> paths;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (entry.path().extension() == ".cta") {
+      paths.push_back(entry.path().string());
+    }
+  }
+  std::sort(paths.begin(), paths.end());
+  std::vector<std::string> names;
+  names.reserve(paths.size());
+  for (const std::string& path : paths) names.push_back(add_file(path));
+  return names;
 }
 
 const ProtocolRegistry::Entry* ProtocolRegistry::find(

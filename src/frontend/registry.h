@@ -29,6 +29,10 @@ class ProtocolRegistry {
   /// Returns that name. Throws ParseError on malformed specs.
   std::string add_file(const std::string& path);
 
+  /// Registers every `.cta` file in `dir` (sorted by path, so registration
+  /// order is deterministic). Returns the registered names.
+  std::vector<std::string> add_directory(const std::string& dir);
+
   [[nodiscard]] bool contains(const std::string& name) const;
   /// Instantiates a registered model; throws std::out_of_range on unknown
   /// names (message lists what is registered).

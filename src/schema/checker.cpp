@@ -12,6 +12,7 @@
 
 #include "util/logging.h"
 #include "util/stopwatch.h"
+#include "util/thread_pool.h"
 
 namespace ctaver::schema {
 
@@ -591,6 +592,12 @@ CheckResult check_spec(const ta::System& sys, const spec::Spec& spec,
   std::vector<RuleView> rules = make_rule_views(sys, table);
   Enumerator enumerator{table, opts.prune};
 
+  // Budget: either the caller's shared pool (pipeline mode — exhaustion
+  // anywhere cancels every sibling obligation) or a private one scoped to
+  // this call, built from the per-call limits.
+  SharedBudget local_budget(opts.max_schemas, opts.time_budget_s);
+  SharedBudget* budget = opts.budget != nullptr ? opts.budget : &local_budget;
+
   std::atomic<long long> nschemas{0};
   std::atomic<bool> budget_hit{false};
   std::atomic<bool> unknown_any{false};
@@ -612,8 +619,7 @@ CheckResult check_spec(const ta::System& sys, const spec::Spec& spec,
   frontier.push_back({});
 
   auto over_budget = [&]() {
-    if (nschemas.load() >= opts.max_schemas ||
-        watch.seconds() > opts.time_budget_s) {
+    if (budget->exhausted()) {
       budget_hit.store(true);
       stop.store(true);
       queue_cv.notify_all();
@@ -621,13 +627,24 @@ CheckResult check_spec(const ta::System& sys, const spec::Spec& spec,
     }
     return false;
   };
+  // Reserves one LIA query from the budget; false trips the stop flags.
+  auto charge = [&]() {
+    if (!budget->charge(1)) {
+      budget_hit.store(true);
+      stop.store(true);
+      queue_cv.notify_all();
+      return false;
+    }
+    ++nschemas;
+    return true;
+  };
 
   // Processes one prefix: probe, spec queries over cut placements, expand.
   auto process = [&](Encoder& encoder, const std::vector<int>& flips,
                      std::vector<std::vector<int>>* children) {
     if (opts.prefix_prune && !flips.empty()) {
       bool unknown = false, sat = false;
-      ++nschemas;
+      if (!charge()) return;
       (void)encoder.solve(flips, -1, -1, nullptr, &unknown, &sat);
       if (unknown) unknown_any.store(true);
       if (!sat && !unknown) return;  // subtree pruned
@@ -649,8 +666,8 @@ CheckResult check_spec(const ta::System& sys, const spec::Spec& spec,
       int c2_hi = two_cuts ? m - 1 : -1;
       for (int c2 = c2_lo; c2 <= c2_hi; ++c2) {
         for (int swap = 0; swap <= (two_cuts && c1 == c2 ? 1 : 0); ++swap) {
-          if (stop.load() || over_budget()) return;
-          ++nschemas;
+          if (stop.load()) return;
+          if (!charge()) return;
           bool unknown = false;
           auto ce =
               encoder.solve(flips, c1, c2, &spec, &unknown, nullptr,
@@ -677,35 +694,43 @@ CheckResult check_spec(const ta::System& sys, const spec::Spec& spec,
     }
   };
 
-  unsigned hw = std::thread::hardware_concurrency();
-  int workers = static_cast<int>(hw == 0 ? 4 : hw);
-  std::vector<std::thread> pool;
-  for (int w = 0; w < workers; ++w) {
-    pool.emplace_back([&]() {
-      Encoder encoder(sys, table, rules, opts);
-      std::unique_lock<std::mutex> lock(queue_mutex);
-      for (;;) {
-        queue_cv.wait(lock, [&] {
-          return stop.load() || !frontier.empty() || active == 0;
-        });
-        if (stop.load() || (frontier.empty() && active == 0)) return;
-        if (frontier.empty()) continue;
-        std::vector<int> flips = std::move(frontier.front());
-        frontier.pop_front();
-        ++active;
-        lock.unlock();
+  auto worker_fn = [&]() {
+    Encoder encoder(sys, table, rules, opts);
+    std::unique_lock<std::mutex> lock(queue_mutex);
+    for (;;) {
+      queue_cv.wait(lock, [&] {
+        return stop.load() || !frontier.empty() || active == 0;
+      });
+      if (stop.load() || (frontier.empty() && active == 0)) return;
+      if (frontier.empty()) continue;
+      std::vector<int> flips = std::move(frontier.front());
+      frontier.pop_front();
+      ++active;
+      lock.unlock();
 
-        std::vector<std::vector<int>> children;
-        if (!over_budget()) process(encoder, flips, &children);
+      std::vector<std::vector<int>> children;
+      if (!over_budget()) process(encoder, flips, &children);
 
-        lock.lock();
-        for (auto& c : children) frontier.push_back(std::move(c));
-        --active;
-        queue_cv.notify_all();
-      }
-    });
+      lock.lock();
+      for (auto& c : children) frontier.push_back(std::move(c));
+      --active;
+      queue_cv.notify_all();
+    }
+  };
+
+  int workers = opts.workers > 0 ? opts.workers
+                                 : util::ThreadPool::hardware_workers();
+  if (workers == 1) {
+    // Single-worker mode runs inline: the FIFO frontier makes the whole
+    // enumeration (and therefore nschemas and the counterexample found)
+    // deterministic, independent of everything outside this call.
+    worker_fn();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<std::size_t>(workers));
+    for (int w = 0; w < workers; ++w) pool.emplace_back(worker_fn);
+    for (std::thread& t : pool) t.join();
   }
-  for (std::thread& t : pool) t.join();
 
   result.nschemas = nschemas.load();
   result.seconds = watch.seconds();

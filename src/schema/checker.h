@@ -20,6 +20,8 @@
 // when the enumeration or solver budget ran out instead.
 #pragma once
 
+#include <atomic>
+#include <chrono>
 #include <optional>
 #include <string>
 #include <vector>
@@ -28,8 +30,63 @@
 #include "schema/guards.h"
 #include "spec/spec.h"
 #include "ta/model.h"
+#include "util/cancel.h"
 
 namespace ctaver::schema {
+
+/// A time/schema budget shared by several concurrent check_spec calls (and
+/// the pipeline's sweep tasks). Consumers charge() one unit per LIA query;
+/// the first consumer to observe exhaustion — or an external cancel() on the
+/// token — trips the token, which cancels every in-flight sibling at its
+/// next poll and makes the pool skip the queued remainder. All state is a
+/// pair of atomics, so charging is wait-free. As a util::CancelSource its
+/// poll is exhausted(), so computations that never charge (the sweep-
+/// instance state graphs) still notice an expired wall-clock deadline.
+class SharedBudget final : public util::CancelSource {
+ public:
+  SharedBudget(long long max_schemas, double time_budget_s)
+      : max_(max_schemas),
+        deadline_(Clock::now() +
+                  std::chrono::duration_cast<Clock::duration>(
+                      std::chrono::duration<double>(time_budget_s))) {}
+
+  /// Reserves `n` schema queries. Returns false (and trips the token) once
+  /// the schema or time budget is exhausted.
+  bool charge(long long n = 1) {
+    if (exhausted()) return false;
+    if (used_.fetch_add(n, std::memory_order_relaxed) + n > max_) {
+      cancel.cancel();
+      return false;
+    }
+    return true;
+  }
+
+  /// True once the budget is spent, the deadline has passed, or the token
+  /// was cancelled; trips the token as a side effect so siblings stop too.
+  [[nodiscard]] bool cancelled() const override { return exhausted(); }
+
+  [[nodiscard]] bool exhausted() const {
+    if (cancel.cancelled()) return true;
+    if (used_.load(std::memory_order_relaxed) > max_ ||
+        Clock::now() > deadline_) {
+      cancel.cancel();
+      return true;
+    }
+    return false;
+  }
+
+  [[nodiscard]] long long used() const {
+    return used_.load(std::memory_order_relaxed);
+  }
+
+  util::CancelToken cancel;
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  std::atomic<long long> used_{0};
+  long long max_;
+  Clock::time_point deadline_;
+};
 
 struct CheckOptions {
   /// Use RC-entailment precedence pruning of milestone orders.
@@ -45,6 +102,15 @@ struct CheckOptions {
   double time_budget_s = 600.0;
   /// Shrink counterexample parameters via objective minimization.
   bool minimize_ce = true;
+  /// Enumeration workers inside one check_spec call (0 = hardware
+  /// concurrency). With workers = 1 the breadth-first exploration is fully
+  /// deterministic — same nschemas, same counterexample — which is what the
+  /// pipeline relies on for byte-identical reports across --jobs settings.
+  int workers = 0;
+  /// Optional budget shared with sibling obligations. When set, max_schemas
+  /// and time_budget_s above are ignored in favour of the shared pool, and
+  /// exhaustion anywhere cancels every sibling. Not owned.
+  SharedBudget* budget = nullptr;
   lia::SolverOptions solver;
 };
 

@@ -1,0 +1,56 @@
+// Cooperative cancellation: a CancelToken is a copyable handle to a shared
+// flag. Producers call cancel(); long-running consumers poll cancelled() (or
+// call check(), which throws Cancelled) at safe points. Used by the verify
+// pipeline to abort in-flight sibling obligations once a shared time/schema
+// budget is exhausted.
+#pragma once
+
+#include <atomic>
+#include <exception>
+#include <memory>
+
+namespace ctaver::util {
+
+/// Thrown by CancelToken::check() when the token has been cancelled. Callers
+/// that poll a token during a long computation use this to unwind back to
+/// the task wrapper, which records the work as skipped (not failed).
+struct Cancelled : std::exception {
+  [[nodiscard]] const char* what() const noexcept override {
+    return "cancelled";
+  }
+};
+
+/// Anything a long computation can poll to learn it should stop. Implemented
+/// by CancelToken (a plain flag) and by schema::SharedBudget (whose poll
+/// also compares the wall-clock deadline, so a sweep instance notices an
+/// expired --time-budget even when no sibling is around to trip the flag).
+class CancelSource {
+ public:
+  virtual ~CancelSource() = default;
+  [[nodiscard]] virtual bool cancelled() const = 0;
+
+  /// Throws Cancelled if the source reports cancellation.
+  void check() const {
+    if (cancelled()) throw Cancelled();
+  }
+};
+
+/// Copyable, thread-safe cancellation handle. All copies share one flag;
+/// cancellation is one-way and sticky.
+class CancelToken final : public CancelSource {
+ public:
+  CancelToken() : flag_(std::make_shared<std::atomic<bool>>(false)) {}
+
+  /// Sets the shared flag. Safe to call from any thread, any number of
+  /// times; const because it mutates the shared state, not the handle.
+  void cancel() const noexcept { flag_->store(true, std::memory_order_relaxed); }
+
+  [[nodiscard]] bool cancelled() const noexcept override {
+    return flag_->load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::shared_ptr<std::atomic<bool>> flag_;
+};
+
+}  // namespace ctaver::util

@@ -1,0 +1,116 @@
+#include "util/thread_pool.h"
+
+namespace ctaver::util {
+
+int ThreadPool::hardware_workers() {
+  unsigned hw = std::thread::hardware_concurrency();
+  return static_cast<int>(hw == 0 ? 4 : hw);
+}
+
+ThreadPool::ThreadPool(int workers) {
+  int n = workers > 0 ? workers : hardware_workers();
+  queues_.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    queues_.push_back(std::make_unique<WorkerQueue>());
+  }
+  threads_.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    threads_.emplace_back(
+        [this, i] { worker_loop(static_cast<std::size_t>(i)); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  wait();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_work_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void ThreadPool::submit(Task fn, CancelToken token) {
+  Item it;
+  it.fn = std::move(fn);
+  it.token = std::move(token);
+  it.has_token = true;
+  enqueue(std::move(it));
+}
+
+void ThreadPool::submit(Task fn) {
+  Item it;
+  it.fn = std::move(fn);
+  enqueue(std::move(it));
+}
+
+void ThreadPool::enqueue(Item it) {
+  std::size_t victim;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    victim = next_++ % queues_.size();
+    ++queued_;
+    ++pending_;
+  }
+  {
+    std::lock_guard<std::mutex> lock(queues_[victim]->mu);
+    queues_[victim]->q.push_back(std::move(it));
+  }
+  cv_work_.notify_one();
+}
+
+void ThreadPool::wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_done_.wait(lock, [&] { return pending_ == 0; });
+}
+
+bool ThreadPool::try_pop(std::size_t self, Item& out) {
+  const std::size_t n = queues_.size();
+  for (std::size_t k = 0; k < n; ++k) {
+    std::size_t i = (self + k) % n;
+    WorkerQueue& wq = *queues_[i];
+    {
+      std::lock_guard<std::mutex> lock(wq.mu);
+      if (wq.q.empty()) continue;
+      if (k == 0) {
+        // Owner side: FIFO keeps canonical submission order locally.
+        out = std::move(wq.q.front());
+        wq.q.pop_front();
+      } else {
+        // Thief side: steal from the opposite end to reduce contention.
+        out = std::move(wq.q.back());
+        wq.q.pop_back();
+      }
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    --queued_;
+    return true;
+  }
+  return false;
+}
+
+void ThreadPool::finish_one() {
+  std::size_t left;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    left = --pending_;
+  }
+  if (left == 0) cv_done_.notify_all();
+}
+
+void ThreadPool::worker_loop(std::size_t self) {
+  for (;;) {
+    Item it;
+    if (try_pop(self, it)) {
+      // A task whose token tripped while queued is skipped, not run.
+      if (!it.has_token || !it.token.cancelled()) it.fn();
+      finish_one();
+      continue;
+    }
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_work_.wait(lock, [&] { return stop_ || queued_ > 0; });
+    if (stop_ && queued_ == 0) return;
+  }
+}
+
+}  // namespace ctaver::util

@@ -1,0 +1,86 @@
+// Work-stealing thread pool for the verification pipeline.
+//
+// Tasks are distributed round-robin over per-worker deques; an idle worker
+// first drains its own deque (FIFO), then steals from the back of its
+// siblings' deques. Each task carries an optional CancelToken: a task whose
+// token is already cancelled when it is dequeued is skipped (counted as
+// done, never run), which is how a tripped time/schema budget discards the
+// queued remainder of a verification run in O(1) per task.
+//
+// The pool is a building block, not a scheduler singleton: verify_protocol
+// constructs one per call (workers are cheap relative to the obligations
+// they run), so no global mutable state exists and concurrent
+// verify_protocol calls are independent.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "util/cancel.h"
+
+namespace ctaver::util {
+
+class ThreadPool {
+ public:
+  using Task = std::function<void()>;
+
+  /// Spawns `workers` threads (0 = hardware_workers()).
+  explicit ThreadPool(int workers = 0);
+  /// Waits for all submitted tasks, then joins the workers.
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task. If `token` is cancelled before the task is dequeued,
+  /// the task is dropped without running. Tasks must not throw; wrap bodies
+  /// that can (the pipeline stores exceptions per result slot so the
+  /// canonically-first one is rethrown deterministically).
+  void submit(Task fn, CancelToken token);
+  void submit(Task fn);
+
+  /// Blocks until every task submitted so far has run or been skipped.
+  /// The pool stays usable for further submit() rounds afterwards.
+  void wait();
+
+  [[nodiscard]] int workers() const {
+    return static_cast<int>(threads_.size());
+  }
+
+  /// std::thread::hardware_concurrency with a sane fallback.
+  static int hardware_workers();
+
+ private:
+  struct Item {
+    Task fn;
+    CancelToken token;
+    bool has_token = false;
+  };
+  struct WorkerQueue {
+    std::mutex mu;
+    std::deque<Item> q;
+  };
+
+  void enqueue(Item it);
+  void worker_loop(std::size_t self);
+  bool try_pop(std::size_t self, Item& out);
+  void finish_one();
+
+  std::vector<std::unique_ptr<WorkerQueue>> queues_;
+  std::vector<std::thread> threads_;
+
+  std::mutex mu_;                  // guards sleeping / wait() coordination
+  std::condition_variable cv_work_;
+  std::condition_variable cv_done_;
+  std::size_t queued_ = 0;         // tasks sitting in some deque
+  std::size_t pending_ = 0;        // submitted and not yet finished/skipped
+  std::size_t next_ = 0;           // round-robin submission cursor
+  bool stop_ = false;
+};
+
+}  // namespace ctaver::util

@@ -1,6 +1,8 @@
 #include "verify/pipeline.h"
 
+#include <exception>
 #include <functional>
+#include <optional>
 #include <sstream>
 
 #include "cs/explicit_system.h"
@@ -10,6 +12,7 @@
 #include "ta/validate.h"
 #include "util/stopwatch.h"
 #include "util/strings.h"
+#include "util/thread_pool.h"
 
 namespace ctaver::verify {
 
@@ -26,7 +29,7 @@ Obligation from_check(const std::string& name,
   o.complete = res.complete;
   o.nschemas = res.nschemas;
   o.seconds = res.seconds;
-  if (res.ce) o.detail = res.ce->text;
+  if (res.ce) o.ce = res.ce->text;
   return o;
 }
 
@@ -48,9 +51,10 @@ std::vector<ta::LocId> finals_of(const ta::System& rd, int v) {
 /// runs on the product of the state graph with "touched" flags.
 bool check_c1_instance(const ta::System& rd,
                        const std::vector<long long>& params,
-                       std::size_t max_states) {
+                       std::size_t max_states,
+                       const util::CancelSource* cancel) {
   cs::ExplicitSystem es(rd, params, 1);
-  cs::StateGraph g(es, es.border_start_configs(), max_states);
+  cs::StateGraph g(es, es.border_start_configs(), max_states, cancel);
   std::vector<ta::LocId> f0 = finals_of(rd, 0);
   std::vector<ta::LocId> f1 = finals_of(rd, 1);
   auto touch = [&](const cs::Config& c) {
@@ -101,9 +105,11 @@ bool check_c1_instance(const ta::System& rd,
 /// process decide v (no process ever enters F \ D_v).
 bool check_c2prime_instance(const ta::System& rd,
                             const std::vector<long long>& params,
-                            std::size_t max_states) {
+                            std::size_t max_states,
+                            const util::CancelSource* cancel) {
   cs::ExplicitSystem es(rd, params, 1);
   for (int v : {0, 1}) {
+    if (cancel != nullptr) cancel->check();
     // The unique border-start configuration with everyone on value v.
     std::vector<ta::LocId> bv = rd.process.locs_with(ta::LocRole::kBorder, v);
     std::vector<cs::Config> starts;
@@ -112,7 +118,7 @@ bool check_c2prime_instance(const ta::System& rd,
       for (ta::LocId l : bv) here += es.kappa(c, false, l, 0);
       if (here == es.num_processes()) starts.push_back(c);
     }
-    cs::StateGraph g(es, starts, max_states);
+    cs::StateGraph g(es, starts, max_states, cancel);
     // bad: some process in a final location other than D_v.
     std::vector<ta::LocId> bad_locs;
     const ta::Automaton& a = rd.process;
@@ -137,32 +143,119 @@ bool check_c2prime_instance(const ta::System& rd,
   return true;
 }
 
-Obligation sweep_obligation(
-    const std::string& name, const protocols::ProtocolModel& pm,
-    const ta::System& rd, const Options& opts,
-    bool (*check)(const ta::System&, const std::vector<long long>&,
-                  std::size_t)) {
-  util::Stopwatch watch;
-  Obligation o;
-  o.name = name;
-  o.parametric = false;
+using SweepCheckFn = bool (*)(const ta::System&,
+                              const std::vector<long long>&, std::size_t,
+                              const util::CancelSource*);
+
+// ---------------------------------------------------------------------------
+// Obligation scheduler: every (obligation × sweep-instance) is one task.
+//
+// Planning pre-creates all Obligation slots in the serial (canonical) order;
+// tasks only ever write into their own slot, and the merge phase reads the
+// slots back in that order — so the rendered report is byte-identical
+// (seconds aside) no matter how many workers ran the tasks or in which
+// order they completed.
+// ---------------------------------------------------------------------------
+
+struct SweepInstanceResult {
+  enum class Status { kSkipped, kOk, kFail };
+  Status status = Status::kSkipped;
+  double seconds = 0.0;
+  std::exception_ptr error;
+};
+
+struct ParametricTask {
+  PropertyResult* prop;
+  std::size_t slot;
+  const ta::System* sys;
+  spec::Spec spec;
+  std::optional<schema::CheckResult> result;
+  std::exception_ptr error;
+};
+
+struct SweepTask {
+  PropertyResult* prop;
+  std::size_t slot;
+  SweepCheckFn check;
+  const protocols::ProtocolModel* pm;
+  const ta::System* sys;
+  std::vector<SweepInstanceResult> instances;
+};
+
+struct Plan {
+  std::vector<ParametricTask> checks;
+  std::vector<SweepTask> sweeps;
+  /// (is_sweep, index into checks/sweeps) in canonical obligation order.
+  std::vector<std::pair<bool, std::size_t>> order;
+
+  void add_check(PropertyResult& prop, const ta::System& sys,
+                 spec::Spec spec) {
+    Obligation o;
+    o.name = spec.name;
+    o.parametric = true;
+    prop.obligations.push_back(std::move(o));
+    checks.push_back({&prop, prop.obligations.size() - 1, &sys,
+                      std::move(spec), std::nullopt, nullptr});
+    order.emplace_back(false, checks.size() - 1);
+  }
+
+  void add_sweep(PropertyResult& prop, const std::string& name,
+                 const protocols::ProtocolModel& pm, const ta::System& sys,
+                 SweepCheckFn check) {
+    Obligation o;
+    o.name = name;
+    o.parametric = false;
+    prop.obligations.push_back(std::move(o));
+    sweeps.push_back(
+        {&prop, prop.obligations.size() - 1, check, &pm, &sys,
+         std::vector<SweepInstanceResult>(pm.sweep_params.size())});
+    order.emplace_back(true, sweeps.size() - 1);
+  }
+};
+
+std::string instance_tag(const std::vector<long long>& params) {
+  std::string tag = "(";
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    if (i > 0) tag += ",";
+    tag += std::to_string(params[i]);
+  }
+  tag += ")";
+  return tag;
+}
+
+void merge_sweep(SweepTask& t) {
+  Obligation& o = t.prop->obligations[t.slot];
   o.holds = true;
   o.complete = true;
+  o.seconds = 0.0;
   std::vector<std::string> swept;
-  for (const auto& params : pm.sweep_params) {
-    bool ok = check(rd, params, opts.max_states);
-    std::string tag = "(";
-    for (std::size_t i = 0; i < params.size(); ++i) {
-      if (i > 0) tag += ",";
-      tag += std::to_string(params[i]);
+  std::vector<std::string> failed;
+  for (std::size_t i = 0; i < t.instances.size(); ++i) {
+    const SweepInstanceResult& inst = t.instances[i];
+    std::string tag = instance_tag(t.pm->sweep_params[i]);
+    switch (inst.status) {
+      case SweepInstanceResult::Status::kOk:
+        break;
+      case SweepInstanceResult::Status::kFail:
+        tag += "=FAIL";
+        failed.push_back(instance_tag(t.pm->sweep_params[i]));
+        o.holds = false;
+        break;
+      case SweepInstanceResult::Status::kSkipped:
+        // Budget-cancelled before (or while) this instance ran: the sweep
+        // is inconclusive, never a refutation.
+        tag += "=SKIP";
+        o.holds = false;
+        o.complete = false;
+        break;
     }
-    tag += ok ? ")" : ")=FAIL";
-    swept.push_back(tag);
-    if (!ok) o.holds = false;
+    swept.push_back(std::move(tag));
+    o.seconds += inst.seconds;
   }
-  o.seconds = watch.seconds();
   o.detail = "instances " + util::join(swept, " ");
-  return o;
+  if (!failed.empty()) {
+    o.ce = "failing instances " + util::join(failed, " ");
+  }
 }
 
 }  // namespace
@@ -176,14 +269,14 @@ bool PropertyResult::holds() const {
 
 bool PropertyResult::has_counterexample() const {
   for (const Obligation& o : obligations) {
-    if (!o.holds && !o.detail.empty()) return true;
+    if (!o.holds && !o.ce.empty()) return true;
   }
   return false;
 }
 
 bool PropertyResult::inconclusive() const {
   for (const Obligation& o : obligations) {
-    if (!o.holds && o.detail.empty()) return true;
+    if (!o.holds && o.ce.empty()) return true;
   }
   return false;
 }
@@ -202,7 +295,7 @@ double PropertyResult::seconds() const {
 
 std::string PropertyResult::failure() const {
   for (const Obligation& o : obligations) {
-    if (!o.holds && !o.detail.empty()) return o.name + ": " + o.detail;
+    if (!o.holds && !o.ce.empty()) return o.name + ": " + o.ce;
   }
   return {};
 }
@@ -226,42 +319,40 @@ ProtocolReport verify_protocol(const protocols::ProtocolModel& pm,
                                 ": single-round system is not a DAG modulo "
                                 "self-loops; Theorem 2 does not apply");
   }
+  // Category (C) refined system; lives here so tasks can reference it.
+  std::optional<ta::System> rdr;
+
+  Plan plan;
 
   // Agreement and Validity via the round invariants (Prop. 1).
   for (int v : {0, 1}) {
-    report.agreement.obligations.push_back(
-        from_check(spec::inv1(rd, v).name,
-                   schema::check_spec(rd, spec::inv1(rd, v), opts.schema)));
-    report.validity.obligations.push_back(
-        from_check(spec::inv2(rd, v).name,
-                   schema::check_spec(rd, spec::inv2(rd, v), opts.schema)));
+    plan.add_check(report.agreement, rd, spec::inv1(rd, v));
+    plan.add_check(report.validity, rd, spec::inv2(rd, v));
   }
 
   // Almost-sure termination: category-specific sufficient conditions.
   switch (pm.category) {
     case Category::kA: {
       for (int v : {0, 1}) {
-        spec::Spec c2 = spec::c2(rd, v);
-        report.termination.obligations.push_back(
-            from_check(c2.name, schema::check_spec(rd, c2, opts.schema)));
+        plan.add_check(report.termination, rd, spec::c2(rd, v));
       }
       if (opts.run_sweeps) {
-        report.termination.obligations.push_back(
-            sweep_obligation("C1", pm, rd_prob, opts, &check_c1_instance));
+        plan.add_sweep(report.termination, "C1", pm, rd_prob,
+                       &check_c1_instance);
       }
       break;
     }
     case Category::kB: {
       if (opts.run_sweeps) {
-        report.termination.obligations.push_back(
-            sweep_obligation("C1", pm, rd_prob, opts, &check_c1_instance));
-        report.termination.obligations.push_back(
-            sweep_obligation("C2'", pm, rd_prob, opts, &check_c2prime_instance));
+        plan.add_sweep(report.termination, "C1", pm, rd_prob,
+                       &check_c1_instance);
+        plan.add_sweep(report.termination, "C2'", pm, rd_prob,
+                       &check_c2prime_instance);
       }
       break;
     }
     case Category::kC: {
-      ta::System rdr = ta::single_round(ta::nonprobabilistic(pm.refined()));
+      rdr.emplace(ta::single_round(ta::nonprobabilistic(pm.refined())));
       struct CB {
         const char* name;
         const std::string* from;
@@ -272,23 +363,110 @@ ProtocolReport verify_protocol(const protocols::ProtocolModel& pm,
           {"CB2", &pm.n0_loc, &pm.m1_loc}, {"CB3", &pm.n1_loc, &pm.m0_loc},
       };
       for (const CB& cb : cbs) {
-        spec::Spec s = spec::binding(rdr, cb.name, *cb.from, *cb.forbid);
-        report.termination.obligations.push_back(
-            from_check(cb.name, schema::check_spec(rdr, s, opts.schema)));
+        plan.add_check(report.termination, *rdr,
+                       spec::binding(*rdr, cb.name, *cb.from, *cb.forbid));
       }
       // CB4 forbids both M0 and M1 after N⊥.
-      spec::Spec cb4 = spec::binding(rdr, "CB4", pm.nbot_loc, pm.m0_loc);
+      spec::Spec cb4 = spec::binding(*rdr, "CB4", pm.nbot_loc, pm.m0_loc);
       cb4.conclusion = spec::LocSet::process(
-          {rdr.process.find_loc(pm.m0_loc), rdr.process.find_loc(pm.m1_loc)});
-      report.termination.obligations.push_back(
-          from_check("CB4", schema::check_spec(rdr, cb4, opts.schema)));
+          {rdr->process.find_loc(pm.m0_loc), rdr->process.find_loc(pm.m1_loc)});
+      plan.add_check(report.termination, *rdr, std::move(cb4));
       if (opts.run_sweeps) {
-        report.termination.obligations.push_back(
-            sweep_obligation("C2'", pm, rd_prob, opts, &check_c2prime_instance));
+        plan.add_sweep(report.termination, "C2'", pm, rd_prob,
+                       &check_c2prime_instance);
       }
       break;
     }
   }
+
+  // One budget for the whole protocol: --time-budget / --max-schemas trip
+  // every in-flight sibling via the shared cancel token.
+  schema::SharedBudget budget(opts.schema.max_schemas,
+                              opts.schema.time_budget_s);
+  schema::CheckOptions task_opts = opts.schema;
+  task_opts.budget = &budget;
+  // One enumeration worker per obligation task: parallelism comes from the
+  // obligation scheduler, and a single-worker check is deterministic, which
+  // keeps reports identical across jobs settings. An explicit workers > 1
+  // is honoured (at the cost of that determinism for CE nschemas).
+  if (task_opts.workers == 0) task_opts.workers = 1;
+
+  // Task closures, in canonical order (plan vectors are final from here on).
+  std::vector<std::function<void()>> tasks;
+  for (const auto& [is_sweep, idx] : plan.order) {
+    if (!is_sweep) {
+      ParametricTask& t = plan.checks[idx];
+      tasks.push_back([&t, &budget, &task_opts]() {
+        try {
+          if (budget.exhausted()) return;  // slot stays inconclusive
+          t.result = schema::check_spec(*t.sys, t.spec, task_opts);
+        } catch (const util::Cancelled&) {
+        } catch (...) {
+          t.error = std::current_exception();
+          budget.cancel.cancel();
+        }
+      });
+    } else {
+      SweepTask& t = plan.sweeps[idx];
+      for (std::size_t i = 0; i < t.instances.size(); ++i) {
+        tasks.push_back([&t, i, &budget, &opts]() {
+          SweepInstanceResult& inst = t.instances[i];
+          try {
+            if (budget.exhausted()) return;
+            util::Stopwatch w;
+            // The budget itself is the cancel source, so a long state-graph
+            // build notices an expired deadline, not just a tripped flag.
+            bool ok = t.check(*t.sys, t.pm->sweep_params[i], opts.max_states,
+                              &budget);
+            inst.seconds = w.seconds();
+            inst.status = ok ? SweepInstanceResult::Status::kOk
+                             : SweepInstanceResult::Status::kFail;
+          } catch (const util::Cancelled&) {
+          } catch (...) {
+            inst.error = std::current_exception();
+            budget.cancel.cancel();
+          }
+        });
+      }
+    }
+  }
+
+  int jobs = opts.jobs > 0 ? opts.jobs : util::ThreadPool::hardware_workers();
+  if (jobs <= 1 || tasks.size() <= 1) {
+    for (const auto& task : tasks) task();
+  } else {
+    util::ThreadPool pool(jobs);
+    for (const auto& task : tasks) pool.submit(task, budget.cancel);
+    pool.wait();
+  }
+
+  // Errors (e.g. a sweep instance blowing the state cap) surface as the
+  // canonically-first stored exception, matching serial behaviour.
+  for (const auto& [is_sweep, idx] : plan.order) {
+    if (!is_sweep) {
+      if (plan.checks[idx].error) {
+        std::rethrow_exception(plan.checks[idx].error);
+      }
+    } else {
+      for (const SweepInstanceResult& inst : plan.sweeps[idx].instances) {
+        if (inst.error) std::rethrow_exception(inst.error);
+      }
+    }
+  }
+
+  // Deterministic merge, in canonical slot order.
+  for (ParametricTask& t : plan.checks) {
+    Obligation& o = t.prop->obligations[t.slot];
+    if (t.result) {
+      o = from_check(o.name, *t.result);
+    } else {
+      // Skipped by budget exhaustion or cancellation: inconclusive.
+      o.holds = false;
+      o.complete = false;
+    }
+  }
+  for (SweepTask& t : plan.sweeps) merge_sweep(t);
+
   return report;
 }
 

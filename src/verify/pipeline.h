@@ -27,11 +27,26 @@
 namespace ctaver::verify {
 
 struct Options {
+  /// Per-obligation schema-checker options. Inside verify_protocol,
+  /// schema.max_schemas and schema.time_budget_s fund ONE budget shared by
+  /// all of the protocol's obligations (parametric checks and sweep
+  /// instances alike): exhaustion anywhere cancels every in-flight sibling
+  /// and skips the queued remainder, so a tight budget degrades to
+  /// inconclusive obligations instead of a partial serial prefix.
+  /// schema.workers = 0 is remapped to 1 per obligation task — that keeps
+  /// each check deterministic, which `jobs` below relies on.
   schema::CheckOptions schema;
   /// Run the explicit-instance sweeps for (C1)/(C2′).
   bool run_sweeps = true;
   /// State-space cap per swept instance.
   std::size_t max_states = 2'000'000;
+  /// Obligation-scheduler width: every (obligation × sweep-instance) is an
+  /// independent task on a work-stealing pool of this many workers
+  /// (0 = hardware concurrency, 1 = run inline serially). Reports are
+  /// byte-identical for every value of `jobs` (seconds aside) as long as
+  /// the run stays within budget: results are merged back in canonical
+  /// obligation/instance order and each task is internally deterministic.
+  int jobs = 0;
 };
 
 /// One discharged proof obligation.
@@ -44,7 +59,14 @@ struct Obligation {
   bool complete = false;
   long long nschemas = 0;
   double seconds = 0.0;
-  std::string detail;  // counterexample text or swept instances
+  /// Genuine counterexample text (schema-checker CE or the failing sweep
+  /// instances). Empty when the obligation holds or merely ran out of
+  /// budget — so a failed obligation with an empty `ce` is inconclusive,
+  /// never a refutation.
+  std::string ce;
+  /// Informational detail (e.g. the swept instance tags); never consulted
+  /// for verdicts.
+  std::string detail;
 };
 
 struct PropertyResult {
@@ -52,7 +74,9 @@ struct PropertyResult {
 
   [[nodiscard]] bool holds() const;
   /// True if some obligation produced a genuine counterexample (as opposed
-  /// to merely exhausting its budget).
+  /// to merely exhausting its budget). Decided by Obligation::ce, so sweep
+  /// obligations — whose `detail` is always populated with instance tags —
+  /// can still be inconclusive.
   [[nodiscard]] bool has_counterexample() const;
   /// True if some obligation is inconclusive (budget exhausted, no CE).
   [[nodiscard]] bool inconclusive() const;
@@ -72,7 +96,10 @@ struct ProtocolReport {
   PropertyResult termination;
 };
 
-/// Runs the full pipeline on one protocol.
+/// Runs the full pipeline on one protocol. With opts.jobs != 1 the proof
+/// obligations (and the instances inside each sweep) are discharged
+/// concurrently on a work-stealing pool; the report is merged back in the
+/// serial order regardless.
 ProtocolReport verify_protocol(const protocols::ProtocolModel& pm,
                                const Options& opts = {});
 

@@ -1,0 +1,171 @@
+// Serial-equivalence harness for the parallel obligation scheduler: running
+// verify_protocol with jobs=1 and jobs=N must produce byte-identical
+// rendered reports (verdicts, obligation order, counterexamples, nschemas;
+// seconds excluded) for every registry protocol, and a tight shared budget
+// must degrade to inconclusive obligations — never a wrong verdict — in
+// both modes.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "frontend/registry.h"
+#include "verify/pipeline.h"
+
+namespace ctaver::verify {
+namespace {
+
+/// Workers for the parallel leg: hardware_concurrency per the harness
+/// contract, but at least 4 so single-core CI runners still exercise real
+/// task interleaving on the pool.
+int parallel_jobs() {
+  unsigned hw = std::thread::hardware_concurrency();
+  return static_cast<int>(hw > 4 ? hw : 4);
+}
+
+/// Canonical report rendering for equivalence checks. Everything
+/// deterministic is included; `seconds` (wall-clock) is excluded, and
+/// `nschemas` is masked for budget-truncated obligations, whose counts are
+/// as time-dependent as seconds even in a serial run.
+std::string render(const ProtocolReport& r) {
+  std::ostringstream os;
+  os << r.protocol << " cat=" << static_cast<int>(r.category)
+     << " L=" << r.n_locations << " R=" << r.n_rules << "\n";
+  auto prop = [&os](const char* title, const PropertyResult& p) {
+    os << title << ": holds=" << p.holds()
+       << " ce=" << p.has_counterexample()
+       << " inconclusive=" << p.inconclusive() << "\n";
+    for (const Obligation& o : p.obligations) {
+      os << "  " << o.name << " holds=" << o.holds
+         << " parametric=" << o.parametric << " complete=" << o.complete
+         << " nschemas=" << (o.complete ? std::to_string(o.nschemas) : "-")
+         << " ce=[" << o.ce << "] detail=[" << o.detail << "]\n";
+    }
+  };
+  prop("agreement", r.agreement);
+  prop("validity", r.validity);
+  prop("termination", r.termination);
+  return os.str();
+}
+
+/// The six protocols cheap enough to discharge conclusively in a test run.
+/// The category-(C) models (MMR14, Miller18, ABY22) need minutes-to-hours
+/// of enumeration, so SerialEquivalenceOnEveryRegistryProtocol covers them
+/// in a deterministic zero-budget regime instead.
+bool conclusively_cheap(const std::string& name) {
+  return name == "NaiveVoting" || name == "Rabin83" || name == "CC85a" ||
+         name == "CC85b" || name == "FMR05" || name == "KS16";
+}
+
+TEST(ParallelPipeline, SerialEquivalenceOnEveryRegistryProtocol) {
+  frontend::ProtocolRegistry registry =
+      frontend::ProtocolRegistry::with_builtins();
+  std::vector<std::string> names = registry.names();
+  ASSERT_EQ(names.size(), 9u);
+  for (const std::string& name : names) {
+    protocols::ProtocolModel pm = registry.make(name);
+    Options opts;
+    if (!conclusively_cheap(name)) {
+      // Deterministic budget-exhausted regime: every obligation is skipped
+      // identically in both modes, so structure/verdict equivalence is
+      // still exercised end-to-end without hours of schema enumeration.
+      opts.schema.time_budget_s = 0.0;
+    }
+    opts.jobs = 1;
+    std::string serial = render(verify_protocol(pm, opts));
+    opts.jobs = parallel_jobs();
+    std::string parallel = render(verify_protocol(pm, opts));
+    EXPECT_EQ(serial, parallel) << name << " with jobs=" << opts.jobs;
+  }
+}
+
+TEST(ParallelPipeline, ConclusiveRunsReproduceKnownVerdicts) {
+  frontend::ProtocolRegistry registry =
+      frontend::ProtocolRegistry::with_builtins();
+  for (int jobs : {1, parallel_jobs()}) {
+    Options opts;
+    opts.jobs = jobs;
+    // The paper's broken warm-up keeps its genuine agreement CE.
+    ProtocolReport nv = verify_protocol(registry.make("NaiveVoting"), opts);
+    EXPECT_TRUE(nv.agreement.has_counterexample()) << "jobs=" << jobs;
+    EXPECT_FALSE(nv.agreement.inconclusive()) << "jobs=" << jobs;
+    // A verified category-(B) benchmark stays verified.
+    ProtocolReport cc = verify_protocol(registry.make("CC85a"), opts);
+    EXPECT_TRUE(cc.agreement.holds()) << "jobs=" << jobs;
+    EXPECT_TRUE(cc.validity.holds()) << "jobs=" << jobs;
+    EXPECT_TRUE(cc.termination.holds()) << "jobs=" << jobs;
+  }
+}
+
+TEST(ParallelPipeline, SchemaBudgetExhaustionIsInconclusiveNotWrong) {
+  // One schema query for the whole protocol: the parametric obligations
+  // cannot finish and must come back inconclusive — never as a
+  // counterexample — under both serial and parallel execution. Sweeps race
+  // against the budget trip, so they may legitimately complete or be
+  // skipped, but they may never report a refutation.
+  for (int jobs : {1, parallel_jobs()}) {
+    Options opts;
+    opts.jobs = jobs;
+    opts.schema.max_schemas = 1;
+    ProtocolReport r = verify_protocol(protocols::cc85a(), opts);
+    for (const PropertyResult* p :
+         {&r.agreement, &r.validity, &r.termination}) {
+      EXPECT_FALSE(p->has_counterexample()) << "jobs=" << jobs;
+    }
+    EXPECT_FALSE(r.agreement.holds()) << "jobs=" << jobs;
+    EXPECT_TRUE(r.agreement.inconclusive()) << "jobs=" << jobs;
+    EXPECT_FALSE(r.validity.holds()) << "jobs=" << jobs;
+    EXPECT_TRUE(r.validity.inconclusive()) << "jobs=" << jobs;
+    EXPECT_TRUE(r.termination.holds() || r.termination.inconclusive())
+        << "jobs=" << jobs;
+    EXPECT_NE(table2_row(r).find("budget-limited"), std::string::npos)
+        << "jobs=" << jobs;
+  }
+}
+
+TEST(ParallelPipeline, TimeBudgetExhaustionCancelsSweepsInconclusively) {
+  // Zero wall-clock budget: every obligation (parametric and sweep alike)
+  // is cancelled before it runs. PropertyResult::inconclusive() must hold
+  // everywhere, sweep obligations must carry SKIP tags instead of FAIL,
+  // and nothing may masquerade as a counterexample.
+  for (int jobs : {1, parallel_jobs()}) {
+    Options opts;
+    opts.jobs = jobs;
+    opts.schema.time_budget_s = 0.0;
+    ProtocolReport r = verify_protocol(protocols::cc85a(), opts);
+    for (const PropertyResult* p :
+         {&r.agreement, &r.validity, &r.termination}) {
+      EXPECT_FALSE(p->holds()) << "jobs=" << jobs;
+      EXPECT_FALSE(p->has_counterexample()) << "jobs=" << jobs;
+      EXPECT_TRUE(p->inconclusive()) << "jobs=" << jobs;
+      for (const Obligation& o : p->obligations) {
+        EXPECT_FALSE(o.holds) << o.name << " jobs=" << jobs;
+        EXPECT_FALSE(o.complete) << o.name << " jobs=" << jobs;
+        EXPECT_TRUE(o.ce.empty()) << o.name << " jobs=" << jobs;
+        if (!o.parametric) {
+          EXPECT_NE(o.detail.find("=SKIP"), std::string::npos)
+              << o.name << " jobs=" << jobs;
+          EXPECT_EQ(o.detail.find("=FAIL"), std::string::npos)
+              << o.name << " jobs=" << jobs;
+        }
+      }
+    }
+    EXPECT_EQ(r.termination.failure(), "") << "jobs=" << jobs;
+  }
+}
+
+TEST(ParallelPipeline, AutoJobsSmoke) {
+  // jobs=0 resolves to hardware concurrency; the report must match the
+  // serial rendering like any other width.
+  Options opts;
+  opts.jobs = 1;
+  std::string serial = render(verify_protocol(protocols::fmr05(), opts));
+  opts.jobs = 0;
+  std::string auto_jobs = render(verify_protocol(protocols::fmr05(), opts));
+  EXPECT_EQ(serial, auto_jobs);
+}
+
+}  // namespace
+}  // namespace ctaver::verify

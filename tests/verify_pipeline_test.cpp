@@ -99,7 +99,8 @@ TEST(Pipeline, PropertyResultAggregation) {
   pr.obligations.push_back(a);
   Obligation b = a;
   b.holds = false;
-  b.detail = "ce";
+  b.ce = "ce";
+  b.detail = "instances (3,1)=FAIL";
   b.nschemas = 7;
   pr.obligations.push_back(b);
   EXPECT_FALSE(pr.holds());
@@ -108,6 +109,22 @@ TEST(Pipeline, PropertyResultAggregation) {
   EXPECT_EQ(pr.nschemas(), 12);
   EXPECT_NEAR(pr.seconds(), 1.0, 1e-9);
   EXPECT_EQ(pr.failure(), "x: ce");
+}
+
+TEST(Pipeline, FailedObligationWithDetailOnlyIsInconclusive) {
+  // Sweep obligations always carry instance tags in `detail`; a failed one
+  // whose `ce` is empty must read as budget-limited, not as a refutation.
+  PropertyResult pr;
+  Obligation o;
+  o.name = "C1";
+  o.holds = false;
+  o.complete = false;
+  o.detail = "instances (3,1)=SKIP (5,2)=SKIP";
+  pr.obligations.push_back(o);
+  EXPECT_FALSE(pr.holds());
+  EXPECT_FALSE(pr.has_counterexample());
+  EXPECT_TRUE(pr.inconclusive());
+  EXPECT_EQ(pr.failure(), "");
 }
 
 }  // namespace
