@@ -1,0 +1,161 @@
+// Microbenchmark for the incremental LIA solver: runs every parametric
+// obligation of the Table-II suite twice — once with the pre-incremental
+// fresh-solver-per-query encoder ("fresh", the before leg) and once with
+// the long-lived scoped solver ("incremental") — and emits machine-readable
+// JSON with queries, simplex pivots, pivots/query, schemas/sec, and the
+// before/after ratios. Both legs run the exact same deterministic query
+// set (jobs=1, sweeps off, schema cap instead of a wall clock), so the
+// pivot ratio is a query-for-query comparison, not a budget artifact.
+//
+//   bench_solver [--max-schemas N] [--budget SECONDS] [--specs DIR]
+//                [--out FILE] [PROTOCOL...]
+//
+// Defaults: the paper's eight Table-II protocols, 1500 schemas and 300 s
+// per (protocol, mode). The committed BENCH_solver.json is produced by the
+// defaults; CI smoke-runs `bench_solver --max-schemas 50 --budget 20`.
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "frontend/registry.h"
+#include "util/stopwatch.h"
+#include "verify/pipeline.h"
+
+namespace {
+
+struct ModeStats {
+  long long queries = 0;
+  long long pivots = 0;
+  double seconds = 0.0;
+  bool complete = true;
+};
+
+double ratio(double num, double den) { return den > 0 ? num / den : 0.0; }
+
+std::string mode_json(const ModeStats& s) {
+  std::ostringstream os;
+  os << "{\"queries\": " << s.queries << ", \"pivots\": " << s.pivots
+     << ", \"pivots_per_query\": " << ratio(double(s.pivots), double(s.queries))
+     << ", \"seconds\": " << s.seconds
+     << ", \"schemas_per_sec\": " << ratio(double(s.queries), s.seconds)
+     << ", \"complete\": " << (s.complete ? "true" : "false") << "}";
+  return os.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace ctaver;
+
+  long long max_schemas = 1500;
+  double budget_s = 300.0;
+  std::string specs_dir;
+  std::string out_path;
+  std::vector<std::string> protocols;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--max-schemas") == 0 && i + 1 < argc) {
+      max_schemas = std::atoll(argv[++i]);
+    } else if (std::strcmp(argv[i], "--budget") == 0 && i + 1 < argc) {
+      budget_s = std::atof(argv[++i]);
+    } else if (std::strcmp(argv[i], "--specs") == 0 && i + 1 < argc) {
+      specs_dir = argv[++i];
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    } else {
+      protocols.emplace_back(argv[i]);
+    }
+  }
+  if (protocols.empty()) {
+    protocols = {"Rabin83", "CC85a", "CC85b",    "FMR05",
+                 "KS16",    "MMR14", "Miller18", "ABY22"};
+  }
+
+  try {
+    frontend::ProtocolRegistry registry =
+        frontend::ProtocolRegistry::with_builtins();
+    if (!specs_dir.empty()) registry.add_directory(specs_dir);
+
+    verify::Options opts;
+    opts.run_sweeps = false;  // solver work only: no state-graph sweeps
+    opts.jobs = 1;            // deterministic, comparable query sequence
+    opts.schema.max_schemas = max_schemas;
+    opts.schema.time_budget_s = budget_s;
+
+    std::ostringstream json;
+    json << "{\n  \"benchmark\": \"ctaver_solver\",\n"
+         << "  \"config\": {\"max_schemas\": " << max_schemas
+         << ", \"time_budget_s\": " << budget_s << ", \"jobs\": 1},\n"
+         << "  \"protocols\": [\n";
+
+    ModeStats total_fresh, total_inc;
+    bool first = true;
+    for (const std::string& name : protocols) {
+      protocols::ProtocolModel pm = registry.resolve(name);
+      ModeStats stats[2];
+      for (int mode = 0; mode < 2; ++mode) {
+        verify::Options mode_opts = opts;
+        mode_opts.schema.incremental = mode == 1;
+        util::Stopwatch watch;
+        verify::ProtocolReport report =
+            verify::verify_protocol(pm, mode_opts);
+        stats[mode].seconds = watch.seconds();
+        for (const verify::PropertyResult* p :
+             {&report.agreement, &report.validity, &report.termination}) {
+          stats[mode].queries += p->nschemas();
+          stats[mode].pivots += p->npivots();
+          for (const verify::Obligation& o : p->obligations) {
+            if (o.parametric && !o.complete) stats[mode].complete = false;
+          }
+        }
+        std::cerr << name << " " << (mode == 1 ? "incremental" : "fresh")
+                  << ": " << stats[mode].queries << " queries, "
+                  << stats[mode].pivots << " pivots, " << stats[mode].seconds
+                  << " s\n";
+      }
+      total_fresh.queries += stats[0].queries;
+      total_fresh.pivots += stats[0].pivots;
+      total_fresh.seconds += stats[0].seconds;
+      total_fresh.complete = total_fresh.complete && stats[0].complete;
+      total_inc.queries += stats[1].queries;
+      total_inc.pivots += stats[1].pivots;
+      total_inc.seconds += stats[1].seconds;
+      total_inc.complete = total_inc.complete && stats[1].complete;
+
+      if (!first) json << ",\n";
+      first = false;
+      json << "    {\"name\": \"" << name << "\",\n"
+           << "     \"fresh\": " << mode_json(stats[0]) << ",\n"
+           << "     \"incremental\": " << mode_json(stats[1]) << ",\n"
+           << "     \"pivot_reduction\": "
+           << ratio(double(stats[0].pivots), double(stats[1].pivots))
+           << ", \"speedup\": "
+           << ratio(stats[0].seconds, stats[1].seconds) << "}";
+    }
+    json << "\n  ],\n"
+         << "  \"total\": {\n"
+         << "    \"fresh\": " << mode_json(total_fresh) << ",\n"
+         << "    \"incremental\": " << mode_json(total_inc) << ",\n"
+         << "    \"pivot_reduction\": "
+         << ratio(double(total_fresh.pivots), double(total_inc.pivots))
+         << ",\n    \"speedup\": "
+         << ratio(total_fresh.seconds, total_inc.seconds) << "\n  }\n}\n";
+
+    std::cout << json.str();
+    if (!out_path.empty()) {
+      std::ofstream out(out_path);
+      if (!out) {
+        std::cerr << "bench_solver: cannot write " << out_path << "\n";
+        return 2;
+      }
+      out << json.str();
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "bench_solver: " << e.what() << "\n";
+    return 2;
+  }
+  return 0;
+}

@@ -202,7 +202,7 @@ int cmd_verify(const ProtocolRegistry& registry, const Args& args,
   if (args.max_schemas > 0) opts.schema.max_schemas = args.max_schemas;
   if (args.time_budget > 0) opts.schema.time_budget_s = args.time_budget;
 
-  auto verify_one = [&](const std::string& spec) {
+  auto resolve_one = [&](const std::string& spec) {
     ProtocolModel pm = registry.resolve(spec);
     if (!args.sweep_override.empty()) {
       // The frontend validates spec-file sweeps; hold CLI overrides to the
@@ -222,41 +222,33 @@ int cmd_verify(const ProtocolRegistry& registry, const Args& args,
       }
       pm.sweep_params = args.sweep_override;
     }
-    return ctaver::verify::verify_protocol(pm, opts);
+    return pm;
   };
 
-  // Whole protocols run concurrently too (the biggest lever for the full
-  // Table-II sweep, where a single dominant obligation otherwise caps the
-  // within-protocol speedup). The --jobs width is split between the two
-  // levels — outer workers × inner obligation workers ≤ jobs — so the
-  // thread count never multiplies past what was asked for. Reports are
-  // buffered and printed in argument order, so the output is identical to
-  // the serial run's.
+  // Every protocol's obligation and sweep-instance tasks are submitted to
+  // ONE shared work-stealing pool up front, so a cheap protocol's tail
+  // overlaps the next protocol's ramp-up and no --jobs width is lost to a
+  // per-protocol split. Each protocol keeps its own budget (armed when its
+  // first task starts) and its results are merged and printed in argument
+  // order, so the output is byte-identical to the serial run's.
   std::vector<ctaver::verify::ProtocolReport> reports(protocols.size());
-  std::vector<std::exception_ptr> errors(protocols.size());
   int jobs = args.jobs > 0 ? args.jobs
                            : ctaver::util::ThreadPool::hardware_workers();
-  if (jobs <= 1 || protocols.size() <= 1) {
+  if (jobs <= 1) {
     for (std::size_t i = 0; i < protocols.size(); ++i) {
-      reports[i] = verify_one(protocols[i]);
+      reports[i] = ctaver::verify::verify_protocol(resolve_one(protocols[i]),
+                                                   opts);
     }
   } else {
-    int outer = static_cast<int>(std::min<std::size_t>(
-        static_cast<std::size_t>(jobs), protocols.size()));
-    opts.jobs = std::max(1, jobs / outer);
-    ctaver::util::ThreadPool pool(outer);
-    for (std::size_t i = 0; i < protocols.size(); ++i) {
-      pool.submit([&, i]() {
-        try {
-          reports[i] = verify_one(protocols[i]);
-        } catch (...) {
-          errors[i] = std::current_exception();
-        }
-      });
+    ctaver::util::ThreadPool pool(jobs);
+    std::vector<ctaver::verify::ProtocolRun> runs;
+    runs.reserve(protocols.size());
+    for (const std::string& spec : protocols) {
+      runs.push_back(ctaver::verify::verify_protocol_async(resolve_one(spec),
+                                                           opts, pool));
     }
-    pool.wait();
-    for (const std::exception_ptr& e : errors) {
-      if (e) std::rethrow_exception(e);
+    for (std::size_t i = 0; i < protocols.size(); ++i) {
+      reports[i] = runs[i].finish();
     }
   }
 

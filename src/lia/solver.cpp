@@ -12,180 +12,104 @@ using util::Int128;
 using util::Rational;
 
 // ---------------------------------------------------------------------------
-// Tableau: general-simplex working state (de Moura & Bjørner, CAV'06).
-//
-// Variables 0..m-1 are the caller's structural variables; m.. are slack
-// variables, one per constraint row. Every variable carries rational bounds;
-// nonbasic variables always sit within their bounds, and the simplex loop
-// repairs basic variables that stray outside theirs.
+// Variables and bounds
 // ---------------------------------------------------------------------------
-struct Solver::Tableau {
-  // Per-variable data (structural + slack).
-  std::vector<std::optional<Rational>> lb, ub;
-  std::vector<Rational> beta;      // current assignment
-  std::vector<int> row_of;         // var -> row index, or -1 if nonbasic
-  std::vector<int> basic_var;      // row index -> basic var
-  // rows[r]: expression of basic_var[r] over nonbasic vars.
-  std::vector<std::map<Var, Rational>> rows;
 
-  long long* pivots = nullptr;     // shared pivot budget counter
-  long long max_pivots = 0;
-
-  [[nodiscard]] int num_vars() const { return static_cast<int>(beta.size()); }
-  [[nodiscard]] bool is_basic(Var v) const {
-    return row_of[static_cast<std::size_t>(v)] >= 0;
-  }
-
-  [[nodiscard]] bool below_lb(Var v) const {
-    const auto& b = lb[static_cast<std::size_t>(v)];
-    return b.has_value() && beta[static_cast<std::size_t>(v)] < *b;
-  }
-  [[nodiscard]] bool above_ub(Var v) const {
-    const auto& b = ub[static_cast<std::size_t>(v)];
-    return b.has_value() && beta[static_cast<std::size_t>(v)] > *b;
-  }
-
-  // Moves nonbasic `v` to value `val`, propagating to dependent basics.
-  void update_nonbasic(Var v, const Rational& val) {
-    Rational delta = val - beta[static_cast<std::size_t>(v)];
-    if (delta.is_zero()) return;
-    for (std::size_t r = 0; r < rows.size(); ++r) {
-      auto it = rows[r].find(v);
-      if (it != rows[r].end()) {
-        beta[static_cast<std::size_t>(basic_var[r])] += it->second * delta;
-      }
-    }
-    beta[static_cast<std::size_t>(v)] = val;
-  }
-
-  // Pivots basic xb with nonbasic xn and sets beta(xb) = target.
-  void pivot_and_update(Var xb, Var xn, const Rational& target) {
-    int r = row_of[static_cast<std::size_t>(xb)];
-    Rational a = rows[static_cast<std::size_t>(r)].at(xn);
-    Rational theta = (target - beta[static_cast<std::size_t>(xb)]) / a;
-
-    beta[static_cast<std::size_t>(xb)] = target;
-    beta[static_cast<std::size_t>(xn)] += theta;
-    for (std::size_t k = 0; k < rows.size(); ++k) {
-      if (static_cast<int>(k) == r) continue;
-      auto it = rows[k].find(xn);
-      if (it != rows[k].end()) {
-        beta[static_cast<std::size_t>(basic_var[k])] += it->second * theta;
-      }
-    }
-
-    // Rewrite row r to express xn:  xn = (xb - sum_{j != n} c_j x_j) / a.
-    std::map<Var, Rational> new_row;
-    Rational inv_a = Rational(1) / a;
-    new_row.emplace(xb, inv_a);
-    for (const auto& [v, c] : rows[static_cast<std::size_t>(r)]) {
-      if (v == xn) continue;
-      new_row.emplace(v, -(c * inv_a));
-    }
-    rows[static_cast<std::size_t>(r)] = std::move(new_row);
-    basic_var[static_cast<std::size_t>(r)] = xn;
-    row_of[static_cast<std::size_t>(xn)] = r;
-    row_of[static_cast<std::size_t>(xb)] = -1;
-
-    // Substitute xn out of every other row.
-    for (std::size_t k = 0; k < rows.size(); ++k) {
-      if (static_cast<int>(k) == r) continue;
-      auto it = rows[k].find(xn);
-      if (it == rows[k].end()) continue;
-      Rational c = it->second;
-      rows[k].erase(it);
-      for (const auto& [v, cv] : rows[static_cast<std::size_t>(r)]) {
-        auto [jt, inserted] = rows[k].emplace(v, c * cv);
-        if (!inserted) {
-          jt->second += c * cv;
-          if (jt->second.is_zero()) rows[k].erase(jt);
-        }
-      }
-    }
-  }
-
-  // Core feasibility loop. Returns kSat when all bounds hold, kUnsat on a
-  // certified conflict, kUnknown when the pivot budget runs out.
-  Result solve() {
-    for (;;) {
-      if (*pivots >= max_pivots) return Result::kUnknown;
-      // Bland's rule: smallest violated basic variable.
-      Var xb = -1;
-      bool low = false;
-      for (std::size_t r = 0; r < rows.size(); ++r) {
-        Var v = basic_var[r];
-        if (below_lb(v)) {
-          if (xb == -1 || v < xb) {
-            xb = v;
-            low = true;
-          }
-        } else if (above_ub(v)) {
-          if (xb == -1 || v < xb) {
-            xb = v;
-            low = false;
-          }
-        }
-      }
-      if (xb == -1) return Result::kSat;
-
-      int r = row_of[static_cast<std::size_t>(xb)];
-      const auto& row = rows[static_cast<std::size_t>(r)];
-      // Smallest suitable nonbasic variable.
-      Var xn = -1;
-      for (const auto& [v, c] : row) {
-        bool ok;
-        if (low) {
-          // Need to increase xb.
-          ok = (c.is_positive() && !above_at_ub(v)) ||
-               (c.is_negative() && !below_at_lb(v));
-        } else {
-          // Need to decrease xb.
-          ok = (c.is_negative() && !above_at_ub(v)) ||
-               (c.is_positive() && !below_at_lb(v));
-        }
-        if (ok && (xn == -1 || v < xn)) xn = v;
-      }
-      if (xn == -1) return Result::kUnsat;
-
-      ++*pivots;
-      const auto& bound = low ? lb[static_cast<std::size_t>(xb)]
-                              : ub[static_cast<std::size_t>(xb)];
-      pivot_and_update(xb, xn, *bound);
-    }
-  }
-
- private:
-  // Nonbasic v sits at its upper bound (cannot increase further).
-  [[nodiscard]] bool above_at_ub(Var v) const {
-    const auto& b = ub[static_cast<std::size_t>(v)];
-    return b.has_value() && beta[static_cast<std::size_t>(v)] >= *b;
-  }
-  // Nonbasic v sits at its lower bound (cannot decrease further).
-  [[nodiscard]] bool below_at_lb(Var v) const {
-    const auto& b = lb[static_cast<std::size_t>(v)];
-    return b.has_value() && beta[static_cast<std::size_t>(v)] <= *b;
-  }
-};
-
-// ---------------------------------------------------------------------------
-// Solver
-// ---------------------------------------------------------------------------
+int Solver::alloc_internal(std::optional<Rational> lb,
+                           std::optional<Rational> ub) {
+  int iv = static_cast<int>(beta_.size());
+  // Start within bounds, preferring 0 (basic slacks overwrite beta later).
+  Rational init(0);
+  if (lb && init < *lb) init = *lb;
+  if (ub && init > *ub) init = *ub;
+  if (lb && ub && *lb > *ub) ++conflicts_;
+  lb_.push_back(std::move(lb));
+  ub_.push_back(std::move(ub));
+  beta_.push_back(std::move(init));
+  row_of_.push_back(-1);
+  return iv;
+}
 
 Var Solver::new_var(std::string name, std::optional<long long> lb,
                     std::optional<long long> ub) {
-  vars_.push_back({std::move(name), lb, ub});
+  std::optional<Rational> rlb, rub;
+  if (lb) rlb = Rational(*lb);
+  if (ub) rub = Rational(*ub);
+  int iv = alloc_internal(std::move(rlb), std::move(rub));
+  vars_.push_back({std::move(name)});
+  ext2int_.push_back(iv);
   return static_cast<Var>(vars_.size() - 1);
 }
 
+bool Solver::below_lb(int iv) const {
+  const auto& b = lb_[static_cast<std::size_t>(iv)];
+  return b.has_value() && beta_[static_cast<std::size_t>(iv)] < *b;
+}
+
+bool Solver::above_ub(int iv) const {
+  const auto& b = ub_[static_cast<std::size_t>(iv)];
+  return b.has_value() && beta_[static_cast<std::size_t>(iv)] > *b;
+}
+
+bool Solver::above_at_ub(int iv) const {
+  const auto& b = ub_[static_cast<std::size_t>(iv)];
+  return b.has_value() && beta_[static_cast<std::size_t>(iv)] >= *b;
+}
+
+bool Solver::below_at_lb(int iv) const {
+  const auto& b = lb_[static_cast<std::size_t>(iv)];
+  return b.has_value() && beta_[static_cast<std::size_t>(iv)] <= *b;
+}
+
+bool Solver::bound_conflict(int iv) const {
+  const auto& lo = lb_[static_cast<std::size_t>(iv)];
+  const auto& hi = ub_[static_cast<std::size_t>(iv)];
+  return lo.has_value() && hi.has_value() && *lo > *hi;
+}
+
+void Solver::assert_lower(int iv, const Rational& v) {
+  auto& lo = lb_[static_cast<std::size_t>(iv)];
+  if (lo && *lo >= v) return;  // not tighter
+  bool was_conflict = bound_conflict(iv);
+  trail_.push_back({iv, /*upper=*/false, lo});
+  lo = v;
+  if (!was_conflict && bound_conflict(iv)) ++conflicts_;
+  if (!is_basic(iv) && beta_[static_cast<std::size_t>(iv)] < v) {
+    update_nonbasic(iv, v);
+  }
+  // A basic variable pushed outside its bounds is picked up by the next
+  // solve()'s seed scan; the violated-basic heap is solve-local.
+}
+
+void Solver::assert_upper(int iv, const Rational& v) {
+  auto& hi = ub_[static_cast<std::size_t>(iv)];
+  if (hi && *hi <= v) return;  // not tighter
+  bool was_conflict = bound_conflict(iv);
+  trail_.push_back({iv, /*upper=*/true, hi});
+  hi = v;
+  if (!was_conflict && bound_conflict(iv)) ++conflicts_;
+  if (!is_basic(iv) && beta_[static_cast<std::size_t>(iv)] > v) {
+    update_nonbasic(iv, v);
+  }
+}
+
 void Solver::set_lower(Var v, long long lb) {
-  auto& info = vars_[static_cast<std::size_t>(v)];
-  if (!info.lb || *info.lb < lb) info.lb = lb;
+  if (v < 0 || v >= num_vars()) {
+    throw std::out_of_range("Solver::set_lower: unknown variable id");
+  }
+  assert_lower(internal(v), Rational(lb));
 }
 
 void Solver::set_upper(Var v, long long ub) {
-  auto& info = vars_[static_cast<std::size_t>(v)];
-  if (!info.ub || *info.ub > ub) info.ub = ub;
+  if (v < 0 || v >= num_vars()) {
+    throw std::out_of_range("Solver::set_upper: unknown variable id");
+  }
+  assert_upper(internal(v), Rational(ub));
 }
+
+// ---------------------------------------------------------------------------
+// Constraints
+// ---------------------------------------------------------------------------
 
 void Solver::add(Constraint c) {
   for (const auto& [v, coeff] : c.expr.coeffs()) {
@@ -194,173 +118,416 @@ void Solver::add(Constraint c) {
     }
     (void)coeff;
   }
-  constraints_.push_back(std::move(c));
-}
-
-namespace {
-
-// One branch-and-bound node: extra integer bounds layered on the base system.
-struct Node {
-  std::vector<std::pair<Var, long long>> extra_lb;
-  std::vector<std::pair<Var, long long>> extra_ub;
-};
-
-}  // namespace
-
-Result Solver::check() {
-  stat_pivots_ = 0;
-  stat_nodes_ = 0;
-  model_.clear();
-
-  const int m = num_vars();
-
-  // Constant-only constraints are decided immediately.
-  std::vector<const Constraint*> rows_src;
-  for (const auto& c : constraints_) {
-    if (c.expr.is_constant()) {
-      const Rational& k = c.expr.constant();
-      bool ok = (c.rel == Rel::kLe && !k.is_positive()) ||
-                (c.rel == Rel::kGe && !k.is_negative()) ||
-                (c.rel == Rel::kEq && k.is_zero());
-      if (!ok) return Result::kUnsat;
-    } else {
-      rows_src.push_back(&c);
-    }
+  if (c.expr.is_constant()) {
+    const Rational& k = c.expr.constant();
+    bool ok = (c.rel == Rel::kLe && !k.is_positive()) ||
+              (c.rel == Rel::kGe && !k.is_negative()) ||
+              (c.rel == Rel::kEq && k.is_zero());
+    if (!ok) ++const_unsat_;
+    crow_.push_back(-1);
+    constraints_.push_back(std::move(c));
+    return;
   }
 
-  // Effective bounds with the default window for unbounded variables.
-  std::vector<std::optional<long long>> base_lb(static_cast<std::size_t>(m));
-  std::vector<std::optional<long long>> base_ub(static_cast<std::size_t>(m));
-  for (int v = 0; v < m; ++v) {
-    const auto& info = vars_[static_cast<std::size_t>(v)];
-    base_lb[static_cast<std::size_t>(v)] =
-        info.lb ? *info.lb : options_.default_lo;
-    base_ub[static_cast<std::size_t>(v)] =
-        info.ub ? *info.ub : options_.default_hi;
-    if (*base_lb[static_cast<std::size_t>(v)] >
-        *base_ub[static_cast<std::size_t>(v)]) {
-      return Result::kUnsat;
-    }
+  // Slack row: s = expr - const; the bound derives from the relation.
+  Rational rhs = -c.expr.constant();  // s REL rhs
+  std::optional<Rational> slb, sub;
+  switch (c.rel) {
+    case Rel::kLe:
+      sub = rhs;
+      break;
+    case Rel::kGe:
+      slb = rhs;
+      break;
+    case Rel::kEq:
+      slb = rhs;
+      sub = rhs;
+      break;
   }
-
-  // Builds a fresh tableau for a node's bounds and runs simplex.
-  auto run_node = [&](const Node& node, std::vector<Rational>* out_beta,
-                      long long* pivots) -> Result {
-    Tableau t;
-    const int total = m + static_cast<int>(rows_src.size());
-    t.lb.resize(static_cast<std::size_t>(total));
-    t.ub.resize(static_cast<std::size_t>(total));
-    t.beta.assign(static_cast<std::size_t>(total), Rational(0));
-    t.row_of.assign(static_cast<std::size_t>(total), -1);
-    t.pivots = pivots;
-    t.max_pivots = options_.max_pivots;
-
-    std::vector<long long> eff_lb(static_cast<std::size_t>(m));
-    std::vector<long long> eff_ub(static_cast<std::size_t>(m));
-    for (int v = 0; v < m; ++v) {
-      eff_lb[static_cast<std::size_t>(v)] = *base_lb[static_cast<std::size_t>(v)];
-      eff_ub[static_cast<std::size_t>(v)] = *base_ub[static_cast<std::size_t>(v)];
-    }
-    for (const auto& [v, b] : node.extra_lb) {
-      eff_lb[static_cast<std::size_t>(v)] =
-          std::max(eff_lb[static_cast<std::size_t>(v)], b);
-    }
-    for (const auto& [v, b] : node.extra_ub) {
-      eff_ub[static_cast<std::size_t>(v)] =
-          std::min(eff_ub[static_cast<std::size_t>(v)], b);
-    }
-    for (int v = 0; v < m; ++v) {
-      if (eff_lb[static_cast<std::size_t>(v)] > eff_ub[static_cast<std::size_t>(v)]) {
-        return Result::kUnsat;
-      }
-      t.lb[static_cast<std::size_t>(v)] = Rational(eff_lb[static_cast<std::size_t>(v)]);
-      t.ub[static_cast<std::size_t>(v)] = Rational(eff_ub[static_cast<std::size_t>(v)]);
-      // Start nonbasic variables at a value within bounds, preferring 0.
-      Rational init(0);
-      if (init < *t.lb[static_cast<std::size_t>(v)]) init = *t.lb[static_cast<std::size_t>(v)];
-      if (init > *t.ub[static_cast<std::size_t>(v)]) init = *t.ub[static_cast<std::size_t>(v)];
-      t.beta[static_cast<std::size_t>(v)] = init;
-    }
-
-    // Slack rows: s_j = expr_j - const; bound derives from the relation.
-    for (std::size_t j = 0; j < rows_src.size(); ++j) {
-      const Constraint& c = *rows_src[j];
-      Var s = m + static_cast<Var>(j);
-      std::map<Var, Rational> row;
-      for (const auto& [v, coeff] : c.expr.coeffs()) row.emplace(v, coeff);
-      Rational rhs = -c.expr.constant();  // s REL rhs
-      switch (c.rel) {
-        case Rel::kLe:
-          t.ub[static_cast<std::size_t>(s)] = rhs;
-          break;
-        case Rel::kGe:
-          t.lb[static_cast<std::size_t>(s)] = rhs;
-          break;
-        case Rel::kEq:
-          t.lb[static_cast<std::size_t>(s)] = rhs;
-          t.ub[static_cast<std::size_t>(s)] = rhs;
-          break;
-      }
-      // beta(s) from current structural assignment.
-      Rational val(0);
-      for (const auto& [v, coeff] : row) {
-        val += coeff * t.beta[static_cast<std::size_t>(v)];
-      }
-      t.beta[static_cast<std::size_t>(s)] = val;
-      t.row_of[static_cast<std::size_t>(s)] = static_cast<int>(t.rows.size());
-      t.basic_var.push_back(s);
-      t.rows.push_back(std::move(row));
-    }
-
-    Result res = t.solve();
-    if (res == Result::kSat) *out_beta = t.beta;
-    return res;
-  };
-
-  // Depth-first branch & bound on fractional structural variables.
-  std::vector<Node> stack;
-  stack.push_back({});
-  while (!stack.empty()) {
-    if (stat_nodes_ >= options_.max_nodes) return Result::kUnknown;
-    ++stat_nodes_;
-    Node node = std::move(stack.back());
-    stack.pop_back();
-
-    std::vector<Rational> beta;
-    Result res = run_node(node, &beta, &stat_pivots_);
-    if (res == Result::kUnknown) return Result::kUnknown;
-    if (res == Result::kUnsat) continue;
-    if (options_.relax_integrality) return Result::kSat;  // no model kept
-
-    // Find a fractional variable to branch on.
-    Var frac = -1;
-    for (int v = 0; v < m; ++v) {
-      if (!beta[static_cast<std::size_t>(v)].is_integer()) {
-        frac = v;
+  int s = alloc_internal(std::move(slb), std::move(sub));
+  SparseRow row;
+  row.reserve(c.expr.coeffs().size());
+  Rational val(0);
+  // expr.coeffs() is ordered by external id and ext2int_ is monotone, so the
+  // internal ids come out ascending and push_back keeps the row sorted.
+  for (const auto& [v, coeff] : c.expr.coeffs()) {
+    int iv = internal(v);
+    val += coeff * beta_[static_cast<std::size_t>(iv)];
+    row.push_back(iv, coeff);
+  }
+  // Rows must be expressed over nonbasic variables, but on a warm tableau
+  // the constraint may mention variables pivoted into the basis by earlier
+  // checks: substitute each one by its defining row. Every substitution
+  // removes one basic variable and introduces only nonbasics, so this
+  // terminates after at most |row| rounds.
+  for (;;) {
+    int bas = -1;
+    Rational bc;
+    for (const auto& [v, coeff] : row) {
+      if (is_basic(v)) {
+        bas = v;
+        bc = coeff;
         break;
       }
     }
-    if (frac == -1) {
-      model_.resize(static_cast<std::size_t>(m));
-      for (int v = 0; v < m; ++v) {
-        model_[static_cast<std::size_t>(v)] =
-            beta[static_cast<std::size_t>(v)].num();
-      }
-      return Result::kSat;
-    }
-
-    Int128 fl = beta[static_cast<std::size_t>(frac)].floor();
-    Node down = node;
-    down.extra_ub.emplace_back(frac, static_cast<long long>(fl));
-    Node up = std::move(node);
-    up.extra_lb.emplace_back(frac, static_cast<long long>(fl) + 1);
-    // Explore the "down" branch first: counterexamples with small values
-    // make for readable reports.
-    stack.push_back(std::move(up));
-    stack.push_back(std::move(down));
+    if (bas < 0) break;
+    row.add_multiple(bc, rows_[static_cast<std::size_t>(row_of_[
+                             static_cast<std::size_t>(bas)])],
+                     bas, &scratch_);
   }
-  return Result::kUnsat;
+  beta_[static_cast<std::size_t>(s)] = std::move(val);
+  row_of_[static_cast<std::size_t>(s)] = static_cast<int>(rows_.size());
+  basic_var_.push_back(s);
+  rows_.push_back(std::move(row));
+  crow_.push_back(s);
+  constraints_.push_back(std::move(c));
 }
+
+// ---------------------------------------------------------------------------
+// Scopes
+// ---------------------------------------------------------------------------
+
+Solver::Checkpoint Solver::push() {
+  Checkpoint cp{static_cast<int>(scopes_.size())};
+  scopes_.push_back({trail_.size(), constraints_.size(),
+                     static_cast<int>(beta_.size()),
+                     static_cast<int>(vars_.size()), const_unsat_});
+  return cp;
+}
+
+void Solver::pop() {
+  if (scopes_.empty()) throw std::logic_error("Solver::pop: no open scope");
+  pop_to(Checkpoint{static_cast<int>(scopes_.size()) - 1});
+}
+
+void Solver::pop_to(Checkpoint cp) {
+  if (cp.depth < 0 || cp.depth >= static_cast<int>(scopes_.size())) {
+    throw std::logic_error("Solver::pop_to: invalid checkpoint");
+  }
+  const Scope scope = scopes_[static_cast<std::size_t>(cp.depth)];
+  scopes_.resize(static_cast<std::size_t>(cp.depth));
+
+  // 1. Undo bound tightenings, repairing nonbasic assignments as restored
+  //    bounds widen (a conflicted assert may have parked beta outside the
+  //    surviving bound).
+  while (trail_.size() > scope.trail) {
+    BoundChange bc = std::move(trail_.back());
+    trail_.pop_back();
+    bool was_conflict = bound_conflict(bc.iv);
+    if (bc.upper) {
+      ub_[static_cast<std::size_t>(bc.iv)] = std::move(bc.old);
+    } else {
+      lb_[static_cast<std::size_t>(bc.iv)] = std::move(bc.old);
+    }
+    if (was_conflict && !bound_conflict(bc.iv)) --conflicts_;
+    if (!bound_conflict(bc.iv) && !is_basic(bc.iv)) {
+      if (below_lb(bc.iv)) {
+        update_nonbasic(bc.iv, *lb_[static_cast<std::size_t>(bc.iv)]);
+      } else if (above_ub(bc.iv)) {
+        update_nonbasic(bc.iv, *ub_[static_cast<std::size_t>(bc.iv)]);
+      }
+    }
+  }
+
+  // 2. Remove the rows of constraints added in the popped scopes, newest
+  //    first. Eliminating the row's slack from the basis first keeps the
+  //    remaining system equivalent to the remaining constraints.
+  while (constraints_.size() > scope.ncons) {
+    int s = crow_.back();
+    crow_.pop_back();
+    constraints_.pop_back();
+    if (s >= 0) remove_constraint_row(s);
+  }
+  const_unsat_ = scope.const_unsat;
+
+  // 3. Drop variables registered in the popped scopes. Every removed slack
+  //    was just eliminated from the basis and the kept rows cannot mention
+  //    scope-local structural variables (they are linear combinations of
+  //    the surviving constraints, which predate those variables), so plain
+  //    truncation is sound. Conflicts contributed by removed vars vanish
+  //    with them.
+  for (int iv = scope.n_internal; iv < static_cast<int>(beta_.size()); ++iv) {
+    if (bound_conflict(iv)) --conflicts_;
+  }
+  lb_.resize(static_cast<std::size_t>(scope.n_internal));
+  ub_.resize(static_cast<std::size_t>(scope.n_internal));
+  beta_.resize(static_cast<std::size_t>(scope.n_internal));
+  row_of_.resize(static_cast<std::size_t>(scope.n_internal));
+  vars_.resize(static_cast<std::size_t>(scope.n_external));
+  ext2int_.resize(static_cast<std::size_t>(scope.n_external));
+}
+
+void Solver::remove_constraint_row(int s) {
+  if (!is_basic(s)) {
+    // Pure pivot s back into the basis via the first row that mentions it.
+    // Such a row must exist: the row system is equivalent to the constraint
+    // system, which constrains s.
+    int r = -1;
+    for (std::size_t k = 0; k < rows_.size(); ++k) {
+      if (rows_[k].contains(s)) {
+        r = static_cast<int>(k);
+        break;
+      }
+    }
+    if (r < 0) {
+      throw std::logic_error("Solver::pop: slack vanished from the tableau");
+    }
+    int kicked = basic_var_[static_cast<std::size_t>(r)];
+    pivot_rows(r, s);
+    // The kicked-out variable keeps its assignment, which may sit outside
+    // its bounds; nonbasic variables must be repaired back inside.
+    if (!bound_conflict(kicked)) {
+      if (below_lb(kicked)) {
+        update_nonbasic(kicked, *lb_[static_cast<std::size_t>(kicked)]);
+      } else if (above_ub(kicked)) {
+        update_nonbasic(kicked, *ub_[static_cast<std::size_t>(kicked)]);
+      }
+    }
+  }
+  int r = row_of_[static_cast<std::size_t>(s)];
+  row_of_[static_cast<std::size_t>(s)] = -1;
+  int last = static_cast<int>(rows_.size()) - 1;
+  if (r != last) {
+    rows_[static_cast<std::size_t>(r)] =
+        std::move(rows_[static_cast<std::size_t>(last)]);
+    basic_var_[static_cast<std::size_t>(r)] =
+        basic_var_[static_cast<std::size_t>(last)];
+    row_of_[static_cast<std::size_t>(
+        basic_var_[static_cast<std::size_t>(r)])] = r;
+  }
+  rows_.pop_back();
+  basic_var_.pop_back();
+}
+
+// ---------------------------------------------------------------------------
+// Simplex core
+// ---------------------------------------------------------------------------
+
+void Solver::push_violated(int iv) {
+  if (!is_basic(iv)) return;
+  if (!below_lb(iv) && !above_ub(iv)) return;
+  heap_.push_back(iv);
+  std::push_heap(heap_.begin(), heap_.end(), std::greater<>());
+}
+
+// Called only between solve() calls (bound asserts, pop-time repairs), so
+// it does not need to maintain the solve-local violated-basic heap.
+void Solver::update_nonbasic(int iv, const Rational& val) {
+  Rational delta = val - beta_[static_cast<std::size_t>(iv)];
+  if (delta.is_zero()) return;
+  for (std::size_t r = 0; r < rows_.size(); ++r) {
+    auto it = rows_[r].find(iv);
+    if (it != rows_[r].end()) {
+      beta_[static_cast<std::size_t>(basic_var_[r])] += it->second * delta;
+    }
+  }
+  beta_[static_cast<std::size_t>(iv)] = val;
+}
+
+void Solver::pivot_and_update(int xb, int xn, const Rational& target) {
+  int r = row_of_[static_cast<std::size_t>(xb)];
+  Rational a = rows_[static_cast<std::size_t>(r)].coeff(xn);
+  Rational theta = (target - beta_[static_cast<std::size_t>(xb)]) / a;
+
+  beta_[static_cast<std::size_t>(xb)] = target;
+  beta_[static_cast<std::size_t>(xn)] += theta;
+  for (std::size_t k = 0; k < rows_.size(); ++k) {
+    if (static_cast<int>(k) == r) continue;
+    auto it = rows_[k].find(xn);
+    if (it != rows_[k].end()) {
+      int b = basic_var_[k];
+      beta_[static_cast<std::size_t>(b)] += it->second * theta;
+      push_violated(b);
+    }
+  }
+  pivot_rows(r, xn);
+}
+
+void Solver::pivot_rows(int r, int xn) {
+  SparseRow& pivot_row = rows_[static_cast<std::size_t>(r)];
+  int xb = basic_var_[static_cast<std::size_t>(r)];
+  Rational a = pivot_row.coeff(xn);
+
+  // Rewrite row r to express xn:  xn = (xb - sum_{j != n} c_j x_j) / a.
+  Rational inv_a = Rational(1) / a;
+  SparseRow new_row;
+  new_row.reserve(pivot_row.size());
+  for (const auto& [v, c] : pivot_row) {
+    if (v == xn) continue;
+    new_row.push_back(v, -(c * inv_a));
+  }
+  new_row.add(xb, inv_a);
+  pivot_row = std::move(new_row);
+  basic_var_[static_cast<std::size_t>(r)] = xn;
+  row_of_[static_cast<std::size_t>(xn)] = r;
+  row_of_[static_cast<std::size_t>(xb)] = -1;
+
+  // Substitute xn out of every other row.
+  for (std::size_t k = 0; k < rows_.size(); ++k) {
+    if (static_cast<int>(k) == r) continue;
+    auto it = rows_[k].find(xn);
+    if (it == rows_[k].end()) continue;
+    Rational c = it->second;
+    rows_[k].add_multiple(c, pivot_row, xn, &scratch_);
+  }
+}
+
+Result Solver::solve() {
+  // Seed the violated-basic cache; pivots keep it current from here on.
+  heap_.clear();
+  for (std::size_t r = 0; r < rows_.size(); ++r) {
+    push_violated(basic_var_[r]);
+  }
+  for (;;) {
+    // Bland's rule: smallest violated basic variable (lazily validated;
+    // every violated basic var is in the heap, so the first valid entry is
+    // the true minimum).
+    int xb = -1;
+    bool low = false;
+    while (!heap_.empty()) {
+      int v = heap_.front();
+      std::pop_heap(heap_.begin(), heap_.end(), std::greater<>());
+      heap_.pop_back();
+      if (!is_basic(v)) continue;
+      if (below_lb(v)) {
+        xb = v;
+        low = true;
+        break;
+      }
+      if (above_ub(v)) {
+        xb = v;
+        low = false;
+        break;
+      }
+    }
+    if (xb == -1) return Result::kSat;
+    if (stat_pivots_ >= options_.max_pivots) return Result::kUnknown;
+
+    int r = row_of_[static_cast<std::size_t>(xb)];
+    const SparseRow& row = rows_[static_cast<std::size_t>(r)];
+    // Smallest suitable nonbasic variable: entries are sorted by id, so the
+    // first suitable one wins.
+    int xn = -1;
+    for (const auto& [v, c] : row) {
+      bool ok;
+      if (low) {
+        // Need to increase xb.
+        ok = (c.is_positive() && !above_at_ub(v)) ||
+             (c.is_negative() && !below_at_lb(v));
+      } else {
+        // Need to decrease xb.
+        ok = (c.is_negative() && !above_at_ub(v)) ||
+             (c.is_positive() && !below_at_lb(v));
+      }
+      if (ok) {
+        xn = v;
+        break;
+      }
+    }
+    if (xn == -1) return Result::kUnsat;
+
+    ++stat_pivots_;
+    ++total_pivots_;
+    const auto& bound = low ? lb_[static_cast<std::size_t>(xb)]
+                            : ub_[static_cast<std::size_t>(xb)];
+    pivot_and_update(xb, xn, *bound);
+    push_violated(xn);  // the entering var may still sit outside a bound
+  }
+}
+
+// ---------------------------------------------------------------------------
+// check(): scoped branch & bound over the persistent tableau
+// ---------------------------------------------------------------------------
+
+Result Solver::do_check(bool relaxed) {
+  stat_pivots_ = 0;
+  stat_nodes_ = 0;
+  model_.clear();
+  if (const_unsat_ > 0) return Result::kUnsat;
+
+  const Checkpoint outer = push();
+  // Default window: every externally-unbounded variable is clamped so
+  // branch & bound terminates. Asserted in the outer scope, so the window
+  // never leaks into the persistent state.
+  for (Var v = 0; v < num_vars(); ++v) {
+    int iv = internal(v);
+    if (!lb_[static_cast<std::size_t>(iv)]) {
+      assert_lower(iv, Rational(options_.default_lo));
+    }
+    if (!ub_[static_cast<std::size_t>(iv)]) {
+      assert_upper(iv, Rational(options_.default_hi));
+    }
+  }
+
+  Result res = Result::kUnsat;
+  std::vector<PendingBranch> pending;
+  for (;;) {
+    if (stat_nodes_ >= options_.max_nodes) {
+      res = Result::kUnknown;
+      break;
+    }
+    ++stat_nodes_;
+
+    Result r = conflicts_ > 0 ? Result::kUnsat : solve();
+    if (r == Result::kUnknown) {
+      res = Result::kUnknown;
+      break;
+    }
+    if (r == Result::kSat) {
+      if (relaxed) {
+        res = Result::kSat;  // no model kept: may be fractional
+        break;
+      }
+      // Find a fractional variable to branch on.
+      Var frac = -1;
+      for (Var v = 0; v < num_vars(); ++v) {
+        if (!beta_[static_cast<std::size_t>(internal(v))].is_integer()) {
+          frac = v;
+          break;
+        }
+      }
+      if (frac == -1) {
+        model_.resize(static_cast<std::size_t>(num_vars()));
+        for (Var v = 0; v < num_vars(); ++v) {
+          model_[static_cast<std::size_t>(v)] =
+              beta_[static_cast<std::size_t>(internal(v))].num();
+        }
+        res = Result::kSat;
+        break;
+      }
+      int iv = internal(frac);
+      Int128 fl = beta_[static_cast<std::size_t>(iv)].floor();
+      // Explore the "down" branch first: counterexamples with small values
+      // make for readable reports. The "up" sibling waits on the stack with
+      // the checkpoint that restores its parent.
+      Checkpoint cp = push();
+      pending.push_back({cp, frac, fl + 1});
+      assert_upper(iv, Rational(fl, 1));
+      continue;
+    }
+    // UNSAT: backtrack to the deepest unexplored "up" branch.
+    if (pending.empty()) {
+      res = Result::kUnsat;
+      break;
+    }
+    PendingBranch p = pending.back();
+    pending.pop_back();
+    pop_to(p.cp);
+    push();
+    assert_lower(internal(p.v), Rational(p.lb, 1));
+  }
+
+  pop_to(outer);
+  return res;
+}
+
+Result Solver::check() { return do_check(options_.relax_integrality); }
+
+Result Solver::check_relaxed() { return do_check(true); }
+
+// ---------------------------------------------------------------------------
+// Models, minimization, entailment
+// ---------------------------------------------------------------------------
 
 Int128 Solver::model(Var v) const {
   if (model_.empty()) throw std::logic_error("Solver::model: no model");
@@ -368,8 +535,7 @@ Int128 Solver::model(Var v) const {
 }
 
 Int128 Solver::model_eval(const LinExpr& e) const {
-  Rational acc =
-      e.eval([&](Var v) { return Rational(model(v), 1); });
+  Rational acc = e.eval([&](Var v) { return Rational(model(v), 1); });
   assert(acc.is_integer());
   return acc.num();
 }
@@ -385,18 +551,22 @@ Result Solver::minimize(const LinExpr& objective) {
               static_cast<Int128>(1 + objective.coeffs().size());
   while (lo < hi) {
     Int128 mid = lo + (hi - lo) / 2;  // floor for lo <= mid < hi
-    Solver probe = *this;
+    Checkpoint cp = push();
     LinExpr bound = objective;
     bound.add_const(Rational(-mid, 1));
-    probe.add(Constraint::le0(bound));  // objective <= mid
-    Result r = probe.check();
+    add(Constraint::le0(bound));  // objective <= mid
+    Result r = check();
     if (r == Result::kSat) {
-      best_model = probe.model_;
-      hi = probe.model_eval(objective);
-    } else if (r == Result::kUnsat) {
-      lo = mid + 1;
+      best_model = model_;
+      hi = model_eval(objective);
+      pop_to(cp);
     } else {
-      break;  // budget exhausted: keep the best model found so far
+      pop_to(cp);
+      if (r == Result::kUnsat) {
+        lo = mid + 1;
+      } else {
+        break;  // budget exhausted: keep the best model found so far
+      }
     }
   }
   model_ = std::move(best_model);

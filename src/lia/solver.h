@@ -9,6 +9,15 @@
 //     rule for termination and exact rational pivoting;
 //   * integrality via depth-first branch & bound on fractional variables.
 //
+// The solver is *incremental*: the sparse simplex tableau persists across
+// check() calls, and push()/pop() scopes undo constraint rows, bound
+// tightenings, and variable registrations via a backtrackable trail. The
+// simplex assignment is repaired on pop (nonbasic variables are clamped
+// back into their restored bounds), never rebuilt, so a re-check after a
+// pop starts from a warm, usually-feasible basis. Branch & bound itself
+// runs on scopes of the same trail, which is where most of the pivot-count
+// reduction over the old rebuild-per-node design comes from.
+//
 // Completeness caveat: branch & bound does not terminate on feasible
 // unbounded relaxations with no integer points. To guarantee termination the
 // solver clamps every variable into [default_lo, default_hi] unless the
@@ -18,12 +27,12 @@
 // callers that care can widen it via SolverOptions.
 #pragma once
 
-#include <map>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "lia/linexpr.h"
+#include "lia/sparse_row.h"
 #include "util/rational.h"
 
 namespace ctaver::lia {
@@ -46,8 +55,8 @@ struct SolverOptions {
   bool relax_integrality = false;
 };
 
-/// Conjunction-of-constraints LIA solver. Non-incremental: build, check(),
-/// read the model. Copyable, so callers can fork a base system.
+/// Conjunction-of-constraints LIA solver with push()/pop() scopes.
+/// Copyable, so callers can still fork a base system.
 class Solver {
  public:
   explicit Solver(SolverOptions options = {}) : options_(options) {}
@@ -57,24 +66,52 @@ class Solver {
   Var new_var(std::string name, std::optional<long long> lb = std::nullopt,
               std::optional<long long> ub = std::nullopt);
 
-  /// Number of variables created so far.
+  /// Number of variables created so far (and not undone by pop()).
   [[nodiscard]] int num_vars() const { return static_cast<int>(vars_.size()); }
   [[nodiscard]] const std::string& var_name(Var v) const {
     return vars_[static_cast<std::size_t>(v)].name;
   }
 
-  /// Tightens bounds on an existing variable.
+  /// Tightens bounds on an existing variable (looser values are ignored).
+  /// Inside a scope the tightening is undone by the matching pop().
   void set_lower(Var v, long long lb);
   void set_upper(Var v, long long ub);
 
-  /// Adds a constraint (expr REL 0) to the conjunction.
+  /// Adds a constraint (expr REL 0) to the conjunction. The tableau row is
+  /// materialized eagerly; inside a scope it is removed by the matching
+  /// pop().
   void add(Constraint c);
   [[nodiscard]] const std::vector<Constraint>& constraints() const {
     return constraints_;
   }
 
-  /// Decides the conjunction. kUnknown only on budget exhaustion.
+  // --- scopes --------------------------------------------------------------
+
+  /// Marks the current solver state. Everything done after the push() —
+  /// variables, constraints, bound tightenings — is undone by the matching
+  /// pop(). Scopes nest; Checkpoints allow popping several at once.
+  struct Checkpoint {
+    int depth = 0;  // index of the scope opened by the push() that made it
+  };
+  Checkpoint push();
+  /// Undoes the innermost scope. Throws std::logic_error without one.
+  void pop();
+  /// Pops scopes until the state at `cp`'s push() is restored (inclusive:
+  /// the scope opened by that push() is undone too).
+  void pop_to(Checkpoint cp);
+  /// Number of open scopes.
+  [[nodiscard]] int depth() const { return static_cast<int>(scopes_.size()); }
+
+  // --- solving -------------------------------------------------------------
+
+  /// Decides the conjunction. kUnknown only on budget exhaustion. Leaves
+  /// the scope stack as it found it; the tableau stays warm for the next
+  /// check after further add()/push()/pop() calls.
   Result check();
+  /// One-off rational-relaxation check regardless of
+  /// SolverOptions::relax_integrality (kUnsat is an integer proof, kSat may
+  /// be spurious; no model is exposed).
+  Result check_relaxed();
 
   /// Model access; valid after check() returned kSat.
   [[nodiscard]] util::Int128 model(Var v) const;
@@ -83,28 +120,99 @@ class Solver {
 
   /// Minimizes `objective` over the feasible set by binary search on its
   /// value; on kSat the model attains the minimum found. Intended to shrink
-  /// counterexample parameters for readable reports.
+  /// counterexample parameters for readable reports. Runs in scopes on this
+  /// solver, so the constraint system is unchanged afterwards.
   Result minimize(const LinExpr& objective);
 
   /// Statistics of the last check().
   [[nodiscard]] long long last_pivots() const { return stat_pivots_; }
   [[nodiscard]] long long last_nodes() const { return stat_nodes_; }
+  /// Pivots across every check() on this solver (never reset). This is the
+  /// number bench_solver compares between the incremental and fresh modes.
+  [[nodiscard]] long long total_pivots() const { return total_pivots_; }
 
  private:
   struct VarInfo {
     std::string name;
-    std::optional<long long> lb;
-    std::optional<long long> ub;
+  };
+  struct BoundChange {
+    int iv;  // internal id
+    bool upper;
+    std::optional<util::Rational> old;
+  };
+  struct Scope {
+    std::size_t trail = 0;    // trail_ size at push
+    std::size_t ncons = 0;    // constraints_ size at push
+    int n_internal = 0;       // internal var count at push
+    int n_external = 0;       // external var count at push
+    int const_unsat = 0;      // violated constant constraints at push
+  };
+  struct PendingBranch {
+    Checkpoint cp;  // parent state to restore before the "up" sibling
+    Var v;          // external branch variable
+    util::Int128 lb;
   };
 
-  struct Tableau;  // defined in solver.cpp
+  [[nodiscard]] int internal(Var v) const {
+    return ext2int_[static_cast<std::size_t>(v)];
+  }
+  [[nodiscard]] bool is_basic(int iv) const {
+    return row_of_[static_cast<std::size_t>(iv)] >= 0;
+  }
+  [[nodiscard]] bool below_lb(int iv) const;
+  [[nodiscard]] bool above_ub(int iv) const;
+  /// Nonbasic v sits at (or beyond) its upper bound: cannot increase.
+  [[nodiscard]] bool above_at_ub(int iv) const;
+  /// Nonbasic v sits at (or beyond) its lower bound: cannot decrease.
+  [[nodiscard]] bool below_at_lb(int iv) const;
+  [[nodiscard]] bool bound_conflict(int iv) const;
+
+  int alloc_internal(std::optional<util::Rational> lb,
+                     std::optional<util::Rational> ub);
+  void assert_lower(int iv, const util::Rational& v);
+  void assert_upper(int iv, const util::Rational& v);
+  void update_nonbasic(int iv, const util::Rational& val);
+  void pivot_and_update(int xb, int xn, const util::Rational& target);
+  /// Basis change only (no assignment update): rewrites row `r` to express
+  /// `xn` and substitutes it out of every other row. Used for row removal.
+  void pivot_rows(int r, int xn);
+  void remove_constraint_row(int slack);
+  void push_violated(int iv);
+  Result solve();
+  Result do_check(bool relaxed);
 
   SolverOptions options_;
+  // External (caller-visible) variables.
   std::vector<VarInfo> vars_;
+  std::vector<int> ext2int_;
   std::vector<Constraint> constraints_;
+  std::vector<int> crow_;  // constraint -> internal slack id, -1 if constant
+  int const_unsat_ = 0;    // violated constant constraints currently active
+
+  // Tableau over internal ids (structural + slack interleaved).
+  std::vector<std::optional<util::Rational>> lb_, ub_;
+  std::vector<util::Rational> beta_;
+  std::vector<int> row_of_;       // internal var -> row index, or -1
+  std::vector<int> basic_var_;    // row -> internal var
+  std::vector<SparseRow> rows_;
+  int conflicts_ = 0;             // vars with lb > ub
+
+  // Backtracking.
+  std::vector<BoundChange> trail_;
+  std::vector<Scope> scopes_;
+
+  // Bland-rule pivot-selection cache: min-heap of candidate violated basic
+  // variables (lazily validated), so each pivot selects the smallest
+  // violated basic var in O(log h) instead of scanning every row. The heap
+  // is solve-local: seeded by one row scan at the top of solve(), kept
+  // current by the pivots, discarded afterwards.
+  std::vector<int> heap_;
+  std::vector<SparseRow::Entry> scratch_;  // merge buffer for row updates
+
   std::vector<util::Int128> model_;
   long long stat_pivots_ = 0;
   long long stat_nodes_ = 0;
+  long long total_pivots_ = 0;
 };
 
 /// Tri-state entailment: does `base`'s constraint system entail `c` over the

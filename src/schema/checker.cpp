@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <climits>
 #include <functional>
 #include <mutex>
 #include <sstream>
@@ -29,6 +30,9 @@ using util::Rational;
 constexpr long long kParamCap = 100'000;
 constexpr long long kBatchCap = 1'000'000;
 constexpr long long kBigM = 100'000'000;
+
+/// Sentinel flip position for guards absent from the current order.
+constexpr int kUnflipped = INT_MAX;
 
 /// Canonical batch order: rules sorted by topological index of their source
 /// location (per automaton; process rules first). Self-loops are dropped.
@@ -111,264 +115,146 @@ struct RuleView {
   std::vector<int> falling;
 };
 
+std::vector<RuleView> make_rule_views(const ta::System& sys,
+                                      const GuardTable& table) {
+  std::vector<OrderedRule> order = canonical_rule_order(sys);
+  // Index the guard table by (coin, rule) so each view is an O(1) lookup
+  // instead of a linear scan over every table entry.
+  std::vector<int> index[2] = {
+      std::vector<int>(sys.process.rules.size(), -1),
+      std::vector<int>(sys.coin.rules.size(), -1)};
+  for (std::size_t i = 0; i < table.rules.size(); ++i) {
+    const RuleGuards& rg = table.rules[i];
+    index[rg.coin ? 1 : 0][static_cast<std::size_t>(rg.rule)] =
+        static_cast<int>(i);
+  }
+  std::vector<RuleView> out;
+  out.reserve(order.size());
+  for (const OrderedRule& orule : order) {
+    const ta::Automaton& a = orule.coin ? sys.coin : sys.process;
+    RuleView rv;
+    rv.id = orule;
+    rv.rule = &a.rules[static_cast<std::size_t>(orule.rule)];
+    int i = index[orule.coin ? 1 : 0][static_cast<std::size_t>(orule.rule)];
+    if (i >= 0) {
+      rv.rising = table.rules[static_cast<std::size_t>(i)].rising;
+      rv.falling = table.rules[static_cast<std::size_t>(i)].falling;
+    }
+    out.push_back(std::move(rv));
+  }
+  return out;
+}
+
 // ---------------------------------------------------------------------------
-// Encoder: builds and solves the LIA query of one schema.
+// Encoder: builds and solves the LIA queries of one enumeration worker.
+//
+// Two modes share the same emission machinery:
+//
+//  * solve_fresh() rebuilds the whole model in a fresh solver per query —
+//    the pre-incremental behavior, kept for counterexample extraction
+//    (reports stay deterministic and independent of warm-solver state) and
+//    as the "before" leg of bench_solver.
+//
+//  * probe()/query_sat() keep ONE long-lived solver per worker. The
+//    obligation-invariant prelude (parameters, resilience, initial
+//    counters) is asserted once at scope depth 0. Each milestone-order
+//    prefix level is asserted once in its own solver scope and shared by
+//    every query on that prefix and by all of its descendants on the BFS
+//    frontier: the prefix-feasibility probe then only pays for the newly
+//    added segment, and a spec query only re-encodes the segments from its
+//    first cut onward (the scopes above the divergence point are popped
+//    first, so the query's constraint system is exactly the fresh one).
 // ---------------------------------------------------------------------------
 class Encoder {
  public:
   Encoder(const ta::System& sys, const GuardTable& table,
           const std::vector<RuleView>& rules, const CheckOptions& opts)
-      : sys_(&sys), table_(&table), rules_(&rules), opts_(&opts) {}
+      : sys_(&sys),
+        table_(&table),
+        rules_(&rules),
+        opts_(&opts),
+        n_proc_(static_cast<int>(sys.process.locations.size())),
+        n_coin_(static_cast<int>(sys.coin.locations.size())),
+        flip_pos_(table.guards.size(), kUnflipped) {
+    if (opts_->incremental) {
+      inc_.solver = Solver(opts_->solver);
+      assert_prelude(inc_);
+    }
+  }
+
+  /// Prefix-feasibility probe over the incremental solver: SAT of the
+  /// rational relaxation of "some schedule realizes this milestone order".
+  bool probe(const std::vector<int>& flips, bool* unknown) {
+    set_flips(flips);
+    sync_levels(flips, flips.size());
+    Result res = inc_.solver.check_relaxed();
+    if (res == Result::kUnknown) {
+      *unknown = true;
+      return false;
+    }
+    return res == Result::kSat;
+  }
+
+  /// SAT of one (prefix, cut placement) spec query over the incremental
+  /// solver. Counterexamples are extracted separately via solve_fresh so
+  /// the reported model never depends on warm-solver state.
+  bool query_sat(const std::vector<int>& flips, int cut1, int cut2,
+                 bool swap_cuts, const spec::Spec& spec, bool* unknown) {
+    set_flips(flips);
+    const int nseg = static_cast<int>(flips.size()) + 1;
+    const bool two_cuts =
+        spec.shape == spec::Shape::kEventuallyImpliesGlobally;
+    // First segment whose emission differs from the plain prefix: keep the
+    // shared levels below it, re-encode everything from there in one scope.
+    int d = two_cuts ? std::min(cut1, cut2) : cut1;
+    sync_levels(flips, static_cast<std::size_t>(d));
+    Snapshot snap = snapshot(inc_);
+    Solver::Checkpoint cp = inc_.solver.push();
+    if (spec.shape == spec::Shape::kInitialImpliesGlobally) {
+      assert_initial_premise(inc_, spec);
+    }
+    for (int s = d; s < nseg; ++s) {
+      emit_segment_with_cuts(inc_, s, cut1, cut2, swap_cuts, &spec, flips);
+    }
+    Result res = inc_.solver.check();
+    inc_.solver.pop_to(cp);
+    restore(inc_, snap);
+    if (res == Result::kUnknown) {
+      *unknown = true;
+      return false;
+    }
+    return res == Result::kSat;
+  }
 
   /// flips: guard indices in milestone order. cut1/cut2: segment indices of
   /// the witness points (cut2 = -1 for single-cut shapes; both -1 with a
   /// null spec for a prefix-feasibility probe). Returns a counterexample if
   /// the schema is satisfiable (always nullopt for probes — read *sat);
-  /// sets *unknown on budget exhaustion.
-  std::optional<Counterexample> solve(const std::vector<int>& flips,
-                                      int cut1, int cut2,
-                                      const spec::Spec* spec, bool* unknown,
-                                      bool* sat = nullptr,
-                                      bool swap_cuts = false) {
-    swap_cuts_ = swap_cuts;
+  /// sets *unknown on budget exhaustion. Builds a fresh solver per call.
+  std::optional<Counterexample> solve_fresh(const std::vector<int>& flips,
+                                            int cut1, int cut2,
+                                            const spec::Spec* spec,
+                                            bool* unknown,
+                                            bool* sat = nullptr,
+                                            bool swap_cuts = false) {
     lia::SolverOptions solver_opts = opts_->solver;
     // Prune-only probes act on UNSAT alone: the rational relaxation is
     // enough (and much cheaper than branch & bound).
     if (!spec) solver_opts.relax_integrality = true;
-    Solver solver(solver_opts);
-    // Parameters.
-    std::vector<lia::Var> pv;
-    for (const ta::Parameter& p : sys_->env.params) {
-      pv.push_back(solver.new_var(p.name, 0, kParamCap));
-    }
-    auto pexpr = [&](const ta::ParamExpr& e) {
-      LinExpr out{Rational(e.constant)};
-      for (ta::ParamId p = 0; p < static_cast<ta::ParamId>(pv.size()); ++p) {
-        if (e.coeff(p) != 0) {
-          out.add_term(pv[static_cast<std::size_t>(p)],
-                       Rational(e.coeff(p)));
-        }
-      }
-      return out;
-    };
-    for (const ta::ParamConstraint& rc : sys_->env.resilience) {
-      LinExpr e = pexpr(rc.expr);
-      switch (rc.op) {
-        case ta::CmpOp::kGe:
-          solver.add(Constraint::ge0(e));
-          break;
-        case ta::CmpOp::kGt:
-          solver.add(Constraint::ge0(e - LinExpr(Rational(1))));
-          break;
-        case ta::CmpOp::kLe:
-          solver.add(Constraint::le0(e));
-          break;
-        case ta::CmpOp::kLt:
-          solver.add(Constraint::le0(e + LinExpr(Rational(1))));
-          break;
-        case ta::CmpOp::kEq:
-          solver.add(Constraint::eq0(e));
-          break;
-      }
-    }
-
-    // Initial counters: borders hold all modeled processes/coins.
-    const int n_proc = static_cast<int>(sys_->process.locations.size());
-    const int n_coin = static_cast<int>(sys_->coin.locations.size());
-    std::vector<LinExpr> kappa(static_cast<std::size_t>(n_proc + n_coin));
-    auto gloc = [&](bool coin, ta::LocId l) {
-      return coin ? n_proc + l : static_cast<int>(l);
-    };
-    for (bool coin : {false, true}) {
-      const ta::Automaton& a = coin ? sys_->coin : sys_->process;
-      LinExpr sum;
-      bool any = false;
-      for (ta::LocId l = 0; l < static_cast<ta::LocId>(a.locations.size());
-           ++l) {
-        if (a.locations[static_cast<std::size_t>(l)].role !=
-            ta::LocRole::kBorder) {
-          continue;
-        }
-        lia::Var v = solver.new_var(
-            std::string(coin ? "c0_" : "k0_") +
-                a.locations[static_cast<std::size_t>(l)].name,
-            0);
-        kappa[static_cast<std::size_t>(gloc(coin, l))] = LinExpr::term(v);
-        sum += LinExpr::term(v);
-        any = true;
-      }
-      const ta::ParamExpr& count =
-          coin ? sys_->env.num_coins : sys_->env.num_processes;
-      if (any) {
-        solver.add(Constraint::eq(sum, pexpr(count)));
-      } else {
-        // No border locations: the automaton must model zero entities.
-        solver.add(Constraint::eq0(pexpr(count)));
-      }
-    }
-
-    // Shape (b) premise: those initial locations never occupied.
+    Model m;
+    m.solver = Solver(solver_opts);
+    assert_prelude(m);
+    set_flips(flips);
     if (spec && spec->shape == spec::Shape::kInitialImpliesGlobally) {
-      for (const auto& [coin, l] : spec->premise.locs) {
-        const LinExpr& k = kappa[static_cast<std::size_t>(gloc(coin, l))];
-        if (!(k == LinExpr{})) solver.add(Constraint::eq0(k));
-      }
+      assert_initial_premise(m, *spec);
+    }
+    const int nseg = static_cast<int>(flips.size()) + 1;
+    for (int s = 0; s < nseg; ++s) {
+      emit_segment_with_cuts(m, s, cut1, cut2, swap_cuts, spec, flips);
     }
 
-    // Variable values (all zero at a round start).
-    std::vector<LinExpr> gval(sys_->vars.size());
-    auto lhs_expr = [&](const ta::Guard& g) {
-      LinExpr out;
-      for (const auto& [v, b] : g.lhs) {
-        out += gval[static_cast<std::size_t>(v)] * Rational(b);
-      }
-      return out;
-    };
-
-    // Rule allowance per context level.
-    auto allowed = [&](const RuleView& rv, int level) {
-      auto flipped_before = [&](int guard, int lv) {
-        for (int i = 0; i < lv; ++i) {
-          if (flips[static_cast<std::size_t>(i)] == guard) return true;
-        }
-        return false;
-      };
-      for (int g : rv.rising) {
-        if (!flipped_before(g, level)) return false;
-      }
-      for (int g : rv.falling) {
-        if (flipped_before(g, level)) return false;
-      }
-      return true;
-    };
-
-    const int m = static_cast<int>(flips.size()) + 1;  // segments
-    std::ostringstream outline;
-    struct BatchVar {
-      lia::Var x;
-      const RuleView* rv;
-      int segment;
-    };
-    std::vector<BatchVar> batches;
-
-    auto witness_constraint = [&](const spec::LocSet& set) {
-      LinExpr sum;
-      for (const auto& [coin, l] : set.locs) {
-        sum += kappa[static_cast<std::size_t>(gloc(coin, l))];
-      }
-      solver.add(Constraint::ge(sum, LinExpr(Rational(1))));
-    };
-
-    // Cumulative location reachability: a rule needs a batch variable only
-    // once its source may hold tokens (borders initially; then targets of
-    // emitted rules, transitively — the canonical topological order makes a
-    // single pass per part sufficient).
-    std::vector<bool> reachable(static_cast<std::size_t>(n_proc + n_coin),
-                                false);
-    for (bool coin : {false, true}) {
-      const ta::Automaton& a = coin ? sys_->coin : sys_->process;
-      for (ta::LocId l = 0; l < static_cast<ta::LocId>(a.locations.size());
-           ++l) {
-        if (a.locations[static_cast<std::size_t>(l)].role ==
-            ta::LocRole::kBorder) {
-          reachable[static_cast<std::size_t>(gloc(coin, l))] = true;
-        }
-      }
-    }
-
-    int batch_serial = 0;
-    auto emit_part = [&](int segment) {
-      for (const RuleView& rv : *rules_) {
-        if (!allowed(rv, segment)) continue;
-        if (!reachable[static_cast<std::size_t>(
-                gloc(rv.id.coin, rv.rule->from))]) {
-          continue;
-        }
-        reachable[static_cast<std::size_t>(
-            gloc(rv.id.coin, rv.rule->to.dirac_target()))] = true;
-        std::string xname = "x";
-        xname += std::to_string(batch_serial++);
-        xname += '_';
-        xname += rv.rule->name;
-        lia::Var x = solver.new_var(xname, 0, kBatchCap);
-        batches.push_back({x, &rv, segment});
-        // Token availability before the batch.
-        LinExpr& from = kappa[static_cast<std::size_t>(
-            gloc(rv.id.coin, rv.rule->from))];
-        solver.add(Constraint::ge0(from - LinExpr::term(x)));
-        // Falling guards: exact conditional check via big-M.
-        for (int gi : rv.falling) {
-          const GuardInfo& info = table_->guards[static_cast<std::size_t>(gi)];
-          // Per-firing self-increment of the guard's lhs by this rule.
-          long long delta = 0;
-          for (const auto& [v, b] : info.guard.lhs) {
-            delta += b * rv.rule->update_of(v);
-          }
-          std::string bname = "b";
-          bname += std::to_string(batch_serial);
-          bname += '_';
-          bname += rv.rule->name;
-          lia::Var used = solver.new_var(bname, 0, 1);
-          solver.add(Constraint::le0(LinExpr::term(x) -
-                                     LinExpr::term(used, Rational(kBatchCap))));
-          // lhs_before + delta*(x-1) <= rhs - 1 + BigM*(1-used)
-          LinExpr lhs = lhs_expr(info.guard) +
-                        LinExpr::term(x, Rational(delta)) -
-                        LinExpr(Rational(delta));
-          LinExpr relax = pexpr(info.guard.rhs) - LinExpr(Rational(1)) +
-                          LinExpr(Rational(kBigM)) -
-                          LinExpr::term(used, Rational(kBigM));
-          solver.add(Constraint::le(lhs, relax));
-        }
-        // Apply the batch.
-        from -= LinExpr::term(x);
-        kappa[static_cast<std::size_t>(
-            gloc(rv.id.coin, rv.rule->to.dirac_target()))] +=
-            LinExpr::term(x);
-        for (ta::VarId v = 0; v < static_cast<ta::VarId>(sys_->vars.size());
-             ++v) {
-          long long u = rv.rule->update_of(v);
-          if (u != 0) {
-            gval[static_cast<std::size_t>(v)] +=
-                LinExpr::term(x, Rational(u));
-          }
-        }
-      }
-    };
-
-    for (int s = 0; s < m; ++s) {
-      // Witness cuts landing in this segment. The two witness points of the
-      // F-premise/G-conclusion shape are unordered (the counterexample is
-      // Fφ ∧ F¬ψ); when both land in the same segment, `swap_cuts` selects
-      // which witness is pinned first.
-      std::vector<const spec::LocSet*> cuts;
-      if (spec && spec->shape == spec::Shape::kEventuallyImpliesGlobally) {
-        if (cut1 == s && cut2 == s && swap_cuts_) {
-          cuts.push_back(&spec->conclusion);
-          cuts.push_back(&spec->premise);
-        } else {
-          if (cut1 == s) cuts.push_back(&spec->premise);
-          if (cut2 == s) cuts.push_back(&spec->conclusion);
-        }
-      } else if (spec && cut1 == s) {
-        cuts.push_back(&spec->conclusion);
-      }
-      emit_part(s);
-      for (const spec::LocSet* set : cuts) {
-        witness_constraint(*set);
-        emit_part(s);
-      }
-      // Milestone flip after segment s (if any).
-      if (s < m - 1) {
-        int gi = flips[static_cast<std::size_t>(s)];
-        const GuardInfo& info = table_->guards[static_cast<std::size_t>(gi)];
-        // The guard's lhs has crossed its threshold at this boundary
-        // (rising: becomes true; falling: becomes locked).
-        solver.add(Constraint::ge(lhs_expr(info.guard), pexpr(info.guard.rhs)));
-      }
-    }
-
-    Result res = solver.check();
+    Result res = m.solver.check();
+    fresh_pivots_ += m.solver.total_pivots();
     if (sat) *sat = res == Result::kSat;
     if (res == Result::kUnknown) {
       *unknown = true;
@@ -379,13 +265,15 @@ class Encoder {
     // Shrink parameters for a readable report.
     if (opts_->minimize_ce) {
       LinExpr obj;
-      for (lia::Var v : pv) obj += LinExpr::term(v);
-      (void)solver.minimize(obj);
+      for (lia::Var v : m.pv) obj += LinExpr::term(v);
+      long long before = m.solver.total_pivots();
+      (void)m.solver.minimize(obj);
+      fresh_pivots_ += m.solver.total_pivots() - before;
     }
 
     Counterexample ce;
-    for (lia::Var v : pv) {
-      ce.params.push_back(static_cast<long long>(solver.model(v)));
+    for (lia::Var v : m.pv) {
+      ce.params.push_back(static_cast<long long>(m.solver.model(v)));
     }
     for (int gi : flips) {
       ce.milestones.push_back(
@@ -393,13 +281,13 @@ class Encoder {
     }
     std::ostringstream text;
     text << "params:";
-    for (std::size_t i = 0; i < pv.size(); ++i) {
+    for (std::size_t i = 0; i < m.pv.size(); ++i) {
       text << " " << sys_->env.params[i].name << "="
-           << util::int128_str(solver.model(pv[i]));
+           << util::int128_str(m.solver.model(m.pv[i]));
     }
     text << "; schedule:";
-    for (const BatchVar& b : batches) {
-      long long x = static_cast<long long>(solver.model(b.x));
+    for (const BatchVar& b : m.batches) {
+      long long x = static_cast<long long>(m.solver.model(b.x));
       if (x > 0) {
         text << " " << b.rv->rule->name << "^" << x << "@s" << b.segment;
       }
@@ -408,12 +296,321 @@ class Encoder {
     return ce;
   }
 
+  /// Simplex pivots spent by this encoder so far (fresh + incremental).
+  [[nodiscard]] long long pivots() const {
+    return fresh_pivots_ + inc_.solver.total_pivots();
+  }
+
  private:
+  struct BatchVar {
+    lia::Var x;
+    const RuleView* rv;
+    int segment;
+  };
+
+  /// One constraint system under construction: the solver plus the rolling
+  /// symbolic state of the emission (counter and shared-variable
+  /// expressions, location reachability, recorded batches).
+  struct Model {
+    Solver solver;
+    std::vector<lia::Var> pv;       // parameter variables
+    std::vector<LinExpr> kappa0;    // initial counters (shape-b premise)
+    std::vector<LinExpr> kappa;     // current counters
+    std::vector<LinExpr> gval;      // current shared-variable values
+    std::vector<char> reachable;    // cumulative location reachability
+    std::vector<BatchVar> batches;
+    int batch_serial = 0;
+  };
+
+  /// Rolling emission state at a segment boundary (everything needed to
+  /// rewind a Model after popping solver scopes back to that boundary).
+  struct Snapshot {
+    std::vector<LinExpr> kappa, gval;
+    std::vector<char> reachable;
+    std::size_t nbatches = 0;
+    int batch_serial = 0;
+  };
+
+  /// One asserted milestone-order prefix element: the solver scope holding
+  /// segment k's batches plus guard k's flip constraint, and the emission
+  /// state to rewind to when the level is popped.
+  struct Level {
+    int guard = -1;
+    Solver::Checkpoint cp;
+    Snapshot before;
+  };
+
+  [[nodiscard]] int gloc(bool coin, ta::LocId l) const {
+    return coin ? n_proc_ + l : static_cast<int>(l);
+  }
+
+  [[nodiscard]] LinExpr pexpr(const Model& m, const ta::ParamExpr& e) const {
+    LinExpr out{Rational(e.constant)};
+    for (ta::ParamId p = 0; p < static_cast<ta::ParamId>(m.pv.size()); ++p) {
+      if (e.coeff(p) != 0) {
+        out.add_term(m.pv[static_cast<std::size_t>(p)], Rational(e.coeff(p)));
+      }
+    }
+    return out;
+  }
+
+  [[nodiscard]] LinExpr lhs_expr(const Model& m, const ta::Guard& g) const {
+    LinExpr out;
+    for (const auto& [v, b] : g.lhs) {
+      out += m.gval[static_cast<std::size_t>(v)] * Rational(b);
+    }
+    return out;
+  }
+
+  /// O(guards-of-rule) allowance check against the current flip-position
+  /// array (guard -> position in the active milestone order, kUnflipped if
+  /// absent), replacing the old O(level) rescans of the flips vector.
+  [[nodiscard]] bool allowed(const RuleView& rv, int level) const {
+    for (int g : rv.rising) {
+      if (flip_pos_[static_cast<std::size_t>(g)] >= level) return false;
+    }
+    for (int g : rv.falling) {
+      if (flip_pos_[static_cast<std::size_t>(g)] < level) return false;
+    }
+    return true;
+  }
+
+  /// Points flip_pos_ at `flips` (clearing the previously active order).
+  void set_flips(const std::vector<int>& flips) {
+    if (flips == cur_flips_) return;
+    for (int g : cur_flips_) {
+      flip_pos_[static_cast<std::size_t>(g)] = kUnflipped;
+    }
+    for (std::size_t i = 0; i < flips.size(); ++i) {
+      flip_pos_[static_cast<std::size_t>(flips[i])] = static_cast<int>(i);
+    }
+    cur_flips_ = flips;
+  }
+
+  /// Asserts the obligation-invariant prelude: parameters under the
+  /// resilience condition, initial counters, zero shared variables.
+  void assert_prelude(Model& m) {
+    for (const ta::Parameter& p : sys_->env.params) {
+      m.pv.push_back(m.solver.new_var(p.name, 0, kParamCap));
+    }
+    for (const ta::ParamConstraint& rc : sys_->env.resilience) {
+      LinExpr e = pexpr(m, rc.expr);
+      switch (rc.op) {
+        case ta::CmpOp::kGe:
+          m.solver.add(Constraint::ge0(e));
+          break;
+        case ta::CmpOp::kGt:
+          m.solver.add(Constraint::ge0(e - LinExpr(Rational(1))));
+          break;
+        case ta::CmpOp::kLe:
+          m.solver.add(Constraint::le0(e));
+          break;
+        case ta::CmpOp::kLt:
+          m.solver.add(Constraint::le0(e + LinExpr(Rational(1))));
+          break;
+        case ta::CmpOp::kEq:
+          m.solver.add(Constraint::eq0(e));
+          break;
+      }
+    }
+
+    // Initial counters: borders hold all modeled processes/coins.
+    m.kappa.assign(static_cast<std::size_t>(n_proc_ + n_coin_), LinExpr{});
+    m.reachable.assign(static_cast<std::size_t>(n_proc_ + n_coin_), 0);
+    for (bool coin : {false, true}) {
+      const ta::Automaton& a = coin ? sys_->coin : sys_->process;
+      LinExpr sum;
+      bool any = false;
+      for (ta::LocId l = 0; l < static_cast<ta::LocId>(a.locations.size());
+           ++l) {
+        if (a.locations[static_cast<std::size_t>(l)].role !=
+            ta::LocRole::kBorder) {
+          continue;
+        }
+        lia::Var v = m.solver.new_var(
+            std::string(coin ? "c0_" : "k0_") +
+                a.locations[static_cast<std::size_t>(l)].name,
+            0);
+        m.kappa[static_cast<std::size_t>(gloc(coin, l))] = LinExpr::term(v);
+        sum += LinExpr::term(v);
+        any = true;
+        m.reachable[static_cast<std::size_t>(gloc(coin, l))] = 1;
+      }
+      const ta::ParamExpr& count =
+          coin ? sys_->env.num_coins : sys_->env.num_processes;
+      if (any) {
+        m.solver.add(Constraint::eq(sum, pexpr(m, count)));
+      } else {
+        // No border locations: the automaton must model zero entities.
+        m.solver.add(Constraint::eq0(pexpr(m, count)));
+      }
+    }
+    m.kappa0 = m.kappa;
+    // Variable values (all zero at a round start).
+    m.gval.assign(sys_->vars.size(), LinExpr{});
+  }
+
+  /// Shape (b) premise: those initial locations never occupied.
+  void assert_initial_premise(Model& m, const spec::Spec& spec) {
+    for (const auto& [coin, l] : spec.premise.locs) {
+      const LinExpr& k = m.kappa0[static_cast<std::size_t>(gloc(coin, l))];
+      if (!(k == LinExpr{})) m.solver.add(Constraint::eq0(k));
+    }
+  }
+
+  /// Emits one topological batch pass for context level `segment`.
+  void emit_part(Model& m, int segment) {
+    for (const RuleView& rv : *rules_) {
+      if (!allowed(rv, segment)) continue;
+      if (!m.reachable[static_cast<std::size_t>(
+              gloc(rv.id.coin, rv.rule->from))]) {
+        continue;
+      }
+      m.reachable[static_cast<std::size_t>(
+          gloc(rv.id.coin, rv.rule->to.dirac_target()))] = 1;
+      std::string xname = "x";
+      xname += std::to_string(m.batch_serial++);
+      xname += '_';
+      xname += rv.rule->name;
+      lia::Var x = m.solver.new_var(xname, 0, kBatchCap);
+      m.batches.push_back({x, &rv, segment});
+      // Token availability before the batch.
+      LinExpr& from =
+          m.kappa[static_cast<std::size_t>(gloc(rv.id.coin, rv.rule->from))];
+      m.solver.add(Constraint::ge0(from - LinExpr::term(x)));
+      // Falling guards: exact conditional check via big-M.
+      for (int gi : rv.falling) {
+        const GuardInfo& info = table_->guards[static_cast<std::size_t>(gi)];
+        // Per-firing self-increment of the guard's lhs by this rule.
+        long long delta = 0;
+        for (const auto& [v, b] : info.guard.lhs) {
+          delta += b * rv.rule->update_of(v);
+        }
+        std::string bname = "b";
+        bname += std::to_string(m.batch_serial);
+        bname += '_';
+        bname += rv.rule->name;
+        lia::Var used = m.solver.new_var(bname, 0, 1);
+        m.solver.add(Constraint::le0(
+            LinExpr::term(x) - LinExpr::term(used, Rational(kBatchCap))));
+        // lhs_before + delta*(x-1) <= rhs - 1 + BigM*(1-used)
+        LinExpr lhs = lhs_expr(m, info.guard) +
+                      LinExpr::term(x, Rational(delta)) -
+                      LinExpr(Rational(delta));
+        LinExpr relax = pexpr(m, info.guard.rhs) - LinExpr(Rational(1)) +
+                        LinExpr(Rational(kBigM)) -
+                        LinExpr::term(used, Rational(kBigM));
+        m.solver.add(Constraint::le(lhs, relax));
+      }
+      // Apply the batch.
+      from -= LinExpr::term(x);
+      m.kappa[static_cast<std::size_t>(
+          gloc(rv.id.coin, rv.rule->to.dirac_target()))] += LinExpr::term(x);
+      for (ta::VarId v = 0; v < static_cast<ta::VarId>(sys_->vars.size());
+           ++v) {
+        long long u = rv.rule->update_of(v);
+        if (u != 0) {
+          m.gval[static_cast<std::size_t>(v)] += LinExpr::term(x, Rational(u));
+        }
+      }
+    }
+  }
+
+  /// Milestone flip after a segment: the guard's lhs has crossed its
+  /// threshold at this boundary (rising: becomes true; falling: locked).
+  void milestone(Model& m, int guard) {
+    const GuardInfo& info = table_->guards[static_cast<std::size_t>(guard)];
+    m.solver.add(
+        Constraint::ge(lhs_expr(m, info.guard), pexpr(m, info.guard.rhs)));
+  }
+
+  void witness(Model& m, const spec::LocSet& set) {
+    LinExpr sum;
+    for (const auto& [coin, l] : set.locs) {
+      sum += m.kappa[static_cast<std::size_t>(gloc(coin, l))];
+    }
+    m.solver.add(Constraint::ge(sum, LinExpr(Rational(1))));
+  }
+
+  /// Emits segment `s` with whatever witness cuts land in it, then the
+  /// milestone constraint closing the segment (if any). The two witness
+  /// points of the F-premise/G-conclusion shape are unordered (the
+  /// counterexample is Fφ ∧ F¬ψ); when both land in the same segment,
+  /// `swap_cuts` selects which witness is pinned first.
+  void emit_segment_with_cuts(Model& m, int s, int cut1, int cut2,
+                              bool swap_cuts, const spec::Spec* spec,
+                              const std::vector<int>& flips) {
+    const int nseg = static_cast<int>(flips.size()) + 1;
+    std::vector<const spec::LocSet*> cuts;
+    if (spec && spec->shape == spec::Shape::kEventuallyImpliesGlobally) {
+      if (cut1 == s && cut2 == s && swap_cuts) {
+        cuts.push_back(&spec->conclusion);
+        cuts.push_back(&spec->premise);
+      } else {
+        if (cut1 == s) cuts.push_back(&spec->premise);
+        if (cut2 == s) cuts.push_back(&spec->conclusion);
+      }
+    } else if (spec && cut1 == s) {
+      cuts.push_back(&spec->conclusion);
+    }
+    emit_part(m, s);
+    for (const spec::LocSet* set : cuts) {
+      witness(m, *set);
+      emit_part(m, s);
+    }
+    if (s < nseg - 1) milestone(m, flips[s]);
+  }
+
+  [[nodiscard]] static Snapshot snapshot(const Model& m) {
+    return {m.kappa, m.gval, m.reachable, m.batches.size(), m.batch_serial};
+  }
+
+  static void restore(Model& m, const Snapshot& snap) {
+    m.kappa = snap.kappa;
+    m.gval = snap.gval;
+    m.reachable = snap.reachable;
+    m.batches.resize(snap.nbatches);
+    m.batch_serial = snap.batch_serial;
+  }
+
+  /// Makes the asserted level stack equal flips[0..upto): pops levels past
+  /// the common prefix, pushes the missing ones (one solver scope each,
+  /// holding the segment's batches plus the milestone constraint).
+  void sync_levels(const std::vector<int>& flips, std::size_t upto) {
+    std::size_t common = 0;
+    while (common < levels_.size() && common < upto &&
+           levels_[common].guard == flips[common]) {
+      ++common;
+    }
+    if (levels_.size() > common) {
+      inc_.solver.pop_to(levels_[common].cp);
+      restore(inc_, levels_[common].before);
+      levels_.resize(common);
+    }
+    for (std::size_t k = common; k < upto; ++k) {
+      Level lv;
+      lv.guard = flips[k];
+      lv.before = snapshot(inc_);
+      lv.cp = inc_.solver.push();
+      emit_part(inc_, static_cast<int>(k));
+      milestone(inc_, flips[k]);
+      levels_.push_back(std::move(lv));
+    }
+  }
+
   const ta::System* sys_;
   const GuardTable* table_;
   const std::vector<RuleView>* rules_;
   const CheckOptions* opts_;
-  bool swap_cuts_ = false;
+  const int n_proc_;
+  const int n_coin_;
+
+  std::vector<int> flip_pos_;   // guard -> position in cur_flips_
+  std::vector<int> cur_flips_;
+
+  Model inc_;                   // long-lived incremental model
+  std::vector<Level> levels_;   // asserted prefix (scope per level)
+  long long fresh_pivots_ = 0;
 };
 
 // ---------------------------------------------------------------------------
@@ -501,28 +698,6 @@ struct Enumerator {
   }
 };
 
-std::vector<RuleView> make_rule_views(const ta::System& sys,
-                                      const GuardTable& table) {
-  std::vector<OrderedRule> order = canonical_rule_order(sys);
-  std::vector<RuleView> out;
-  out.reserve(order.size());
-  for (const OrderedRule& orule : order) {
-    const ta::Automaton& a = orule.coin ? sys.coin : sys.process;
-    RuleView rv;
-    rv.id = orule;
-    rv.rule = &a.rules[static_cast<std::size_t>(orule.rule)];
-    for (const RuleGuards& rg : table.rules) {
-      if (rg.coin == orule.coin && rg.rule == orule.rule) {
-        rv.rising = rg.rising;
-        rv.falling = rg.falling;
-        break;
-      }
-    }
-    out.push_back(std::move(rv));
-  }
-  return out;
-}
-
 }  // namespace
 
 namespace {
@@ -530,18 +705,18 @@ namespace {
 /// Earliest segment (context level) at which a witness over `set` can hold:
 /// some rule *into* a set location must be allowed at that level or earlier
 /// (tokens only reach the witness locations through such rules). Returns
-/// m (= flips+1) when unplaceable under this order.
-int first_witness_segment(const ta::System& sys,
+/// m (= flips+1) when unplaceable under this order. A guard→flip-position
+/// array turns the per-level allowance rescans into one interval
+/// intersection per rule.
+int first_witness_segment(const GuardTable& table,
                           const std::vector<RuleView>& rules,
                           const spec::LocSet& set,
                           const std::vector<int>& flips) {
   const int m = static_cast<int>(flips.size()) + 1;
-  auto flipped_before = [&](int guard, int level) {
-    for (int i = 0; i < level; ++i) {
-      if (flips[static_cast<std::size_t>(i)] == guard) return true;
-    }
-    return false;
-  };
+  std::vector<int> pos(table.guards.size(), kUnflipped);
+  for (std::size_t i = 0; i < flips.size(); ++i) {
+    pos[static_cast<std::size_t>(flips[i])] = static_cast<int>(i);
+  }
   int best = m;
   for (const RuleView& rv : rules) {
     bool targets_set = false;
@@ -550,21 +725,23 @@ int first_witness_segment(const ta::System& sys,
       if (coin == rv.id.coin && l == to) targets_set = true;
     }
     if (!targets_set) continue;
-    for (int level = 0; level < m && level < best; ++level) {
-      bool ok = true;
-      for (int g : rv.rising) {
-        if (!flipped_before(g, level)) ok = false;
-      }
-      for (int g : rv.falling) {
-        if (flipped_before(g, level)) ok = false;
-      }
-      if (ok) {
-        best = std::min(best, level);
+    // Allowed levels form the interval [lo, hi]: every rising guard must
+    // have flipped strictly before, no falling guard may have.
+    int lo = 0;
+    int hi = m - 1;
+    for (int g : rv.rising) {
+      int p = pos[static_cast<std::size_t>(g)];
+      if (p == kUnflipped) {
+        lo = m;  // never allowed under this order
         break;
       }
+      lo = std::max(lo, p + 1);
     }
+    for (int g : rv.falling) {
+      hi = std::min(hi, pos[static_cast<std::size_t>(g)]);
+    }
+    if (lo <= hi) best = std::min(best, lo);
   }
-  (void)sys;
   return best;
 }
 
@@ -599,6 +776,7 @@ CheckResult check_spec(const ta::System& sys, const spec::Spec& spec,
   SharedBudget* budget = opts.budget != nullptr ? opts.budget : &local_budget;
 
   std::atomic<long long> nschemas{0};
+  std::atomic<long long> npivots{0};
   std::atomic<bool> budget_hit{false};
   std::atomic<bool> unknown_any{false};
   std::atomic<bool> stop{false};
@@ -611,7 +789,9 @@ CheckResult check_spec(const ta::System& sys, const spec::Spec& spec,
   // Parallel breadth-first exploration of milestone orders, shortest
   // prefixes first: counterexamples live at short orders, so finding them
   // does not require exhausting any deep subtree; for proofs the total work
-  // is the same as DFS (every feasible prefix is probed exactly once).
+  // is the same as DFS (every feasible prefix is probed exactly once). The
+  // FIFO order also keeps consecutive prefixes siblings most of the time,
+  // which is what the incremental encoder's level reuse thrives on.
   std::mutex queue_mutex;
   std::condition_variable queue_cv;
   std::deque<std::vector<int>> frontier;
@@ -645,7 +825,11 @@ CheckResult check_spec(const ta::System& sys, const spec::Spec& spec,
     if (opts.prefix_prune && !flips.empty()) {
       bool unknown = false, sat = false;
       if (!charge()) return;
-      (void)encoder.solve(flips, -1, -1, nullptr, &unknown, &sat);
+      if (opts.incremental) {
+        sat = encoder.probe(flips, &unknown);
+      } else {
+        (void)encoder.solve_fresh(flips, -1, -1, nullptr, &unknown, &sat);
+      }
       if (unknown) unknown_any.store(true);
       if (!sat && !unknown) return;  // subtree pruned
     }
@@ -655,11 +839,11 @@ CheckResult check_spec(const ta::System& sys, const spec::Spec& spec,
     // the F/G shape are unordered, so they range independently; when they
     // share a segment both within-segment orders are tried.
     int c1_lo = two_cuts
-                    ? first_witness_segment(sys, rules, spec.premise, flips)
-                    : first_witness_segment(sys, rules, spec.conclusion,
+                    ? first_witness_segment(table, rules, spec.premise, flips)
+                    : first_witness_segment(table, rules, spec.conclusion,
                                             flips);
     int c2_first =
-        two_cuts ? first_witness_segment(sys, rules, spec.conclusion, flips)
+        two_cuts ? first_witness_segment(table, rules, spec.conclusion, flips)
                  : -1;
     for (int c1 = c1_lo; c1 < m && !stop.load(); ++c1) {
       int c2_lo = two_cuts ? c2_first : -1;
@@ -669,9 +853,31 @@ CheckResult check_spec(const ta::System& sys, const spec::Spec& spec,
           if (stop.load()) return;
           if (!charge()) return;
           bool unknown = false;
-          auto ce =
-              encoder.solve(flips, c1, c2, &spec, &unknown, nullptr,
-                            swap == 1);
+          std::optional<Counterexample> ce;
+          if (opts.incremental) {
+            bool sat = encoder.query_sat(flips, c1, c2, swap == 1, spec,
+                                         &unknown);
+            if (sat) {
+              // Re-solve the hit in a fresh solver: the reported model (and
+              // the minimized parameters) must not depend on warm-solver
+              // state, so reports stay identical across enumeration paths.
+              bool fresh_unknown = false;
+              ce = encoder.solve_fresh(flips, c1, c2, &spec, &fresh_unknown,
+                                       nullptr, swap == 1);
+              if (fresh_unknown) unknown = true;
+              if (!ce && !fresh_unknown) {
+                // The scoped and fresh encodings are equisatisfiable; treat
+                // a disagreement as inconclusive, never as a proof.
+                CTAVER_LOG(kWarn)
+                    << "check_spec(" << spec.name
+                    << "): incremental/fresh solver disagreement";
+                unknown = true;
+              }
+            }
+          } else {
+            ce = encoder.solve_fresh(flips, c1, c2, &spec, &unknown, nullptr,
+                                     swap == 1);
+          }
           if (unknown) unknown_any.store(true);
           if (ce) {
             std::lock_guard<std::mutex> lock(ce_mutex);
@@ -701,7 +907,7 @@ CheckResult check_spec(const ta::System& sys, const spec::Spec& spec,
       queue_cv.wait(lock, [&] {
         return stop.load() || !frontier.empty() || active == 0;
       });
-      if (stop.load() || (frontier.empty() && active == 0)) return;
+      if (stop.load() || (frontier.empty() && active == 0)) break;
       if (frontier.empty()) continue;
       std::vector<int> flips = std::move(frontier.front());
       frontier.pop_front();
@@ -716,6 +922,8 @@ CheckResult check_spec(const ta::System& sys, const spec::Spec& spec,
       --active;
       queue_cv.notify_all();
     }
+    lock.unlock();
+    npivots.fetch_add(encoder.pivots(), std::memory_order_relaxed);
   };
 
   int workers = opts.workers > 0 ? opts.workers
@@ -733,6 +941,7 @@ CheckResult check_spec(const ta::System& sys, const spec::Spec& spec,
   }
 
   result.nschemas = nschemas.load();
+  result.npivots = npivots.load();
   result.seconds = watch.seconds();
   result.ce = std::move(found_ce);
   result.holds = !result.ce.has_value();

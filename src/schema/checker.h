@@ -22,6 +22,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -42,13 +43,15 @@ namespace ctaver::schema {
 /// pair of atomics, so charging is wait-free. As a util::CancelSource its
 /// poll is exhausted(), so computations that never charge (the sweep-
 /// instance state graphs) still notice an expired wall-clock deadline.
+/// The wall-clock deadline is armed lazily, at the first exhaustion check
+/// (i.e. when the first consumer actually starts work), not at
+/// construction: with `ctaver table2` pre-planning every protocol onto one
+/// shared pool, a protocol queued behind its siblings must not burn its
+/// time budget while waiting for a worker.
 class SharedBudget final : public util::CancelSource {
  public:
   SharedBudget(long long max_schemas, double time_budget_s)
-      : max_(max_schemas),
-        deadline_(Clock::now() +
-                  std::chrono::duration_cast<Clock::duration>(
-                      std::chrono::duration<double>(time_budget_s))) {}
+      : max_(max_schemas), time_budget_s_(time_budget_s) {}
 
   /// Reserves `n` schema queries. Returns false (and trips the token) once
   /// the schema or time budget is exhausted.
@@ -67,6 +70,16 @@ class SharedBudget final : public util::CancelSource {
 
   [[nodiscard]] bool exhausted() const {
     if (cancel.cancelled()) return true;
+    std::call_once(started_, [this] {
+      // A non-positive budget is exhausted from the start (deterministically
+      // so, which the zero-budget test regimes rely on).
+      deadline_ = time_budget_s_ <= 0
+                      ? Clock::time_point::min()
+                      : Clock::now() +
+                            std::chrono::duration_cast<Clock::duration>(
+                                std::chrono::duration<double>(
+                                    time_budget_s_));
+    });
     if (used_.load(std::memory_order_relaxed) > max_ ||
         Clock::now() > deadline_) {
       cancel.cancel();
@@ -85,7 +98,9 @@ class SharedBudget final : public util::CancelSource {
   using Clock = std::chrono::steady_clock;
   std::atomic<long long> used_{0};
   long long max_;
-  Clock::time_point deadline_;
+  double time_budget_s_;
+  mutable std::once_flag started_;
+  mutable Clock::time_point deadline_{};
 };
 
 struct CheckOptions {
@@ -102,6 +117,15 @@ struct CheckOptions {
   double time_budget_s = 600.0;
   /// Shrink counterexample parameters via objective minimization.
   bool minimize_ce = true;
+  /// Keep one long-lived incremental LIA solver per enumeration worker:
+  /// the obligation-invariant prelude is asserted once, each milestone-
+  /// order prefix level lives in a solver scope shared by all of its cut
+  /// placements and child prefixes, and per-query constraints are popped
+  /// afterwards. Off = rebuild the model from scratch per query (the
+  /// pre-incremental behavior, kept as bench_solver's baseline and for the
+  /// scoped-vs-fresh equivalence tests). Verdicts, reports, and nschemas
+  /// are identical either way; only pivot counts and wall-clock differ.
+  bool incremental = true;
   /// Enumeration workers inside one check_spec call (0 = hardware
   /// concurrency). With workers = 1 the breadth-first exploration is fully
   /// deterministic — same nschemas, same counterexample — which is what the
@@ -127,6 +151,7 @@ struct CheckResult {
   bool holds = false;     // no counterexample found
   bool complete = false;  // enumeration finished within budget
   long long nschemas = 0; // schemas submitted to the solver
+  long long npivots = 0;  // simplex pivots spent on those schemas
   double seconds = 0.0;
   std::optional<Counterexample> ce;
 };

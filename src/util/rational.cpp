@@ -12,6 +12,34 @@ namespace {
   throw std::overflow_error("Rational: 128-bit overflow");
 }
 
+/// True iff `v` is representable as a signed 64-bit integer. The simplex
+/// working set lives almost entirely in this range; the Int128 paths below
+/// are the correctness backstop, not the common case.
+inline bool fits64(Int128 v) {
+  return v >= static_cast<Int128>(INT64_MIN) &&
+         v <= static_cast<Int128>(INT64_MAX);
+}
+
+/// As fits64, but additionally excluding INT64_MIN: with both operands in
+/// the open range the 64-bit Euclid below can never evaluate the trapping
+/// INT64_MIN % -1, and |result| is always representable.
+inline bool gcd_fast64(Int128 v) {
+  return v > static_cast<Int128>(INT64_MIN) &&
+         v <= static_cast<Int128>(INT64_MAX);
+}
+
+/// 64-bit Euclid. Int128 division compiles to a libgcc call (__divti3), so
+/// keeping the gcd loop in hardware-width registers is the single biggest
+/// win of the fast path. Operands must be > INT64_MIN (see gcd_fast64).
+inline long long gcd64(long long a, long long b) {
+  while (b != 0) {
+    long long t = a % b;
+    a = b;
+    b = t;
+  }
+  return a < 0 ? -a : a;
+}
+
 }  // namespace
 
 Int128 checked_mul(Int128 a, Int128 b) {
@@ -29,12 +57,22 @@ Int128 checked_add(Int128 a, Int128 b) {
 }
 
 Int128 gcd128(Int128 a, Int128 b) {
+  // Fast path: both operands strictly inside the 64-bit range (INT64_MIN
+  // itself is excluded — a % -1 on it would trap; the slow loop below
+  // handles it like any other wide value).
+  if (gcd_fast64(a) && gcd_fast64(b)) {
+    return gcd64(static_cast<long long>(a), static_cast<long long>(b));
+  }
   // Euclid is fine on negative operands (% truncates toward zero); negating
   // only the final result keeps gcd128(INT128_MIN, k) defined for k != 0.
+  // One 128-bit step usually shrinks the operands into the fast range.
   while (b != 0) {
     Int128 t = a % b;
     a = b;
     b = t;
+    if (gcd_fast64(a) && gcd_fast64(b)) {
+      return gcd64(static_cast<long long>(a), static_cast<long long>(b));
+    }
   }
   return a < 0 ? -a : a;
 }
@@ -45,10 +83,12 @@ Rational::Rational(Int128 num, Int128 den) {
     num = -num;
     den = -den;
   }
-  Int128 g = gcd128(num, den);
-  if (g > 1) {
-    num /= g;
-    den /= g;
+  if (den != 1) {  // den == 1 is already canonical: skip the gcd entirely
+    Int128 g = gcd128(num, den);
+    if (g > 1) {
+      num /= g;
+      den /= g;
+    }
   }
   num_ = num;
   den_ = den;
@@ -76,22 +116,57 @@ Rational Rational::operator-() const {
 }
 
 Rational Rational::operator+(const Rational& o) const {
+  // Integer + integer dominates the solver workload: one add, no gcd.
+  if (den_ == 1 && o.den_ == 1) {
+    Rational r;
+    r.num_ = checked_add(num_, o.num_);
+    r.den_ = 1;
+    return r;
+  }
+  // Same denominator: add numerators, reduce once.
+  if (den_ == o.den_) {
+    return {checked_add(num_, o.num_), den_};
+  }
   Int128 g = gcd128(den_, o.den_);
   Int128 lden = den_ / g;
   Int128 num = checked_add(checked_mul(num_, o.den_ / g),
                            checked_mul(o.num_, lden));
   Int128 den = checked_mul(lden, o.den_);
-  return {num, den};
+  // The cross terms can share a factor with g only; one reduction pass
+  // against g restores canonical form without a full-width gcd.
+  if (g != 1) {
+    Int128 g2 = gcd128(num, g);
+    if (g2 > 1) {
+      num /= g2;
+      den /= g2;
+    }
+  }
+  Rational r;
+  r.num_ = num;
+  r.den_ = den;
+  return r;
 }
 
 Rational Rational::operator-(const Rational& o) const { return *this + (-o); }
 
 Rational Rational::operator*(const Rational& o) const {
-  // Cross-reduce before multiplying to keep magnitudes small.
+  // Integer * integer: one multiply, the product of canonical integers is
+  // canonical.
+  if (den_ == 1 && o.den_ == 1) {
+    Rational r;
+    r.num_ = checked_mul(num_, o.num_);
+    r.den_ = 1;
+    return r;
+  }
+  // Cross-reduce before multiplying to keep magnitudes small. Both factors
+  // are canonical, so after cross-reduction the product is canonical too —
+  // skip the constructor's gcd.
   Int128 g1 = gcd128(num_, o.den_);
   Int128 g2 = gcd128(o.num_, den_);
-  return {checked_mul(num_ / g1, o.num_ / g2),
-          checked_mul(den_ / g2, o.den_ / g1)};
+  Rational r;
+  r.num_ = checked_mul(num_ / g1, o.num_ / g2);
+  r.den_ = checked_mul(den_ / g2, o.den_ / g1);
+  return r;
 }
 
 Rational Rational::operator/(const Rational& o) const {
@@ -100,7 +175,14 @@ Rational Rational::operator/(const Rational& o) const {
 }
 
 bool Rational::operator<(const Rational& o) const {
-  // den_ > 0 on both sides, so cross-multiplication preserves order.
+  // Common cases first: identical denominators order by numerator.
+  if (den_ == o.den_) return num_ < o.num_;
+  // den_ > 0 on both sides, so cross-multiplication preserves order. In
+  // 64-bit range the products fit in Int128 by construction, so the checked
+  // variants are unnecessary.
+  if (fits64(num_) && fits64(den_) && fits64(o.num_) && fits64(o.den_)) {
+    return num_ * o.den_ < o.num_ * den_;
+  }
   return checked_mul(num_, o.den_) < checked_mul(o.num_, den_);
 }
 

@@ -5,6 +5,13 @@
 // with __int128 storage and overflow checks. Coefficients in threshold-guard
 // systems are tiny (|a| <= ~10) and tableau growth is modest, so 128 bits is
 // ample; any overflow aborts loudly rather than returning a wrong answer.
+//
+// Hot-path arithmetic takes int64 shortcuts: a 64-bit gcd loop whenever both
+// operands fit in hardware registers (the 128-bit division behind gcd is a
+// libgcc call and dominates otherwise), integer+integer and integer*integer
+// without any normalization, and Knuth's one-step reduction for the general
+// sum. The checked Int128 path remains the fallback, so results are exact at
+// every width; tests/rational_test.cpp pins the int64 boundary handover.
 #pragma once
 
 #include <cstdint>

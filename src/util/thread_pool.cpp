@@ -2,6 +2,25 @@
 
 namespace ctaver::util {
 
+void TaskGroup::add_one() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++pending_;
+}
+
+void TaskGroup::finish_one() {
+  std::size_t left;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    left = --pending_;
+  }
+  if (left == 0) cv_.notify_all();
+}
+
+void TaskGroup::wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [&] { return pending_ == 0; });
+}
+
 int ThreadPool::hardware_workers() {
   unsigned hw = std::thread::hardware_concurrency();
   return static_cast<int>(hw == 0 ? 4 : hw);
@@ -41,6 +60,16 @@ void ThreadPool::submit(Task fn, CancelToken token) {
 void ThreadPool::submit(Task fn) {
   Item it;
   it.fn = std::move(fn);
+  enqueue(std::move(it));
+}
+
+void ThreadPool::submit(Task fn, CancelToken token, TaskGroup* group) {
+  Item it;
+  it.fn = std::move(fn);
+  it.token = std::move(token);
+  it.has_token = true;
+  it.group = group;
+  if (group != nullptr) group->add_one();
   enqueue(std::move(it));
 }
 
@@ -104,6 +133,7 @@ void ThreadPool::worker_loop(std::size_t self) {
     if (try_pop(self, it)) {
       // A task whose token tripped while queued is skipped, not run.
       if (!it.has_token || !it.token.cancelled()) it.fn();
+      if (it.group != nullptr) it.group->finish_one();
       finish_one();
       continue;
     }

@@ -7,10 +7,12 @@
 // done, never run), which is how a tripped time/schema budget discards the
 // queued remainder of a verification run in O(1) per task.
 //
-// The pool is a building block, not a scheduler singleton: verify_protocol
-// constructs one per call (workers are cheap relative to the obligations
-// they run), so no global mutable state exists and concurrent
-// verify_protocol calls are independent.
+// The pool is a building block, not a scheduler singleton: no global
+// mutable state exists and independent pools do not interact. Several
+// logical clients can share one pool by tagging their submissions with a
+// TaskGroup and waiting on the group instead of the whole pool — this is
+// how `ctaver table2` keeps every protocol's obligations in flight at once
+// while still collecting each protocol's results separately.
 #pragma once
 
 #include <condition_variable>
@@ -25,6 +27,26 @@
 #include "util/cancel.h"
 
 namespace ctaver::util {
+
+/// Completion tracking for a subset of a pool's tasks: submissions tagged
+/// with a group can be awaited independently of everything else running on
+/// the pool. A group may be reused for several submission rounds; it must
+/// outlive the tasks tagged with it.
+class TaskGroup {
+ public:
+  /// Blocks until every task submitted with this group has run or been
+  /// skipped (cancelled while queued).
+  void wait();
+
+ private:
+  friend class ThreadPool;
+  void add_one();
+  void finish_one();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::size_t pending_ = 0;
+};
 
 class ThreadPool {
  public:
@@ -43,6 +65,10 @@ class ThreadPool {
   /// canonically-first one is rethrown deterministically).
   void submit(Task fn, CancelToken token);
   void submit(Task fn);
+  /// As above, additionally tagging the task with `group` (not owned; must
+  /// outlive the task) so the submitter can TaskGroup::wait() on its own
+  /// tasks while other clients keep using the pool.
+  void submit(Task fn, CancelToken token, TaskGroup* group);
 
   /// Blocks until every task submitted so far has run or been skipped.
   /// The pool stays usable for further submit() rounds afterwards.
@@ -60,6 +86,7 @@ class ThreadPool {
     Task fn;
     CancelToken token;
     bool has_token = false;
+    TaskGroup* group = nullptr;
   };
   struct WorkerQueue {
     std::mutex mu;

@@ -4,6 +4,7 @@
 #include <functional>
 #include <optional>
 #include <sstream>
+#include <stdexcept>
 
 #include "cs/explicit_system.h"
 #include "cs/state_graph.h"
@@ -28,6 +29,7 @@ Obligation from_check(const std::string& name,
   o.parametric = true;
   o.complete = res.complete;
   o.nschemas = res.nschemas;
+  o.npivots = res.npivots;
   o.seconds = res.seconds;
   if (res.ce) o.ce = res.ce->text;
   return o;
@@ -287,6 +289,12 @@ long long PropertyResult::nschemas() const {
   return n;
 }
 
+long long PropertyResult::npivots() const {
+  long long n = 0;
+  for (const Obligation& o : obligations) n += o.npivots;
+  return n;
+}
+
 double PropertyResult::seconds() const {
   double s = 0;
   for (const Obligation& o : obligations) s += o.seconds;
@@ -300,174 +308,246 @@ std::string PropertyResult::failure() const {
   return {};
 }
 
-ProtocolReport verify_protocol(const protocols::ProtocolModel& pm,
-                               const Options& opts) {
+// ---------------------------------------------------------------------------
+// ProtocolRun::Impl: everything one protocol's tasks reference, owned by the
+// handle so runs submitted to a shared pool outlive the submitting call.
+// ---------------------------------------------------------------------------
+struct ProtocolRun::Impl {
+  protocols::ProtocolModel pm;  // owned copy: tasks reference sweep_params
+  Options opts;
   ProtocolReport report;
-  report.protocol = pm.name;
-  report.category = pm.category;
-  report.n_locations = pm.system.total_locations();
-  report.n_rules = pm.system.total_rules();
-
-  ta::System rd = ta::single_round(ta::nonprobabilistic(pm.system));
-  // Probabilistic single-round system for the (C1)/(C2′) games: the coin
-  // toss must stay a probabilistic branch (resolved by the ∃-path player),
-  // not become an adversary choice.
-  ta::System rd_prob = ta::single_round(pm.system);
-  // Premise of Theorem 2: all fair executions of Sys0 terminate.
-  if (!ta::validate_single_round(rd).empty()) {
-    throw std::invalid_argument(pm.name +
-                                ": single-round system is not a DAG modulo "
-                                "self-loops; Theorem 2 does not apply");
-  }
-  // Category (C) refined system; lives here so tasks can reference it.
+  ta::System rd, rd_prob;
   std::optional<ta::System> rdr;
-
   Plan plan;
-
-  // Agreement and Validity via the round invariants (Prop. 1).
-  for (int v : {0, 1}) {
-    plan.add_check(report.agreement, rd, spec::inv1(rd, v));
-    plan.add_check(report.validity, rd, spec::inv2(rd, v));
-  }
-
-  // Almost-sure termination: category-specific sufficient conditions.
-  switch (pm.category) {
-    case Category::kA: {
-      for (int v : {0, 1}) {
-        plan.add_check(report.termination, rd, spec::c2(rd, v));
-      }
-      if (opts.run_sweeps) {
-        plan.add_sweep(report.termination, "C1", pm, rd_prob,
-                       &check_c1_instance);
-      }
-      break;
-    }
-    case Category::kB: {
-      if (opts.run_sweeps) {
-        plan.add_sweep(report.termination, "C1", pm, rd_prob,
-                       &check_c1_instance);
-        plan.add_sweep(report.termination, "C2'", pm, rd_prob,
-                       &check_c2prime_instance);
-      }
-      break;
-    }
-    case Category::kC: {
-      rdr.emplace(ta::single_round(ta::nonprobabilistic(pm.refined())));
-      struct CB {
-        const char* name;
-        const std::string* from;
-        const std::string* forbid;
-      };
-      const CB cbs[] = {
-          {"CB0", &pm.m0_loc, &pm.m1_loc}, {"CB1", &pm.m1_loc, &pm.m0_loc},
-          {"CB2", &pm.n0_loc, &pm.m1_loc}, {"CB3", &pm.n1_loc, &pm.m0_loc},
-      };
-      for (const CB& cb : cbs) {
-        plan.add_check(report.termination, *rdr,
-                       spec::binding(*rdr, cb.name, *cb.from, *cb.forbid));
-      }
-      // CB4 forbids both M0 and M1 after N⊥.
-      spec::Spec cb4 = spec::binding(*rdr, "CB4", pm.nbot_loc, pm.m0_loc);
-      cb4.conclusion = spec::LocSet::process(
-          {rdr->process.find_loc(pm.m0_loc), rdr->process.find_loc(pm.m1_loc)});
-      plan.add_check(report.termination, *rdr, std::move(cb4));
-      if (opts.run_sweeps) {
-        plan.add_sweep(report.termination, "C2'", pm, rd_prob,
-                       &check_c2prime_instance);
-      }
-      break;
-    }
-  }
-
   // One budget for the whole protocol: --time-budget / --max-schemas trip
-  // every in-flight sibling via the shared cancel token.
-  schema::SharedBudget budget(opts.schema.max_schemas,
-                              opts.schema.time_budget_s);
-  schema::CheckOptions task_opts = opts.schema;
-  task_opts.budget = &budget;
-  // One enumeration worker per obligation task: parallelism comes from the
-  // obligation scheduler, and a single-worker check is deterministic, which
-  // keeps reports identical across jobs settings. An explicit workers > 1
-  // is honoured (at the cost of that determinism for CE nschemas).
-  if (task_opts.workers == 0) task_opts.workers = 1;
-
-  // Task closures, in canonical order (plan vectors are final from here on).
+  // every in-flight sibling via the shared cancel token. The deadline arms
+  // itself when the first task starts, so a protocol queued behind its
+  // siblings on a shared pool loses nothing while waiting.
+  schema::SharedBudget budget;
+  schema::CheckOptions task_opts;
   std::vector<std::function<void()>> tasks;
-  for (const auto& [is_sweep, idx] : plan.order) {
-    if (!is_sweep) {
-      ParametricTask& t = plan.checks[idx];
-      tasks.push_back([&t, &budget, &task_opts]() {
-        try {
-          if (budget.exhausted()) return;  // slot stays inconclusive
-          t.result = schema::check_spec(*t.sys, t.spec, task_opts);
-        } catch (const util::Cancelled&) {
-        } catch (...) {
-          t.error = std::current_exception();
-          budget.cancel.cancel();
+  util::TaskGroup group;
+  bool finished = false;
+
+  Impl(const protocols::ProtocolModel& pm_in, const Options& opts_in)
+      : pm(pm_in),
+        opts(opts_in),
+        budget(opts_in.schema.max_schemas, opts_in.schema.time_budget_s) {}
+
+  void plan_all() {
+    report.protocol = pm.name;
+    report.category = pm.category;
+    report.n_locations = pm.system.total_locations();
+    report.n_rules = pm.system.total_rules();
+
+    rd = ta::single_round(ta::nonprobabilistic(pm.system));
+    // Probabilistic single-round system for the (C1)/(C2′) games: the coin
+    // toss must stay a probabilistic branch (resolved by the ∃-path
+    // player), not become an adversary choice.
+    rd_prob = ta::single_round(pm.system);
+    // Premise of Theorem 2: all fair executions of Sys0 terminate.
+    if (!ta::validate_single_round(rd).empty()) {
+      throw std::invalid_argument(pm.name +
+                                  ": single-round system is not a DAG modulo "
+                                  "self-loops; Theorem 2 does not apply");
+    }
+
+    // Agreement and Validity via the round invariants (Prop. 1).
+    for (int v : {0, 1}) {
+      plan.add_check(report.agreement, rd, spec::inv1(rd, v));
+      plan.add_check(report.validity, rd, spec::inv2(rd, v));
+    }
+
+    // Almost-sure termination: category-specific sufficient conditions.
+    switch (pm.category) {
+      case Category::kA: {
+        for (int v : {0, 1}) {
+          plan.add_check(report.termination, rd, spec::c2(rd, v));
         }
-      });
-    } else {
-      SweepTask& t = plan.sweeps[idx];
-      for (std::size_t i = 0; i < t.instances.size(); ++i) {
-        tasks.push_back([&t, i, &budget, &opts]() {
-          SweepInstanceResult& inst = t.instances[i];
+        if (opts.run_sweeps) {
+          plan.add_sweep(report.termination, "C1", pm, rd_prob,
+                         &check_c1_instance);
+        }
+        break;
+      }
+      case Category::kB: {
+        if (opts.run_sweeps) {
+          plan.add_sweep(report.termination, "C1", pm, rd_prob,
+                         &check_c1_instance);
+          plan.add_sweep(report.termination, "C2'", pm, rd_prob,
+                         &check_c2prime_instance);
+        }
+        break;
+      }
+      case Category::kC: {
+        rdr.emplace(ta::single_round(ta::nonprobabilistic(pm.refined())));
+        struct CB {
+          const char* name;
+          const std::string* from;
+          const std::string* forbid;
+        };
+        const CB cbs[] = {
+            {"CB0", &pm.m0_loc, &pm.m1_loc}, {"CB1", &pm.m1_loc, &pm.m0_loc},
+            {"CB2", &pm.n0_loc, &pm.m1_loc}, {"CB3", &pm.n1_loc, &pm.m0_loc},
+        };
+        for (const CB& cb : cbs) {
+          plan.add_check(report.termination, *rdr,
+                         spec::binding(*rdr, cb.name, *cb.from, *cb.forbid));
+        }
+        // CB4 forbids both M0 and M1 after N⊥.
+        spec::Spec cb4 = spec::binding(*rdr, "CB4", pm.nbot_loc, pm.m0_loc);
+        cb4.conclusion = spec::LocSet::process(
+            {rdr->process.find_loc(pm.m0_loc),
+             rdr->process.find_loc(pm.m1_loc)});
+        plan.add_check(report.termination, *rdr, std::move(cb4));
+        if (opts.run_sweeps) {
+          plan.add_sweep(report.termination, "C2'", pm, rd_prob,
+                         &check_c2prime_instance);
+        }
+        break;
+      }
+    }
+
+    task_opts = opts.schema;
+    task_opts.budget = &budget;
+    // One enumeration worker per obligation task: parallelism comes from
+    // the obligation scheduler, and a single-worker check is deterministic,
+    // which keeps reports identical across jobs settings. An explicit
+    // workers > 1 is honoured (at the cost of that determinism for CE
+    // nschemas).
+    if (task_opts.workers == 0) task_opts.workers = 1;
+
+    // Task closures, in canonical order (all referenced vectors are final
+    // from here on, so the captured references stay valid).
+    for (const auto& [is_sweep, idx] : plan.order) {
+      if (!is_sweep) {
+        ParametricTask& t = plan.checks[idx];
+        tasks.push_back([this, &t]() {
           try {
-            if (budget.exhausted()) return;
-            util::Stopwatch w;
-            // The budget itself is the cancel source, so a long state-graph
-            // build notices an expired deadline, not just a tripped flag.
-            bool ok = t.check(*t.sys, t.pm->sweep_params[i], opts.max_states,
-                              &budget);
-            inst.seconds = w.seconds();
-            inst.status = ok ? SweepInstanceResult::Status::kOk
-                             : SweepInstanceResult::Status::kFail;
+            if (budget.exhausted()) return;  // slot stays inconclusive
+            t.result = schema::check_spec(*t.sys, t.spec, task_opts);
           } catch (const util::Cancelled&) {
           } catch (...) {
-            inst.error = std::current_exception();
+            t.error = std::current_exception();
             budget.cancel.cancel();
           }
         });
+      } else {
+        SweepTask& t = plan.sweeps[idx];
+        for (std::size_t i = 0; i < t.instances.size(); ++i) {
+          tasks.push_back([this, &t, i]() {
+            SweepInstanceResult& inst = t.instances[i];
+            try {
+              if (budget.exhausted()) return;
+              util::Stopwatch w;
+              // The budget itself is the cancel source, so a long
+              // state-graph build notices an expired deadline, not just a
+              // tripped flag.
+              bool ok = t.check(*t.sys, t.pm->sweep_params[i],
+                                opts.max_states, &budget);
+              inst.seconds = w.seconds();
+              inst.status = ok ? SweepInstanceResult::Status::kOk
+                               : SweepInstanceResult::Status::kFail;
+            } catch (const util::Cancelled&) {
+            } catch (...) {
+              inst.error = std::current_exception();
+              budget.cancel.cancel();
+            }
+          });
+        }
       }
     }
   }
 
+  /// Abandoned before finish(): drop the queued tasks and wait out the
+  /// in-flight ones, which reference this Impl.
+  void abandon() {
+    if (!finished) {
+      budget.cancel.cancel();
+      group.wait();
+    }
+  }
+
+  ProtocolReport merge() {
+    finished = true;
+    // Errors (e.g. a sweep instance blowing the state cap) surface as the
+    // canonically-first stored exception, matching serial behaviour.
+    for (const auto& [is_sweep, idx] : plan.order) {
+      if (!is_sweep) {
+        if (plan.checks[idx].error) {
+          std::rethrow_exception(plan.checks[idx].error);
+        }
+      } else {
+        for (const SweepInstanceResult& inst : plan.sweeps[idx].instances) {
+          if (inst.error) std::rethrow_exception(inst.error);
+        }
+      }
+    }
+
+    // Deterministic merge, in canonical slot order.
+    for (ParametricTask& t : plan.checks) {
+      Obligation& o = t.prop->obligations[t.slot];
+      if (t.result) {
+        o = from_check(o.name, *t.result);
+      } else {
+        // Skipped by budget exhaustion or cancellation: inconclusive.
+        o.holds = false;
+        o.complete = false;
+      }
+    }
+    for (SweepTask& t : plan.sweeps) merge_sweep(t);
+
+    return std::move(report);
+  }
+};
+
+ProtocolRun::ProtocolRun() = default;
+ProtocolRun::ProtocolRun(ProtocolRun&&) noexcept = default;
+
+ProtocolRun& ProtocolRun::operator=(ProtocolRun&& other) noexcept {
+  if (this != &other) {
+    if (impl_) impl_->abandon();  // the overwritten run's tasks use its Impl
+    impl_ = std::move(other.impl_);
+  }
+  return *this;
+}
+
+ProtocolRun::~ProtocolRun() {
+  if (impl_) impl_->abandon();
+}
+
+ProtocolReport ProtocolRun::finish() {
+  if (!impl_ || impl_->finished) {
+    throw std::logic_error("ProtocolRun::finish: no pending run");
+  }
+  impl_->group.wait();
+  return impl_->merge();
+}
+
+ProtocolRun verify_protocol_async(const protocols::ProtocolModel& pm,
+                                  const Options& opts,
+                                  util::ThreadPool& pool) {
+  ProtocolRun run;
+  run.impl_ = std::make_unique<ProtocolRun::Impl>(pm, opts);
+  run.impl_->plan_all();
+  for (auto& task : run.impl_->tasks) {
+    pool.submit(task, run.impl_->budget.cancel, &run.impl_->group);
+  }
+  return run;
+}
+
+ProtocolReport verify_protocol(const protocols::ProtocolModel& pm,
+                               const Options& opts) {
   int jobs = opts.jobs > 0 ? opts.jobs : util::ThreadPool::hardware_workers();
-  if (jobs <= 1 || tasks.size() <= 1) {
-    for (const auto& task : tasks) task();
-  } else {
-    util::ThreadPool pool(jobs);
-    for (const auto& task : tasks) pool.submit(task, budget.cancel);
-    pool.wait();
+  if (jobs <= 1) {
+    // Inline serial mode: no pool, fully deterministic task order.
+    auto impl = std::make_unique<ProtocolRun::Impl>(pm, opts);
+    impl->plan_all();
+    for (const auto& task : impl->tasks) task();
+    return impl->merge();
   }
-
-  // Errors (e.g. a sweep instance blowing the state cap) surface as the
-  // canonically-first stored exception, matching serial behaviour.
-  for (const auto& [is_sweep, idx] : plan.order) {
-    if (!is_sweep) {
-      if (plan.checks[idx].error) {
-        std::rethrow_exception(plan.checks[idx].error);
-      }
-    } else {
-      for (const SweepInstanceResult& inst : plan.sweeps[idx].instances) {
-        if (inst.error) std::rethrow_exception(inst.error);
-      }
-    }
-  }
-
-  // Deterministic merge, in canonical slot order.
-  for (ParametricTask& t : plan.checks) {
-    Obligation& o = t.prop->obligations[t.slot];
-    if (t.result) {
-      o = from_check(o.name, *t.result);
-    } else {
-      // Skipped by budget exhaustion or cancellation: inconclusive.
-      o.holds = false;
-      o.complete = false;
-    }
-  }
-  for (SweepTask& t : plan.sweeps) merge_sweep(t);
-
-  return report;
+  util::ThreadPool pool(jobs);
+  return verify_protocol_async(pm, opts, pool).finish();
 }
 
 std::string table2_header() {

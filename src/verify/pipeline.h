@@ -18,11 +18,16 @@
 // parametrically vs. per-instance).
 #pragma once
 
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "protocols/protocols.h"
 #include "schema/checker.h"
+
+namespace ctaver::util {
+class ThreadPool;
+}
 
 namespace ctaver::verify {
 
@@ -58,6 +63,9 @@ struct Obligation {
   bool parametric = false;
   bool complete = false;
   long long nschemas = 0;
+  /// Simplex pivots spent by the schema checker on this obligation (zero
+  /// for sweeps). Informational — bench_solver's measurement hook.
+  long long npivots = 0;
   double seconds = 0.0;
   /// Genuine counterexample text (schema-checker CE or the failing sweep
   /// instances). Empty when the obligation holds or merely ran out of
@@ -81,6 +89,7 @@ struct PropertyResult {
   /// True if some obligation is inconclusive (budget exhausted, no CE).
   [[nodiscard]] bool inconclusive() const;
   [[nodiscard]] long long nschemas() const;
+  [[nodiscard]] long long npivots() const;
   [[nodiscard]] double seconds() const;
   /// Counterexample text of the first failing obligation, if any.
   [[nodiscard]] std::string failure() const;
@@ -102,6 +111,42 @@ struct ProtocolReport {
 /// serial order regardless.
 ProtocolReport verify_protocol(const protocols::ProtocolModel& pm,
                                const Options& opts = {});
+
+/// Handle to an in-flight verify_protocol_async run. finish() blocks until
+/// this protocol's tasks have completed on the shared pool, then merges the
+/// report in canonical order (and rethrows the canonically-first task
+/// error). Destroying an unfinished run cancels its remaining tasks and
+/// waits for the in-flight ones.
+class ProtocolRun {
+ public:
+  ProtocolRun(ProtocolRun&&) noexcept;
+  ProtocolRun& operator=(ProtocolRun&&) noexcept;
+  ~ProtocolRun();
+  ProtocolReport finish();
+
+ private:
+  friend ProtocolRun verify_protocol_async(const protocols::ProtocolModel&,
+                                           const Options&, util::ThreadPool&);
+  friend ProtocolReport verify_protocol(const protocols::ProtocolModel&,
+                                        const Options&);
+  ProtocolRun();
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+/// Plans a protocol's obligations and submits every (obligation ×
+/// sweep-instance) task to `pool` immediately, returning without waiting.
+/// Several protocols submitted to ONE shared pool keep all their tasks in
+/// flight together, so a cheap protocol's tail overlaps the next
+/// protocol's ramp-up — this is how `ctaver table2` and bench_table2
+/// parallelize across protocols. Each run keeps its own SharedBudget
+/// (armed when its first task starts, not at submission) and its own
+/// TaskGroup, so per-protocol reports are byte-identical to the serial
+/// run's. The pool must outlive the returned handle; opts.jobs is ignored
+/// (the pool's width rules).
+ProtocolRun verify_protocol_async(const protocols::ProtocolModel& pm,
+                                  const Options& opts,
+                                  util::ThreadPool& pool);
 
 /// Formats a report as one row of the paper's Table II.
 std::string table2_row(const ProtocolReport& report);

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "frontend/registry.h"
+#include "util/thread_pool.h"
 #include "verify/pipeline.h"
 
 namespace ctaver::verify {
@@ -75,9 +76,58 @@ TEST(ParallelPipeline, SerialEquivalenceOnEveryRegistryProtocol) {
     }
     opts.jobs = 1;
     std::string serial = render(verify_protocol(pm, opts));
-    opts.jobs = parallel_jobs();
-    std::string parallel = render(verify_protocol(pm, opts));
-    EXPECT_EQ(serial, parallel) << name << " with jobs=" << opts.jobs;
+    // Reports (verdicts, obligations, counterexamples, nschemas) must be
+    // byte-identical at every scheduler width.
+    for (int jobs : {2, 8, parallel_jobs()}) {
+      opts.jobs = jobs;
+      std::string parallel = render(verify_protocol(pm, opts));
+      EXPECT_EQ(serial, parallel) << name << " with jobs=" << jobs;
+    }
+  }
+}
+
+TEST(ParallelPipeline, IncrementalEncoderMatchesFreshEncoder) {
+  // The incremental (prefix-reusing) encoder and the fresh-solver-per-query
+  // encoder must produce byte-identical reports — same verdicts, same
+  // nschemas, same counterexamples — on every conclusively-cheap registry
+  // protocol. This is the end-to-end half of the scoped-vs-fresh solver
+  // equivalence tests in lia_incremental_test.
+  frontend::ProtocolRegistry registry =
+      frontend::ProtocolRegistry::with_builtins();
+  for (const std::string& name : registry.names()) {
+    if (!conclusively_cheap(name)) continue;
+    protocols::ProtocolModel pm = registry.make(name);
+    Options opts;
+    opts.jobs = 1;
+    opts.schema.incremental = false;
+    std::string fresh = render(verify_protocol(pm, opts));
+    opts.schema.incremental = true;
+    std::string incremental = render(verify_protocol(pm, opts));
+    EXPECT_EQ(fresh, incremental) << name;
+  }
+}
+
+TEST(ParallelPipeline, SharedPoolAsyncMatchesSerial) {
+  // Several protocols submitted up front to ONE shared pool (the `ctaver
+  // table2` cross-protocol scheduling mode) must yield the same per-
+  // protocol reports as consecutive serial runs.
+  frontend::ProtocolRegistry registry =
+      frontend::ProtocolRegistry::with_builtins();
+  const std::vector<std::string> names = {"NaiveVoting", "Rabin83", "CC85a",
+                                          "FMR05"};
+  Options opts;
+  opts.jobs = 1;
+  std::vector<std::string> serial;
+  for (const std::string& name : names) {
+    serial.push_back(render(verify_protocol(registry.make(name), opts)));
+  }
+  util::ThreadPool pool(parallel_jobs());
+  std::vector<ProtocolRun> runs;
+  for (const std::string& name : names) {
+    runs.push_back(verify_protocol_async(registry.make(name), opts, pool));
+  }
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    EXPECT_EQ(serial[i], render(runs[i].finish())) << names[i];
   }
 }
 

@@ -133,6 +133,83 @@ TEST(Rational, ArithmeticOverflowThrows) {
   EXPECT_THROW(a + b, std::overflow_error);
 }
 
+// --- int64 fast path: exactness across the 64-bit boundary -----------------
+//
+// The arithmetic operators take hardware-width shortcuts whenever both
+// operands fit in int64; these tests pin the boundary where the shortcut
+// must hand over to the Int128 path without losing exactness.
+
+constexpr long long kI64Max = 9'223'372'036'854'775'807LL;
+constexpr long long kI64Min = -kI64Max - 1;
+
+TEST(Rational, Int64BoundaryAddition) {
+  // INT64_MAX + 1 leaves the fast path; the result must be exact Int128.
+  Rational r = Rational(kI64Max) + Rational(1);
+  EXPECT_EQ(r.num(), Int128(kI64Max) + 1);
+  EXPECT_EQ(r.den(), 1);
+  EXPECT_EQ(r.str(), "9223372036854775808");
+  Rational s = Rational(kI64Min) + Rational(-1);
+  EXPECT_EQ(s.num(), Int128(kI64Min) - 1);
+  // And adding values already past the boundary keeps working.
+  Rational t = r + r;
+  EXPECT_EQ(t.num(), (Int128(kI64Max) + 1) * 2);
+}
+
+TEST(Rational, Int64BoundaryMultiplication) {
+  // INT64_MAX * INT64_MAX overflows int64 by far but is exact in Int128.
+  Rational r = Rational(kI64Max) * Rational(kI64Max);
+  EXPECT_EQ(r.num(), Int128(kI64Max) * Int128(kI64Max));
+  EXPECT_EQ(r.den(), 1);
+  Rational s = Rational(kI64Min) * Rational(kI64Min);
+  EXPECT_EQ(s.num(), Int128(kI64Min) * Int128(kI64Min));
+}
+
+TEST(Rational, Int64BoundaryComparison) {
+  // Cross-multiplication products straddle the 64-bit boundary.
+  Rational a(kI64Max, 2);
+  Rational b(kI64Max - 1, 2);
+  EXPECT_LT(b, a);
+  EXPECT_GT(a, b);
+  Rational c(Int128(kI64Max) * 3, 5);  // (3/5)·M
+  Rational d(Int128(kI64Max) * 2, 3);  // (2/3)·M  >  (3/5)·M
+  EXPECT_LT(c, d);
+  EXPECT_LT(Rational(kI64Min), Rational(kI64Max));
+}
+
+TEST(Rational, Int64BoundaryGcdReduction) {
+  // gcd crossing the fast path: operands just past int64 range.
+  Int128 big = Int128(kI64Max) + 1;            // 2^63
+  EXPECT_EQ(gcd128(big, 2), 2);
+  EXPECT_EQ(gcd128(big * 3, big), big);
+  EXPECT_EQ(gcd128(Int128(kI64Min), 2), 2);    // |INT64_MIN| handled
+  EXPECT_EQ(gcd128(Int128(kI64Min), Int128(kI64Min)), -Int128(kI64Min));
+  Rational r(big * 6, big * 4);                // reduces to 3/2 beyond 64 bits
+  EXPECT_EQ(r.num(), 3);
+  EXPECT_EQ(r.den(), 2);
+}
+
+TEST(Rational, GcdInt64MinWithMinusOneDoesNotTrap) {
+  // Regression: INT64_MIN alongside -1 must not reach the 64-bit Euclid,
+  // whose INT64_MIN % -1 step would trap. All four orderings are defined.
+  EXPECT_EQ(gcd128(Int128(-1), Int128(kI64Min)), 1);
+  EXPECT_EQ(gcd128(Int128(kI64Min), Int128(-1)), 1);
+  EXPECT_EQ(gcd128(Int128(1), Int128(kI64Min)), 1);
+  EXPECT_EQ(gcd128(Int128(kI64Min), Int128(3)), 1);
+  EXPECT_EQ(gcd128(Int128(kI64Min), Int128(-4)), 4);
+}
+
+TEST(Rational, MixedWidthSums) {
+  // A same-denominator sum whose numerator crosses the boundary, then
+  // shrinks back into range: canonical form must hold at every step.
+  Rational a(kI64Max, 7);
+  Rational b(5, 7);
+  Rational c = a + b;  // (INT64_MAX + 5) / 7; 9223372036854775812/7 reduces?
+  EXPECT_EQ(c.num() * 1, Int128(kI64Max) + 5);
+  EXPECT_EQ(c.den(), 7);
+  Rational d = c - a;
+  EXPECT_EQ(d, b);
+}
+
 TEST(Rational, Int128MinPrinting) {
   EXPECT_EQ(int128_str(kInt128Min),
             "-170141183460469231731687303715884105728");
