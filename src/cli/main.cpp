@@ -5,18 +5,22 @@
 //   ctaver verify MMR14               # full pipeline on a built-in model
 //   ctaver verify specs/mmr14.cta     # ... or on a .cta spec file
 //   ctaver table2                     # the paper's Table-II benchmark run
+//   ctaver check --specs specs        # regression-check declared verdicts
 //
 // Protocol arguments are resolved through frontend::ProtocolRegistry, so
 // built-ins and spec files are interchangeable everywhere.
 #include <algorithm>
 #include <exception>
+#include <functional>
 #include <iostream>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "frontend/diag.h"
 #include "frontend/registry.h"
+#include "sim/attack.h"
 #include "util/thread_pool.h"
 #include "verify/pipeline.h"
 
@@ -31,10 +35,15 @@ int usage(std::ostream& os, int code) {
   os << "usage: ctaver <command> [options] [protocol...]\n"
         "\n"
         "commands:\n"
-        "  list               list registered protocols\n"
+        "  list               list registered protocols (and their declared\n"
+        "                     expect verdicts)\n"
         "  parse SPEC...      run the front-end only; print a model summary\n"
         "  verify SPEC...     full pipeline; obligations plus Table-II row\n"
         "  table2 [SPEC...]   Table-II rows (default: the eight benchmarks)\n"
+        "  check [SPEC...]    regression-check every declared `expect`\n"
+        "                     verdict (default: all registered protocols);\n"
+        "                     schema counterexamples are auto-replayed and\n"
+        "                     attack sketches executed\n"
         "\n"
         "SPEC is a registered protocol name or a path to a .cta file.\n"
         "\n"
@@ -47,6 +56,8 @@ int usage(std::ostream& os, int code) {
         "  --jobs N           obligation-scheduler workers (0 = all cores,\n"
         "                     1 = serial; reports are identical either way)\n"
         "  --sweep a,b,...    override sweep instances (repeatable)\n"
+        "  --replay-ce        verify: replay every schema counterexample\n"
+        "                     through the concretization engine (src/replay)\n"
         "  --quiet            verify: print only the Table-II rows\n";
   return code;
 }
@@ -57,6 +68,7 @@ struct Args {
   std::string specs_dir;
   bool no_sweeps = false;
   bool quiet = false;
+  bool replay_ce = false;
   std::size_t max_states = 0;  // 0: keep the pipeline default
   long long max_schemas = 0;   // 0: keep the pipeline default
   double time_budget = 0;      // 0: keep the pipeline default
@@ -89,6 +101,8 @@ bool parse_args(int argc, char** argv, Args& args) {
       args.no_sweeps = true;
     } else if (a == "--quiet") {
       args.quiet = true;
+    } else if (a == "--replay-ce") {
+      args.replay_ce = true;
     } else if (a == "--specs") {
       const char* v = value();
       if (v == nullptr) return false;
@@ -169,7 +183,36 @@ void print_property(const std::string& title,
       if (!o.ce.empty()) std::cout << "      " << o.ce << "\n";
       if (!o.detail.empty()) std::cout << "      " << o.detail << "\n";
     }
+    if (!o.replay.empty()) std::cout << "      replay " << o.replay << "\n";
   }
+}
+
+/// Compact `expect` surface of a protocol for `ctaver list`: the violated
+/// obligations by name, a count of the declared holds, and the attack
+/// sketch — or an em dash when the spec declares nothing.
+std::string expects_summary(const ProtocolModel& pm) {
+  if (pm.expects.empty() && !pm.attack) return "—";
+  std::string violated;
+  int holds = 0;
+  for (const auto& e : pm.expects) {
+    if (e.violated) {
+      if (!violated.empty()) violated += ",";
+      violated += e.obligation;
+    } else {
+      ++holds;
+    }
+  }
+  std::string out;
+  if (!violated.empty()) out += violated + " violated";
+  if (holds > 0) {
+    if (!out.empty()) out += ", ";
+    out += std::to_string(holds) + " holds";
+  }
+  if (pm.attack) {
+    if (!out.empty()) out += ", ";
+    out += "attack " + pm.attack->script + "/" + pm.attack->simulator;
+  }
+  return out;
 }
 
 int cmd_list(const ProtocolRegistry& registry) {
@@ -178,7 +221,8 @@ int cmd_list(const ProtocolRegistry& registry) {
     std::cout << name << "  " << category_str(pm.category)
               << "  |L|=" << pm.system.total_locations()
               << " |R|=" << pm.system.total_rules() << "  ["
-              << registry.origin(name) << "]\n";
+              << registry.origin(name) << "]  expect: " << expects_summary(pm)
+              << "\n";
   }
   return 0;
 }
@@ -192,69 +236,101 @@ int cmd_parse(const ProtocolRegistry& registry, const Args& args) {
   return 0;
 }
 
-int cmd_verify(const ProtocolRegistry& registry, const Args& args,
-               bool rows_only, const std::vector<std::string>& protocols) {
-  if (protocols.empty()) return usage(std::cerr, 2);
+/// Dispatches verify_protocol over `models`: serially for jobs <= 1,
+/// otherwise every protocol's obligation and sweep-instance tasks go to ONE
+/// shared work-stealing pool up front, so a cheap protocol's tail overlaps
+/// the next protocol's ramp-up and no --jobs width is lost to a
+/// per-protocol split. Each protocol keeps its own budget (armed when its
+/// first task starts) and reports come back in argument order, byte-
+/// identical to the serial run's. `opts_for` returning nullopt skips that
+/// model (its report slot stays empty).
+std::vector<std::optional<ctaver::verify::ProtocolReport>> run_protocols(
+    const std::vector<ProtocolModel>& models, int jobs_arg,
+    const std::function<std::optional<ctaver::verify::Options>(
+        const ProtocolModel&)>& opts_for) {
+  std::vector<std::optional<ctaver::verify::ProtocolReport>> reports(
+      models.size());
+  int jobs = jobs_arg > 0 ? jobs_arg
+                          : ctaver::util::ThreadPool::hardware_workers();
+  if (jobs <= 1) {
+    for (std::size_t i = 0; i < models.size(); ++i) {
+      if (auto opts = opts_for(models[i])) {
+        reports[i] = ctaver::verify::verify_protocol(models[i], *opts);
+      }
+    }
+  } else {
+    ctaver::util::ThreadPool pool(jobs);
+    std::vector<std::pair<std::size_t, ctaver::verify::ProtocolRun>> runs;
+    runs.reserve(models.size());
+    for (std::size_t i = 0; i < models.size(); ++i) {
+      if (auto opts = opts_for(models[i])) {
+        runs.emplace_back(i, ctaver::verify::verify_protocol_async(
+                                 models[i], *opts, pool));
+      }
+    }
+    for (auto& [i, run] : runs) reports[i] = run.finish();
+  }
+  return reports;
+}
+
+/// Budget/scheduler flags shared by verify and check, so the same CLI flag
+/// always means the same thing (replay_ce / only_obligations are layered on
+/// top by each command).
+ctaver::verify::Options base_options(const Args& args) {
   ctaver::verify::Options opts;
   opts.run_sweeps = !args.no_sweeps;
   opts.jobs = args.jobs;
   if (args.max_states > 0) opts.max_states = args.max_states;
   if (args.max_schemas > 0) opts.schema.max_schemas = args.max_schemas;
   if (args.time_budget > 0) opts.schema.time_budget_s = args.time_budget;
+  return opts;
+}
 
-  auto resolve_one = [&](const std::string& spec) {
-    ProtocolModel pm = registry.resolve(spec);
-    if (!args.sweep_override.empty()) {
-      // The frontend validates spec-file sweeps; hold CLI overrides to the
-      // same bar or ParamExpr::eval would read past the valuation vector.
-      for (const auto& vals : args.sweep_override) {
-        if (vals.size() != pm.system.env.params.size()) {
-          throw std::runtime_error(
-              "--sweep instance has " + std::to_string(vals.size()) +
-              " values but " + pm.name + " has " +
-              std::to_string(pm.system.env.params.size()) + " parameters");
-        }
-        if (!pm.system.env.admissible(vals)) {
-          throw std::runtime_error(
-              "--sweep instance violates the resilience condition of " +
-              pm.name);
-        }
+/// Resolves a protocol argument and applies any --sweep overrides (used by
+/// verify and check alike, so the flag means the same thing everywhere).
+ProtocolModel resolve_with_sweeps(const ProtocolRegistry& registry,
+                                  const Args& args, const std::string& spec) {
+  ProtocolModel pm = registry.resolve(spec);
+  if (!args.sweep_override.empty()) {
+    // The frontend validates spec-file sweeps; hold CLI overrides to the
+    // same bar or ParamExpr::eval would read past the valuation vector.
+    for (const auto& vals : args.sweep_override) {
+      if (vals.size() != pm.system.env.params.size()) {
+        throw std::runtime_error(
+            "--sweep instance has " + std::to_string(vals.size()) +
+            " values but " + pm.name + " has " +
+            std::to_string(pm.system.env.params.size()) + " parameters");
       }
-      pm.sweep_params = args.sweep_override;
+      if (!pm.system.env.admissible(vals)) {
+        throw std::runtime_error(
+            "--sweep instance violates the resilience condition of " +
+            pm.name);
+      }
     }
-    return pm;
-  };
-
-  // Every protocol's obligation and sweep-instance tasks are submitted to
-  // ONE shared work-stealing pool up front, so a cheap protocol's tail
-  // overlaps the next protocol's ramp-up and no --jobs width is lost to a
-  // per-protocol split. Each protocol keeps its own budget (armed when its
-  // first task starts) and its results are merged and printed in argument
-  // order, so the output is byte-identical to the serial run's.
-  std::vector<ctaver::verify::ProtocolReport> reports(protocols.size());
-  int jobs = args.jobs > 0 ? args.jobs
-                           : ctaver::util::ThreadPool::hardware_workers();
-  if (jobs <= 1) {
-    for (std::size_t i = 0; i < protocols.size(); ++i) {
-      reports[i] = ctaver::verify::verify_protocol(resolve_one(protocols[i]),
-                                                   opts);
-    }
-  } else {
-    ctaver::util::ThreadPool pool(jobs);
-    std::vector<ctaver::verify::ProtocolRun> runs;
-    runs.reserve(protocols.size());
-    for (const std::string& spec : protocols) {
-      runs.push_back(ctaver::verify::verify_protocol_async(resolve_one(spec),
-                                                           opts, pool));
-    }
-    for (std::size_t i = 0; i < protocols.size(); ++i) {
-      reports[i] = runs[i].finish();
-    }
+    pm.sweep_params = args.sweep_override;
   }
+  return pm;
+}
+
+int cmd_verify(const ProtocolRegistry& registry, const Args& args,
+               bool rows_only, const std::vector<std::string>& protocols) {
+  if (protocols.empty()) return usage(std::cerr, 2);
+  ctaver::verify::Options opts = base_options(args);
+  opts.replay_ce = args.replay_ce;
+
+  std::vector<ProtocolModel> models;
+  models.reserve(protocols.size());
+  for (const std::string& spec : protocols) {
+    models.push_back(resolve_with_sweeps(registry, args, spec));
+  }
+  auto maybe_reports = run_protocols(
+      models, args.jobs,
+      [&](const ProtocolModel&) { return std::optional(opts); });
 
   bool all_verified = true;
   std::cout << ctaver::verify::table2_header() << "\n";
-  for (const ctaver::verify::ProtocolReport& report : reports) {
+  for (const auto& slot : maybe_reports) {
+    const ctaver::verify::ProtocolReport& report = *slot;
     if (!rows_only) {
       std::cout << "== " << report.protocol << " "
                 << category_str(report.category)
@@ -269,6 +345,175 @@ int cmd_verify(const ProtocolRegistry& registry, const Args& args,
                    report.validity.holds() && report.termination.holds();
   }
   return all_verified ? 0 : 1;
+}
+
+const ctaver::verify::Obligation* find_obligation(
+    const ctaver::verify::ProtocolReport& r, const std::string& name) {
+  for (const ctaver::verify::PropertyResult* prop :
+       {&r.agreement, &r.validity, &r.termination}) {
+    for (const ctaver::verify::Obligation& o : prop->obligations) {
+      if (o.name == name) return &o;
+    }
+  }
+  return nullptr;
+}
+
+/// `ctaver check`: discharge exactly the obligations each spec declares in
+/// its `expect` block, compare verdicts, auto-replay every schema
+/// counterexample through src/replay, and execute attack sketches. Budget
+/// exhaustion on an expected-holds obligation is a skip (the verdict did
+/// not flip); everything else that disagrees is a failure.
+int cmd_check(const ProtocolRegistry& registry, const Args& args) {
+  std::vector<std::string> protocols = args.protocols;
+  if (protocols.empty()) protocols = registry.names();
+  if (protocols.empty()) return usage(std::cerr, 2);
+
+  std::vector<ProtocolModel> models;
+  models.reserve(protocols.size());
+  for (const std::string& spec : protocols) {
+    models.push_back(resolve_with_sweeps(registry, args, spec));
+  }
+
+  auto opts_for = [&](const ProtocolModel& pm) {
+    ctaver::verify::Options opts = base_options(args);
+    opts.replay_ce = true;
+    for (const auto& e : pm.expects) {
+      opts.only_obligations.push_back(e.obligation);
+    }
+    return opts;
+  };
+
+  auto reports = run_protocols(
+      models, args.jobs,
+      [&](const ProtocolModel& pm)
+          -> std::optional<ctaver::verify::Options> {
+        if (pm.expects.empty()) return std::nullopt;  // attack sketch only
+        return opts_for(pm);
+      });
+
+  int confirmed = 0, skipped = 0, failed = 0;
+  for (std::size_t i = 0; i < models.size(); ++i) {
+    const ProtocolModel& pm = models[i];
+    std::cout << "== " << pm.name << " [" << protocols[i] << "]\n";
+    if (pm.expects.empty() && !pm.attack) {
+      std::cout << "  FAIL: no expect declarations (annotate the spec with "
+                   "an expect block, or drop it from check)\n";
+      ++failed;
+      continue;
+    }
+    for (const auto& e : pm.expects) {
+      const ctaver::verify::Obligation* o =
+          find_obligation(*reports[i], e.obligation);
+      std::cout << "  " << e.obligation << ": ";
+      if (o == nullptr) {
+        // Only reachable for the sweep obligations under --no-sweeps.
+        std::cout << "skip (not planned; sweeps disabled)\n";
+        ++skipped;
+        continue;
+      }
+      if (!e.violated) {
+        if (o->holds) {
+          std::cout << "ok (holds"
+                    << (o->parametric ? "" : " on the sweep instances")
+                    << ")\n";
+          ++confirmed;
+        } else if (!o->ce.empty()) {
+          std::cout << "FAIL: expected holds, found a counterexample\n"
+                    << "      " << o->ce << "\n";
+          if (!o->replay.empty()) {
+            std::cout << "      replay " << o->replay << "\n";
+          }
+          ++failed;
+        } else {
+          std::cout << "skip (inconclusive within budget)\n";
+          ++skipped;
+        }
+      } else {
+        if (!o->ce.empty()) {
+          if (o->ce_data) {
+            if (o->replay_ok) {
+              std::cout << "ok (violated; replay " << o->replay << ")\n";
+              ++confirmed;
+            } else {
+              std::cout << "FAIL: counterexample found but its replay did "
+                           "not confirm it\n      replay "
+                        << o->replay << "\n";
+              ++failed;
+            }
+          } else {
+            std::cout << "ok (violated on the sweep instances; no schedule "
+                         "to replay)\n";
+            ++confirmed;
+          }
+        } else if (o->holds && o->complete) {
+          std::cout << "FAIL: expected violated, proved to hold\n";
+          ++failed;
+        } else {
+          std::cout << "FAIL: expected violation not found (inconclusive "
+                       "within budget — raise --time-budget?)\n";
+          ++failed;
+        }
+      }
+    }
+    if (pm.attack) {
+      const ctaver::protocols::AttackSketch& sk = *pm.attack;
+      // The lowering validated the name; a hand-built model may not have.
+      std::optional<ctaver::sim::Protocol> proto =
+          ctaver::sim::protocol_from_name(sk.simulator);
+      if (!proto) {
+        std::cout << "  attack " << sk.script << "/" << sk.simulator
+                  << ": FAIL: unknown simulator\n";
+        ++failed;
+        continue;
+      }
+      ctaver::sim::AttackOptions ao;
+      ao.proto = *proto;
+      ao.n = sk.n;
+      ao.t = sk.t;
+      ao.inputs = sk.inputs;
+      ao.rounds = sk.rounds;
+      ao.coin_seed = sk.seed;
+      ctaver::sim::AttackResult res = ctaver::sim::run_attack(ao);
+      std::cout << "  attack " << sk.script << "/" << sk.simulator << ": ";
+      if (!sk.expect_decision) {
+        // The attack must stay in control for the whole horizon and no
+        // correct process may decide.
+        if (!res.any_decided && !res.script_failed &&
+            res.rounds_executed == sk.rounds) {
+          std::cout << "ok (no decision through " << sk.rounds
+                    << " scripted rounds)\n";
+          ++confirmed;
+        } else {
+          std::cout << "FAIL: expected no decision, but "
+                    << (res.any_decided ? "a process decided"
+                                        : "the script broke down after " +
+                                              std::to_string(
+                                                  res.rounds_executed) +
+                                              " rounds")
+                    << "\n";
+          ++failed;
+        }
+      } else {
+        if (res.any_decided) {
+          std::cout << "ok (decided; the adversary script "
+                    << (res.script_failed
+                            ? "broke down after " +
+                                  std::to_string(res.rounds_executed) +
+                                  " rounds"
+                            : "completed")
+                    << ")\n";
+          ++confirmed;
+        } else {
+          std::cout << "FAIL: expected a decision, but no correct process "
+                       "decided\n";
+          ++failed;
+        }
+      }
+    }
+  }
+  std::cout << "check: " << confirmed << " confirmed, " << skipped
+            << " skipped, " << failed << " failed\n";
+  return failed == 0 ? 0 : 1;
 }
 
 }  // namespace
@@ -288,6 +533,7 @@ int main(int argc, char** argv) {
     if (args.command == "verify") {
       return cmd_verify(registry, args, args.quiet, args.protocols);
     }
+    if (args.command == "check") return cmd_check(registry, args);
     if (args.command == "table2") {
       std::vector<std::string> protocols = args.protocols;
       if (protocols.empty()) {

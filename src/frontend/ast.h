@@ -106,6 +106,44 @@ struct VarDecl {
   Pos pos;
 };
 
+/// One `OBLIGATION holds|violated;` line of an `expect` block. The
+/// obligation is stored canonically ("CB2", "Inv1(v=0)", "C2'"); lowering
+/// checks it against the category's obligation vocabulary.
+struct ExpectVerdict {
+  std::string obligation;
+  bool violated = false;
+  Pos pos;
+};
+
+/// `attack SCRIPT { simulator S; system n = N, t = T; inputs v, ...;
+/// [rounds R;] [seed K;] outcome decision|no_decision; }` — the
+/// attack-schedule sketch the `ctaver check` command feeds to sim::attack.
+struct AttackSketch {
+  bool present = false;
+  std::string script;
+  std::string simulator;
+  bool has_system = false;
+  long long n = 0, t = 0;
+  bool has_inputs = false;
+  std::vector<long long> inputs;
+  long long rounds = 8;
+  long long seed = 7;
+  bool has_outcome = false;
+  bool decides = false;
+  Pos pos;
+  Pos simulator_pos, system_pos, inputs_pos, rounds_pos, seed_pos,
+      outcome_pos;
+};
+
+/// `expect { ... }`: per-obligation verdict declarations plus an optional
+/// attack sketch.
+struct ExpectBlock {
+  bool present = false;
+  std::vector<ExpectVerdict> verdicts;
+  AttackSketch attack;
+  Pos pos;
+};
+
 struct Protocol {
   std::string name;
   std::string category;  // "A" | "B" | "C"; empty if missing
@@ -120,6 +158,7 @@ struct Protocol {
   bool has_coin_section = false;
   Crusader crusader;
   std::vector<std::pair<std::vector<long long>, Pos>> sweeps;
+  ExpectBlock expect;
   Pos pos;
 };
 

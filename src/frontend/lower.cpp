@@ -1,5 +1,6 @@
 #include "frontend/lower.h"
 
+#include <algorithm>
 #include <fstream>
 #include <map>
 #include <set>
@@ -7,6 +8,7 @@
 #include <utility>
 
 #include "frontend/parser.h"
+#include "sim/simulation.h"
 #include "ta/builder.h"
 
 namespace ctaver::frontend {
@@ -65,6 +67,7 @@ class Lowerer {
     lower_rules(p_.coin, /*coin=*/true, coin_rules_);
     check_crusader();
     check_sweeps();
+    check_expect();
     if (!diags_.empty()) throw ParseError(file_, diags_);
     return build();
   }
@@ -387,6 +390,114 @@ class Lowerer {
     }
   }
 
+  void check_expect() {
+    const ast::ExpectBlock& e = p_.expect;
+    if (!e.present) return;
+    // Verdicts must name obligations the pipeline actually discharges for
+    // this category. With an invalid category the vocabulary is unknowable;
+    // the category diagnostic already covers that spec.
+    const bool category_ok =
+        p_.category == "A" || p_.category == "B" || p_.category == "C";
+    std::vector<std::string> vocabulary;
+    if (category_ok) {
+      vocabulary = protocols::obligation_names(
+          p_.category == "A"   ? protocols::Category::kA
+          : p_.category == "C" ? protocols::Category::kC
+                               : protocols::Category::kB);
+    }
+    std::set<std::string> seen;
+    for (const ast::ExpectVerdict& v : e.verdicts) {
+      if (!seen.insert(v.obligation).second) {
+        diag(v.pos, "duplicate expected verdict for '" + v.obligation + "'");
+        continue;
+      }
+      if (category_ok &&
+          std::find(vocabulary.begin(), vocabulary.end(), v.obligation) ==
+              vocabulary.end()) {
+        std::string known;
+        for (const std::string& n : vocabulary) {
+          if (!known.empty()) known += ", ";
+          known += n;
+        }
+        diag(v.pos, "unknown obligation '" + v.obligation +
+                        "' for a category " + p_.category +
+                        " protocol (expected one of: " + known + ")");
+      }
+    }
+    check_attack(e.attack);
+  }
+
+  void check_attack(const ast::AttackSketch& a) {
+    if (!a.present) return;
+    if (a.script != "split_vote") {
+      diag(a.pos, "unknown attack script '" + a.script +
+                      "' (known scripts: split_vote)");
+    }
+    if (a.simulator.empty()) {
+      diag(a.pos, "attack sketch is missing a 'simulator' statement");
+    } else if (!sim::protocol_from_name(a.simulator)) {
+      diag(a.simulator_pos, "unknown simulator '" + a.simulator +
+                                "' (known: mmr14, miller18, aby22)");
+    }
+    // The sketch lowers into int fields: reject out-of-range values here
+    // rather than silently truncating them.
+    constexpr long long kAttackCap = 1'000'000;
+    if (!a.has_system) {
+      diag(a.pos, "attack sketch is missing a 'system n = ..., t = ...;' "
+                  "statement");
+    } else if (a.n < 1 || a.t < 0 || a.t >= a.n || a.n > kAttackCap) {
+      diag(a.system_pos,
+           "attack system needs 0 <= t < n <= " + std::to_string(kAttackCap));
+    }
+    if (!a.has_inputs) {
+      diag(a.pos, "attack sketch is missing an 'inputs' statement");
+    } else {
+      for (long long v : a.inputs) {
+        if (v != 0 && v != 1) {
+          diag(a.inputs_pos, "attack inputs must be binary (0 or 1)");
+          break;
+        }
+      }
+      if (a.has_system) {
+        long long byz = a.n - static_cast<long long>(a.inputs.size());
+        if (byz < 0) {
+          diag(a.inputs_pos, "more inputs than processes (n)");
+        } else if (a.script == "split_vote") {
+          // The split-vote adversary maintains a 2-vs-1 estimate split and
+          // needs a Byzantine id to inject from; its scripted deliveries
+          // realize t + 1 = 2 and 2t + 1 = 3 quorums, so it is wired for
+          // t = 1 systems only.
+          bool has0 = false, has1 = false;
+          for (long long v : a.inputs) (v == 0 ? has0 : has1) = true;
+          if (a.inputs.size() != 3 || !has0 || !has1) {
+            diag(a.inputs_pos,
+                 "the split_vote script needs exactly 3 correct processes "
+                 "with mixed inputs (two sharing a value, one holding the "
+                 "other)");
+          }
+          if (byz < 1) {
+            diag(a.inputs_pos,
+                 "the split_vote script needs at least one Byzantine "
+                 "process (inputs cover all n ids)");
+          }
+          if (a.t != 1) {
+            diag(a.system_pos,
+                 "the split_vote script realizes t + 1 / 2t + 1 quorums "
+                 "for t = 1 only");
+          }
+        }
+      }
+    }
+    if (a.rounds < 1 || a.rounds > 1'000'000) {
+      diag(a.rounds_pos, "attack rounds must be between 1 and 1000000");
+    }
+    if (a.seed < 0) diag(a.seed_pos, "attack seed must be non-negative");
+    if (!a.has_outcome) {
+      diag(a.pos, "attack sketch is missing an 'outcome decision;' or "
+                  "'outcome no_decision;' statement");
+    }
+  }
+
   // --- replay through SystemBuilder --------------------------------------
   protocols::ProtocolModel build() {
     ta::SystemBuilder b(p_.name);
@@ -474,6 +585,24 @@ class Lowerer {
       pm.nbot_loc = c.splits[2];
     }
     for (const auto& [vals, pos] : p_.sweeps) pm.sweep_params.push_back(vals);
+    if (p_.expect.present) {
+      for (const ast::ExpectVerdict& v : p_.expect.verdicts) {
+        pm.expects.push_back({v.obligation, v.violated});
+      }
+      const ast::AttackSketch& a = p_.expect.attack;
+      if (a.present) {
+        protocols::AttackSketch sketch;
+        sketch.script = a.script;
+        sketch.simulator = a.simulator;
+        sketch.n = static_cast<int>(a.n);
+        sketch.t = static_cast<int>(a.t);
+        for (long long v : a.inputs) sketch.inputs.push_back(static_cast<int>(v));
+        sketch.rounds = static_cast<int>(a.rounds);
+        sketch.seed = static_cast<std::uint64_t>(a.seed);
+        sketch.expect_decision = a.decides;
+        pm.attack = std::move(sketch);
+      }
+    }
     return pm;
   }
 

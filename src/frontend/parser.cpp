@@ -203,6 +203,8 @@ class Parser {
       section(p.process);
     } else if (accept_kw("crusader")) {
       crusader(p.crusader, pos);
+    } else if (accept_kw("expect")) {
+      expect_block(p.expect, pos);
     } else if (accept_kw("sweep")) {
       do {
         Pos tpos = peek().pos;
@@ -365,6 +367,125 @@ class Parser {
         fail(spos, "expected crusader statement (outputs / splits / "
                    "counters / refine), found " +
                        describe(peek()));
+      }
+    }
+    expect(TokKind::kRBrace);
+  }
+
+  // --- expect blocks ------------------------------------------------------
+  void expect_block(ast::ExpectBlock& e, Pos pos) {
+    if (e.present) fail(pos, "duplicate 'expect' block");
+    e.present = true;
+    e.pos = pos;
+    expect(TokKind::kLBrace);
+    while (!at(TokKind::kRBrace)) {
+      Pos spos = peek().pos;
+      if (accept_kw("attack")) {
+        if (e.attack.present) fail(spos, "duplicate 'attack' sketch");
+        attack_sketch(e.attack, spos);
+        continue;
+      }
+      ast::ExpectVerdict v;
+      v.pos = spos;
+      v.obligation = obligation_name();
+      const Token& verdict = expect(TokKind::kIdent);
+      if (verdict.text == "holds") {
+        v.violated = false;
+      } else if (verdict.text == "violated") {
+        v.violated = true;
+      } else {
+        fail(verdict.pos, "expected verdict 'holds' or 'violated', found '" +
+                              verdict.text + "'");
+      }
+      expect(TokKind::kSemi);
+      e.verdicts.push_back(std::move(v));
+    }
+    expect(TokKind::kRBrace);
+  }
+
+  /// Obligation reference: IDENT, optionally instantiated at a binary value
+  /// ("Inv1(v=0)"); canonicalized to the pipeline's obligation name.
+  std::string obligation_name() {
+    std::string name = expect(TokKind::kIdent).text;
+    if (accept(TokKind::kLParen)) {
+      expect_kw("v");
+      expect(TokKind::kAssign);
+      name += "(v=" + std::to_string(expect(TokKind::kInt).value) + ")";
+      expect(TokKind::kRParen);
+    }
+    return name;
+  }
+
+  void attack_sketch(ast::AttackSketch& a, Pos pos) {
+    a.present = true;
+    a.pos = pos;
+    a.script = expect(TokKind::kIdent).text;
+    expect(TokKind::kLBrace);
+    bool seen_rounds = false, seen_seed = false;
+    auto once = [&](bool seen, const char* what, Pos p) {
+      if (seen) {
+        fail(p, std::string("duplicate '") + what +
+                    "' statement in attack sketch");
+      }
+    };
+    while (!at(TokKind::kRBrace)) {
+      Pos spos = peek().pos;
+      if (accept_kw("simulator")) {
+        once(!a.simulator.empty(), "simulator", spos);
+        a.simulator_pos = spos;
+        a.simulator = expect(TokKind::kIdent).text;
+        expect(TokKind::kSemi);
+      } else if (accept_kw("system")) {
+        once(a.has_system, "system", spos);
+        a.has_system = true;
+        a.system_pos = spos;
+        expect_kw("n");
+        expect(TokKind::kAssign);
+        a.n = integer();
+        expect(TokKind::kComma);
+        expect_kw("t");
+        expect(TokKind::kAssign);
+        a.t = integer();
+        expect(TokKind::kSemi);
+      } else if (accept_kw("inputs")) {
+        once(a.has_inputs, "inputs", spos);
+        a.has_inputs = true;
+        a.inputs_pos = spos;
+        do {
+          a.inputs.push_back(integer());
+        } while (accept(TokKind::kComma));
+        expect(TokKind::kSemi);
+      } else if (accept_kw("rounds")) {
+        once(seen_rounds, "rounds", spos);
+        seen_rounds = true;
+        a.rounds_pos = spos;
+        a.rounds = integer();
+        expect(TokKind::kSemi);
+      } else if (accept_kw("seed")) {
+        once(seen_seed, "seed", spos);
+        seen_seed = true;
+        a.seed_pos = spos;
+        a.seed = integer();
+        expect(TokKind::kSemi);
+      } else if (accept_kw("outcome")) {
+        once(a.has_outcome, "outcome", spos);
+        a.has_outcome = true;
+        a.outcome_pos = spos;
+        const Token& o = expect(TokKind::kIdent);
+        if (o.text == "decision") {
+          a.decides = true;
+        } else if (o.text == "no_decision") {
+          a.decides = false;
+        } else {
+          fail(o.pos, "expected outcome 'decision' or 'no_decision', found '" +
+                          o.text + "'");
+        }
+        expect(TokKind::kSemi);
+      } else {
+        fail(spos,
+             "expected attack statement (simulator / system / inputs / "
+             "rounds / seed / outcome), found " +
+                 describe(peek()));
       }
     }
     expect(TokKind::kRBrace);

@@ -27,7 +27,37 @@ int Solver::alloc_internal(std::optional<Rational> lb,
   ub_.push_back(std::move(ub));
   beta_.push_back(std::move(init));
   row_of_.push_back(-1);
+  cols_.emplace_back();
   return iv;
+}
+
+void Solver::index_row_vars(int r, const SparseRow& row) {
+  for (const auto& [v, c] : row) {
+    (void)c;
+    cols_[static_cast<std::size_t>(v)].push_back(r);
+  }
+}
+
+template <typename F>
+void Solver::for_each_row_with(int iv, F&& f) {
+  std::vector<int>& lst = cols_[static_cast<std::size_t>(iv)];
+  if (++sweep_stamp_ == 0) {  // stamp wrapped: old stamps are ambiguous
+    std::fill(row_sweep_.begin(), row_sweep_.end(), 0u);
+    sweep_stamp_ = 1;
+  }
+  std::size_t out = 0;
+  for (int r : lst) {
+    if (r >= static_cast<int>(rows_.size())) continue;  // row vanished
+    if (row_sweep_[static_cast<std::size_t>(r)] == sweep_stamp_) {
+      continue;  // duplicate entry
+    }
+    auto it = rows_[static_cast<std::size_t>(r)].find(iv);
+    if (it == rows_[static_cast<std::size_t>(r)].end()) continue;  // stale
+    row_sweep_[static_cast<std::size_t>(r)] = sweep_stamp_;
+    lst[out++] = r;
+    f(r, it->second);
+  }
+  lst.resize(out);
 }
 
 Var Solver::new_var(std::string name, std::optional<long long> lb,
@@ -178,7 +208,9 @@ void Solver::add(Constraint c) {
   beta_[static_cast<std::size_t>(s)] = std::move(val);
   row_of_[static_cast<std::size_t>(s)] = static_cast<int>(rows_.size());
   basic_var_.push_back(s);
+  index_row_vars(static_cast<int>(rows_.size()), row);
   rows_.push_back(std::move(row));
+  row_sweep_.push_back(0);
   crow_.push_back(s);
   constraints_.push_back(std::move(c));
 }
@@ -253,22 +285,22 @@ void Solver::pop_to(Checkpoint cp) {
   ub_.resize(static_cast<std::size_t>(scope.n_internal));
   beta_.resize(static_cast<std::size_t>(scope.n_internal));
   row_of_.resize(static_cast<std::size_t>(scope.n_internal));
+  cols_.resize(static_cast<std::size_t>(scope.n_internal));
   vars_.resize(static_cast<std::size_t>(scope.n_external));
   ext2int_.resize(static_cast<std::size_t>(scope.n_external));
 }
 
 void Solver::remove_constraint_row(int s) {
   if (!is_basic(s)) {
-    // Pure pivot s back into the basis via the first row that mentions it.
-    // Such a row must exist: the row system is equivalent to the constraint
-    // system, which constrains s.
+    // Pure pivot s back into the basis via the lowest-indexed row that
+    // mentions it (the choice the old full scan made, kept so pivot counts
+    // are unchanged by the column index). Such a row must exist: the row
+    // system is equivalent to the constraint system, which constrains s.
     int r = -1;
-    for (std::size_t k = 0; k < rows_.size(); ++k) {
-      if (rows_[k].contains(s)) {
-        r = static_cast<int>(k);
-        break;
-      }
-    }
+    for_each_row_with(s, [&](int k, const Rational& coeff) {
+      (void)coeff;
+      if (r < 0 || k < r) r = k;
+    });
     if (r < 0) {
       throw std::logic_error("Solver::pop: slack vanished from the tableau");
     }
@@ -294,9 +326,13 @@ void Solver::remove_constraint_row(int s) {
         basic_var_[static_cast<std::size_t>(last)];
     row_of_[static_cast<std::size_t>(
         basic_var_[static_cast<std::size_t>(r)])] = r;
+    // The moved row now lives at index r; its old entries under `last`
+    // become stale and are dropped lazily.
+    index_row_vars(r, rows_[static_cast<std::size_t>(r)]);
   }
   rows_.pop_back();
   basic_var_.pop_back();
+  row_sweep_.pop_back();
 }
 
 // ---------------------------------------------------------------------------
@@ -315,12 +351,10 @@ void Solver::push_violated(int iv) {
 void Solver::update_nonbasic(int iv, const Rational& val) {
   Rational delta = val - beta_[static_cast<std::size_t>(iv)];
   if (delta.is_zero()) return;
-  for (std::size_t r = 0; r < rows_.size(); ++r) {
-    auto it = rows_[r].find(iv);
-    if (it != rows_[r].end()) {
-      beta_[static_cast<std::size_t>(basic_var_[r])] += it->second * delta;
-    }
-  }
+  for_each_row_with(iv, [&](int r, const Rational& coeff) {
+    beta_[static_cast<std::size_t>(
+        basic_var_[static_cast<std::size_t>(r)])] += coeff * delta;
+  });
   beta_[static_cast<std::size_t>(iv)] = val;
 }
 
@@ -331,15 +365,12 @@ void Solver::pivot_and_update(int xb, int xn, const Rational& target) {
 
   beta_[static_cast<std::size_t>(xb)] = target;
   beta_[static_cast<std::size_t>(xn)] += theta;
-  for (std::size_t k = 0; k < rows_.size(); ++k) {
-    if (static_cast<int>(k) == r) continue;
-    auto it = rows_[k].find(xn);
-    if (it != rows_[k].end()) {
-      int b = basic_var_[k];
-      beta_[static_cast<std::size_t>(b)] += it->second * theta;
-      push_violated(b);
-    }
-  }
+  for_each_row_with(xn, [&](int k, const Rational& coeff) {
+    if (k == r) return;
+    int b = basic_var_[static_cast<std::size_t>(k)];
+    beta_[static_cast<std::size_t>(b)] += coeff * theta;
+    push_violated(b);
+  });
   pivot_rows(r, xn);
 }
 
@@ -361,15 +392,21 @@ void Solver::pivot_rows(int r, int xn) {
   basic_var_[static_cast<std::size_t>(r)] = xn;
   row_of_[static_cast<std::size_t>(xn)] = r;
   row_of_[static_cast<std::size_t>(xb)] = -1;
+  cols_[static_cast<std::size_t>(xb)].push_back(r);  // new pivot-row entry
 
-  // Substitute xn out of every other row.
-  for (std::size_t k = 0; k < rows_.size(); ++k) {
-    if (static_cast<int>(k) == r) continue;
-    auto it = rows_[k].find(xn);
-    if (it == rows_[k].end()) continue;
-    Rational c = it->second;
-    rows_[k].add_multiple(c, pivot_row, xn, &scratch_);
-  }
+  // Substitute xn out of every other row, indexing row k under exactly the
+  // variables the merge introduced (the rewritten pivot row no longer
+  // contains xn, so these pushes never disturb the sweep's compaction of
+  // cols_[xn]).
+  for_each_row_with(xn, [&](int k, const Rational& coeff) {
+    if (k == r) return;
+    scratch_vars_.clear();
+    rows_[static_cast<std::size_t>(k)].add_multiple(coeff, pivot_row, xn,
+                                                    &scratch_, &scratch_vars_);
+    for (Var v : scratch_vars_) {
+      cols_[static_cast<std::size_t>(v)].push_back(k);
+    }
+  });
 }
 
 Result Solver::solve() {

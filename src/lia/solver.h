@@ -197,6 +197,25 @@ class Solver {
   std::vector<SparseRow> rows_;
   int conflicts_ = 0;             // vars with lb > ub
 
+  // Column-wise occurrence lists: cols_[iv] holds the indices of rows that
+  // (may) contain iv, so update_nonbasic and pivot beta-propagation touch
+  // only populated rows instead of binary-searching every row. The lists
+  // are supersets — rows are pushed eagerly whenever a merge can introduce
+  // the variable and validated lazily: each sweep drops entries whose row
+  // no longer contains the variable (or vanished) and deduplicates via a
+  // per-row generation stamp. Invariant: every row currently containing iv
+  // is listed in cols_[iv].
+  std::vector<std::vector<int>> cols_;
+  std::vector<unsigned> row_sweep_;  // row index -> last sweep stamp
+  unsigned sweep_stamp_ = 0;
+
+  /// Registers `r` as (possibly) containing every variable of `row`.
+  void index_row_vars(int r, const SparseRow& row);
+  /// Calls f(row_index, coeff) once per row currently containing `iv`,
+  /// compacting cols_[iv] as a side effect.
+  template <typename F>
+  void for_each_row_with(int iv, F&& f);
+
   // Backtracking.
   std::vector<BoundChange> trail_;
   std::vector<Scope> scopes_;
@@ -208,6 +227,7 @@ class Solver {
   // current by the pivots, discarded afterwards.
   std::vector<int> heap_;
   std::vector<SparseRow::Entry> scratch_;  // merge buffer for row updates
+  std::vector<Var> scratch_vars_;          // new-entry buffer for the index
 
   std::vector<util::Int128> model_;
   long long stat_pivots_ = 0;

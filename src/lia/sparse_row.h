@@ -77,9 +77,12 @@ class SparseRow {
   /// `*this += c * other`, dropping every entry for variable `skip` from the
   /// result (pass -1 to keep all entries). Linear two-pointer merge into a
   /// scratch buffer supplied by the caller so repeated combinations reuse
-  /// one allocation.
+  /// one allocation. When `added` is non-null it receives the variables
+  /// that are new to this row (present in `other` only, with a nonzero
+  /// result) — the solver's column index uses this to stay exact.
   void add_multiple(const util::Rational& c, const SparseRow& other, Var skip,
-                    std::vector<Entry>* scratch) {
+                    std::vector<Entry>* scratch,
+                    std::vector<Var>* added = nullptr) {
     scratch->clear();
     scratch->reserve(entries_.size() + other.entries_.size());
     auto a = entries_.cbegin(), ae = entries_.cend();
@@ -91,7 +94,10 @@ class SparseRow {
       } else if (a == ae || b->first < a->first) {
         if (b->first != skip) {
           util::Rational v = c * b->second;
-          if (!v.is_zero()) scratch->emplace_back(b->first, std::move(v));
+          if (!v.is_zero()) {
+            if (added != nullptr) added->push_back(b->first);
+            scratch->emplace_back(b->first, std::move(v));
+          }
         }
         ++b;
       } else {  // same var

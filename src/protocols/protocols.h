@@ -17,6 +17,7 @@
 //                                                 Miller18, ABY22
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <optional>
 #include <string>
@@ -27,6 +28,30 @@
 namespace ctaver::protocols {
 
 enum class Category { kA, kB, kC };
+
+/// One spec-declared expected verdict for a proof obligation (`expect CB2
+/// violated;` in a .cta file). `obligation` is the canonical pipeline name
+/// — one of obligation_names(category).
+struct ExpectedVerdict {
+  std::string obligation;
+  bool violated = false;
+};
+
+/// Spec-declared attack-schedule sketch: which scripted adversary to run
+/// against which executable protocol semantics (src/sim), on what system,
+/// and what the run is expected to do. This is what replaced the
+/// hand-hardcoded MMR14/Miller18 driver: the sketch in the .cta file drives
+/// sim::run_attack.
+struct AttackSketch {
+  std::string script;     // adversary script family, e.g. "split_vote"
+  std::string simulator;  // executable semantics: mmr14 | miller18 | aby22
+  int n = 0;              // total processes (correct + Byzantine)
+  int t = 0;              // fault threshold
+  std::vector<int> inputs;  // correct-process inputs; ids beyond are Byzantine
+  int rounds = 8;           // adversary rounds to script
+  std::uint64_t seed = 7;   // common-coin seed
+  bool expect_decision = false;  // expected outcome of the run
+};
 
 /// A protocol model plus the metadata the verification pipeline needs.
 struct ProtocolModel {
@@ -50,10 +75,23 @@ struct ProtocolModel {
   /// the probabilistic conditions (C1)/(C2′); each must satisfy RC.
   std::vector<std::vector<long long>> sweep_params;
 
+  /// Spec-declared expected verdicts (empty for the hand-coded builtins;
+  /// populated from a .cta file's `expect` block), in declaration order.
+  std::vector<ExpectedVerdict> expects;
+  /// Spec-declared attack-schedule sketch, if any.
+  std::optional<AttackSketch> attack;
+
   /// Returns the system with the Fig.-6 refinement applied (identity for
   /// models built pre-refined and for categories A/B).
   [[nodiscard]] ta::System refined() const;
 };
+
+/// Canonical names of the proof obligations the verification pipeline
+/// discharges for a protocol of category `c`, in report order (sweep-based
+/// obligations — C1/C2' — included). This is the vocabulary `expect` blocks
+/// declare verdicts against; verify_pipeline_test pins the pipeline's
+/// reports to this list.
+std::vector<std::string> obligation_names(Category c);
 
 ProtocolModel naive_voting();
 ProtocolModel rabin83();

@@ -1,0 +1,164 @@
+#include "replay/replay.h"
+
+#include <sstream>
+
+#include "cs/explicit_system.h"
+
+namespace ctaver::replay {
+
+namespace {
+
+/// EX{set} in configuration c (round 0 of the single-round system).
+bool occupied(const cs::ExplicitSystem& es, const cs::Config& c,
+              const spec::LocSet& set) {
+  for (const auto& [coin, l] : set.locs) {
+    if (es.kappa(c, coin, l, 0) > 0) return true;
+  }
+  return false;
+}
+
+/// init-zero{set}: no automaton occupies any location of `set` in c.
+bool all_zero(const cs::ExplicitSystem& es, const cs::Config& c,
+              const spec::LocSet& set) {
+  for (const auto& [coin, l] : set.locs) {
+    if (es.kappa(c, coin, l, 0) > 0) return false;
+  }
+  return true;
+}
+
+ReplayReport malformed(std::string why) {
+  ReplayReport r;
+  r.detail = "malformed counterexample: " + std::move(why);
+  return r;
+}
+
+}  // namespace
+
+ReplayReport replay_counterexample(const ta::System& sys,
+                                   const spec::Spec& spec,
+                                   const schema::Counterexample& ce) {
+  if (ce.params.size() != sys.env.params.size()) {
+    return malformed("parameter valuation has " +
+                     std::to_string(ce.params.size()) + " values for " +
+                     std::to_string(sys.env.params.size()) + " parameters");
+  }
+  if (!sys.env.admissible(ce.params)) {
+    return malformed("parameter valuation violates the resilience condition");
+  }
+
+  cs::ExplicitSystem es(sys, ce.params, /*rounds=*/1);
+
+  // Place the model's border occupancy. The schema prelude constrains the
+  // k0/c0 variables to sum to N(p), so a well-formed counterexample yields
+  // an admissible round-entry configuration of Σu (Thm. 2).
+  cs::Config c = es.empty_config();
+  long long procs = 0;
+  long long coins = 0;
+  for (const schema::Counterexample::Init& in : ce.init) {
+    const ta::Automaton& a = in.coin ? sys.coin : sys.process;
+    if (in.loc < 0 || in.loc >= static_cast<ta::LocId>(a.locations.size())) {
+      return malformed("initial occupancy names an unknown location");
+    }
+    if (a.locations[static_cast<std::size_t>(in.loc)].role !=
+        ta::LocRole::kBorder) {
+      return malformed(
+          "initial occupancy of non-border location '" +
+          a.locations[static_cast<std::size_t>(in.loc)].name + "'");
+    }
+    if (in.count <= 0) {
+      return malformed("non-positive initial occupancy");
+    }
+    c.kappa[static_cast<std::size_t>(es.gloc(in.coin, in.loc))] +=
+        static_cast<int32_t>(in.count);
+    (in.coin ? coins : procs) += in.count;
+  }
+  if (procs != es.num_processes() || coins != es.num_coins()) {
+    std::ostringstream os;
+    os << "initial occupancy places " << procs << " processes / " << coins
+       << " coins but N(p) = (" << es.num_processes() << ", "
+       << es.num_coins() << ")";
+    return malformed(os.str());
+  }
+
+  ReplayReport report;
+  report.schedule_ok = true;
+
+  // Atom bookkeeping. For the init-zero shape the premise is a property of
+  // the starting configuration alone; for the F-premise shape both witness
+  // atoms are path-existential (the counterexample is Fφ ∧ Fψ — the two
+  // witness points of the encoding are unordered).
+  const bool init_shape = spec.shape == spec::Shape::kInitialImpliesGlobally;
+  auto observe = [&](long long path_index) {
+    if (init_shape) {
+      if (path_index == 0 && all_zero(es, c, spec.premise)) {
+        report.premise_at = 0;
+      }
+    } else if (report.premise_at < 0 && occupied(es, c, spec.premise)) {
+      report.premise_at = path_index;
+    }
+    if (report.conclusion_at < 0 && occupied(es, c, spec.conclusion)) {
+      report.conclusion_at = path_index;
+    }
+  };
+  observe(0);
+
+  // Expand batches into consecutive firings and step them through the
+  // explicit semantics, checking applicability at every firing.
+  for (const schema::Counterexample::Batch& b : ce.batches) {
+    const ta::Automaton& a = b.coin ? sys.coin : sys.process;
+    if (b.rule < 0 || b.rule >= static_cast<ta::RuleId>(a.rules.size())) {
+      return malformed("batch names an unknown rule");
+    }
+    const ta::Rule& rule = a.rules[static_cast<std::size_t>(b.rule)];
+    if (!rule.is_dirac()) {
+      return malformed("batch fires probabilistic rule '" + rule.name +
+                       "' (replay runs on the non-probabilistic system)");
+    }
+    cs::Action action{b.coin, b.rule, /*round=*/0};
+    for (long long k = 0; k < b.count; ++k) {
+      if (!es.applicable(c, action)) {
+        report.schedule_ok = false;
+        report.divergence = report.steps;
+        std::ostringstream os;
+        os << "diverged at firing " << report.steps << ": " << rule.name
+           << " (batch " << rule.name << "^" << b.count << "@s" << b.segment
+           << ", firing " << (k + 1) << "/" << b.count << ") is not "
+           << (es.unlocked(c, action) ? "sourced" : "unlocked") << " in "
+           << es.describe(c);
+        report.detail = os.str();
+        report.final_config = es.describe(c);
+        return report;
+      }
+      c = es.apply_outcome(c, action, 0);
+      report.schedule.push_back({action, 0});
+      ++report.steps;
+      observe(report.steps);
+    }
+  }
+
+  report.final_config = es.describe(c);
+  report.violation = report.premise_at >= 0 && report.conclusion_at >= 0;
+
+  std::ostringstream os;
+  if (report.violation) {
+    os << "confirmed: " << report.steps << " firings applicable, "
+       << (init_shape ? "init-zero premise" : "premise") << " at step "
+       << report.premise_at << ", conclusion " << spec.conclusion.str(sys)
+       << " occupied at step " << report.conclusion_at;
+  } else {
+    os << "NOT confirmed: " << report.steps << " firings applicable but ";
+    if (report.premise_at < 0 && report.conclusion_at < 0) {
+      os << "neither witness atom was reached";
+    } else if (report.premise_at < 0) {
+      os << "the premise " << spec.premise.str(sys)
+         << (init_shape ? " is occupied initially" : " was never reached");
+    } else {
+      os << "the conclusion " << spec.conclusion.str(sys)
+         << " was never reached";
+    }
+  }
+  report.detail = os.str();
+  return report;
+}
+
+}  // namespace ctaver::replay

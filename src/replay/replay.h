@@ -1,0 +1,66 @@
+// Counterexample concretization & replay engine.
+//
+// The paper's central soundness claim (Sect. V-A) is that every schema
+// counterexample corresponds to a real schedule of the counter system: the
+// encoding checks batch applicability and guard truth at every use, so a SAT
+// model *is* a schedule, just written as parameter values and batch counts.
+// This module makes that claim executable. It concretizes a
+// schema::Counterexample into an explicit cs::Schedule — instantiate the
+// parameter valuation, place the model's border occupancy, expand each batch
+// into consecutive rule firings along the schema's milestone order — and
+// steps it through cs::ExplicitSystem, re-checking the violated spec
+// atom-by-atom on the resulting path. The LIA solver is entirely out of the
+// loop: a replay that reaches the violation is an independent, explicit-state
+// witness that the solver/encoder stack told the truth; a divergence (an
+// inapplicable firing, or a path that never reaches the violation) pinpoints
+// the first step at which the symbolic and explicit semantics disagree.
+#pragma once
+
+#include <string>
+
+#include "cs/schedule.h"
+#include "schema/checker.h"
+#include "spec/spec.h"
+#include "ta/model.h"
+
+namespace ctaver::replay {
+
+/// Outcome of replaying one counterexample.
+struct ReplayReport {
+  /// Every firing of the concretized schedule was applicable (and the
+  /// counterexample itself was well-formed: admissible parameters, border
+  /// occupancy summing to N, known rules).
+  bool schedule_ok = false;
+  /// The spec violation was re-established on the explicit path (premise
+  /// and conclusion atoms both witnessed; for init-zero shapes the initial
+  /// configuration also satisfies the premise).
+  bool violation = false;
+  /// Firings executed before stopping (all of them when schedule_ok).
+  long long steps = 0;
+  /// Firing index (0-based) of the first inapplicable step; -1 if none.
+  long long divergence = -1;
+  /// Path index (0 = initial configuration) of the first configuration
+  /// satisfying the premise / conclusion atom; -1 if never satisfied.
+  long long premise_at = -1;
+  long long conclusion_at = -1;
+  /// One-line human-readable summary (stable across runs: replay is fully
+  /// deterministic, so reports are byte-identical at any --jobs width).
+  std::string detail;
+  /// Final configuration reached, pretty-printed.
+  std::string final_config;
+  /// The concretized schedule (empty when the counterexample is malformed).
+  cs::Schedule schedule;
+
+  /// Did the replay independently confirm the counterexample?
+  [[nodiscard]] bool ok() const { return schedule_ok && violation; }
+};
+
+/// Replays `ce` — found for `spec` on the single-round, non-probabilistic
+/// system `sys` (the same system check_spec was called with) — through an
+/// explicit counter system at the counterexample's parameter valuation.
+/// Never throws on malformed counterexamples; the report says what broke.
+ReplayReport replay_counterexample(const ta::System& sys,
+                                   const spec::Spec& spec,
+                                   const schema::Counterexample& ce);
+
+}  // namespace ctaver::replay

@@ -272,12 +272,28 @@ class Encoder {
     }
 
     Counterexample ce;
+    ce.spec_name = spec->name;
     for (lia::Var v : m.pv) {
       ce.params.push_back(static_cast<long long>(m.solver.model(v)));
     }
     for (int gi : flips) {
       ce.milestones.push_back(
           table_->guards[static_cast<std::size_t>(gi)].str(*sys_));
+    }
+    // Structured schedule for the replay engine: the border occupancy the
+    // model chose, then every positive batch in emission order.
+    for (bool coin : {false, true}) {
+      const ta::Automaton& a = coin ? sys_->coin : sys_->process;
+      for (ta::LocId l = 0; l < static_cast<ta::LocId>(a.locations.size());
+           ++l) {
+        if (a.locations[static_cast<std::size_t>(l)].role !=
+            ta::LocRole::kBorder) {
+          continue;
+        }
+        const LinExpr& k0 = m.kappa0[static_cast<std::size_t>(gloc(coin, l))];
+        long long occupancy = static_cast<long long>(m.solver.model_eval(k0));
+        if (occupancy > 0) ce.init.push_back({coin, l, occupancy});
+      }
     }
     std::ostringstream text;
     text << "params:";
@@ -289,6 +305,7 @@ class Encoder {
     for (const BatchVar& b : m.batches) {
       long long x = static_cast<long long>(m.solver.model(b.x));
       if (x > 0) {
+        ce.batches.push_back({b.rv->id.coin, b.rv->id.rule, x, b.segment});
         text << " " << b.rv->rule->name << "^" << x << "@s" << b.segment;
       }
     }

@@ -145,6 +145,29 @@ struct Counterexample {
   std::vector<std::string> milestones;
   /// Human-readable schedule outline (batch counts per segment).
   std::string text;
+
+  // --- structured schedule, consumed by the replay engine (src/replay) ----
+
+  /// Occupancy of one border location at the round start.
+  struct Init {
+    bool coin = false;
+    ta::LocId loc = -1;
+    long long count = 0;
+  };
+  /// One batch of the concretized schedule: fire `rule` `count` times.
+  /// Batches are listed in the exact emission order of the schema encoding
+  /// (canonical topological passes per segment, witness points in between),
+  /// so replaying them in sequence realizes the schedule the solver found.
+  struct Batch {
+    bool coin = false;
+    ta::RuleId rule = -1;
+    long long count = 0;
+    int segment = 0;
+  };
+  std::vector<Init> init;      // border occupancy (count > 0 entries only)
+  std::vector<Batch> batches;  // emission order (count > 0 entries only)
+  /// Name of the violated spec (Obligation lookup key for replay).
+  std::string spec_name;
 };
 
 struct CheckResult {

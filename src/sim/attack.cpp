@@ -1,16 +1,17 @@
 #include "sim/attack.h"
 
 #include <random>
+#include <stdexcept>
 
 namespace ctaver::sim {
 
 namespace {
 
-constexpr int kByz = 3;
-
 /// Scripted one-round attack. Returns false if some scripted delivery found
 /// no matching message (the protocol refused to follow — e.g. Miller18).
+/// The adversary injects from the first Byzantine id (= num_correct()).
 bool attack_round(Simulation& sim, int k, bool* coin_was_revealed) {
+  const int kByz = sim.num_correct();
   // Roles: two correct processes share a, one holds b = 1 - a.
   int est[3] = {sim.process(0).est(), sim.process(1).est(),
                 sim.process(2).est()};
@@ -104,17 +105,45 @@ bool attack_round(Simulation& sim, int k, bool* coin_was_revealed) {
 
 }  // namespace
 
-AttackResult run_attack(Protocol proto, int rounds, std::uint64_t coin_seed) {
+AttackResult run_attack(const AttackOptions& opts) {
+  // The split-vote script reads processes 0..2 and injects from id
+  // num_correct(); a malformed configuration would index out of bounds.
+  // (.cta sketches are validated by the lowering; guard direct callers.)
+  if (opts.inputs.size() != 3) {
+    throw std::invalid_argument(
+        "run_attack: the split-vote script needs exactly 3 correct "
+        "processes");
+  }
+  if (opts.n <= static_cast<int>(opts.inputs.size())) {
+    throw std::invalid_argument(
+        "run_attack: the split-vote script needs at least one Byzantine "
+        "process (n > #inputs)");
+  }
+  if (opts.t < 0 || opts.t >= opts.n || opts.rounds < 1) {
+    throw std::invalid_argument("run_attack: need 0 <= t < n and rounds >= 1");
+  }
+  bool has0 = false, has1 = false;
+  for (int v : opts.inputs) {
+    if (v != 0 && v != 1) {
+      throw std::invalid_argument("run_attack: inputs must be binary");
+    }
+    (v == 0 ? has0 : has1) = true;
+  }
+  if (!has0 || !has1) {
+    throw std::invalid_argument(
+        "run_attack: the split-vote script needs mixed inputs (two "
+        "processes sharing a value, one holding the other)");
+  }
   AttackResult result;
   Simulation::Setup setup;
-  setup.proto = proto;
-  setup.n = 4;
-  setup.t = 1;
-  setup.inputs = {0, 0, 1};
-  setup.coin_seed = coin_seed;
+  setup.proto = opts.proto;
+  setup.n = opts.n;
+  setup.t = opts.t;
+  setup.inputs = opts.inputs;
+  setup.coin_seed = opts.coin_seed;
   Simulation sim(setup);
 
-  for (int k = 0; k < rounds; ++k) {
+  for (int k = 0; k < opts.rounds; ++k) {
     bool coin_revealed = true;
     if (!attack_round(sim, k, &coin_revealed)) {
       result.script_failed = true;
@@ -126,7 +155,7 @@ AttackResult run_attack(Protocol proto, int rounds, std::uint64_t coin_seed) {
   if (result.script_failed) {
     // The protocol refused to follow the script (binding): fall back to a
     // fair random scheduler and let the run finish.
-    std::mt19937_64 rng(coin_seed ^ 0x5bd1e995ULL);
+    std::mt19937_64 rng(opts.coin_seed ^ 0x5bd1e995ULL);
     for (std::uint64_t step = 0; step < 500'000 && !sim.all_decided();
          ++step) {
       if (sim.pending().empty()) break;
@@ -138,6 +167,14 @@ AttackResult run_attack(Protocol proto, int rounds, std::uint64_t coin_seed) {
     if (sim.process(i).decided()) result.any_decided = true;
   }
   return result;
+}
+
+AttackResult run_attack(Protocol proto, int rounds, std::uint64_t coin_seed) {
+  AttackOptions opts;
+  opts.proto = proto;
+  opts.rounds = rounds;
+  opts.coin_seed = coin_seed;
+  return run_attack(opts);
 }
 
 }  // namespace ctaver::sim

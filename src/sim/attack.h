@@ -18,6 +18,7 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "sim/simulation.h"
 
@@ -29,10 +30,32 @@ struct AttackResult {
   bool script_failed = false; // a scripted delivery found no match
 };
 
-/// Runs `rounds` rounds of the adaptive attack against the given protocol
-/// (kMmr14 or kMiller18) with inputs {a, a, 1-a}. For MMR14 the expected
-/// outcome is any_decided = false for every horizon; for Miller18 the
-/// script breaks down and the processes decide.
+/// Sketch-driven attack configuration: which protocol semantics to run the
+/// split-vote adversary against, on what system, for how long. Filled from
+/// a .cta file's `expect { attack ... }` sketch by `ctaver check`, so the
+/// known-broken protocols are regression-checked from their specs instead
+/// of a hardcoded two-protocol driver.
+struct AttackOptions {
+  Protocol proto = Protocol::kMmr14;
+  int n = 4;
+  int t = 1;
+  /// Inputs of the correct processes (ids 0..inputs.size()-1); the
+  /// remaining ids up to n-1 are Byzantine. The split-vote script needs
+  /// exactly three correct processes with mixed estimates and at least one
+  /// Byzantine id to inject from.
+  std::vector<int> inputs = {0, 0, 1};
+  int rounds = 8;
+  std::uint64_t coin_seed = 7;
+};
+
+/// Runs the adaptive split-vote attack described by `opts`. For MMR14 the
+/// expected outcome is any_decided = false for every horizon; for Miller18
+/// (and ABY22) binding makes the script break down and the processes
+/// decide under the fair fallback scheduler.
+AttackResult run_attack(const AttackOptions& opts);
+
+/// Legacy two-protocol driver: the default minimal system (n = 4, t = 1,
+/// inputs {0, 0, 1}) against `proto`.
 AttackResult run_attack(Protocol proto, int rounds,
                         std::uint64_t coin_seed = 7);
 

@@ -5,6 +5,13 @@
 
 namespace ctaver::sim {
 
+std::optional<Protocol> protocol_from_name(const std::string& name) {
+  if (name == "mmr14") return Protocol::kMmr14;
+  if (name == "miller18") return Protocol::kMiller18;
+  if (name == "aby22") return Protocol::kAby22;
+  return std::nullopt;
+}
+
 namespace {
 int popcount_values(ValueSet s) {
   return ((s & kSet0) ? 1 : 0) + ((s & kSet1) ? 1 : 0) +

@@ -11,7 +11,9 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <optional>
 #include <set>
+#include <string>
 #include <vector>
 
 #include "sim/message.h"
@@ -19,6 +21,11 @@
 namespace ctaver::sim {
 
 enum class Protocol { kMmr14, kMiller18, kAby22 };
+
+/// Resolves a spec-level simulator name ("mmr14" | "miller18" | "aby22");
+/// nullopt for unknown names. The single source of truth shared by the
+/// .cta attack-sketch validation and the `ctaver check` driver.
+std::optional<Protocol> protocol_from_name(const std::string& name);
 
 /// One correct process executing the chosen protocol (Fig. 1 for MMR14).
 class Process {

@@ -1,5 +1,6 @@
 #include "verify/pipeline.h"
 
+#include <algorithm>
 #include <exception>
 #include <functional>
 #include <optional>
@@ -8,6 +9,7 @@
 
 #include "cs/explicit_system.h"
 #include "cs/state_graph.h"
+#include "replay/replay.h"
 #include "spec/spec.h"
 #include "ta/transforms.h"
 #include "ta/validate.h"
@@ -31,7 +33,10 @@ Obligation from_check(const std::string& name,
   o.nschemas = res.nschemas;
   o.npivots = res.npivots;
   o.seconds = res.seconds;
-  if (res.ce) o.ce = res.ce->text;
+  if (res.ce) {
+    o.ce = res.ce->text;
+    o.ce_data = res.ce;
+  }
   return o;
 }
 
@@ -352,30 +357,46 @@ struct ProtocolRun::Impl {
                                   "self-loops; Theorem 2 does not apply");
     }
 
+    // Options.only_obligations: skip unlisted obligations entirely — no
+    // report slot, no budget charge (how `ctaver check` targets exactly the
+    // spec-declared surface).
+    auto planned = [&](const std::string& name) {
+      return opts.only_obligations.empty() ||
+             std::find(opts.only_obligations.begin(),
+                       opts.only_obligations.end(),
+                       name) != opts.only_obligations.end();
+    };
+    auto add_check = [&](PropertyResult& prop, const ta::System& sys,
+                         spec::Spec spec) {
+      if (planned(spec.name)) plan.add_check(prop, sys, std::move(spec));
+    };
+    auto add_sweep = [&](PropertyResult& prop, const std::string& name,
+                         const ta::System& sys, SweepCheckFn check) {
+      if (planned(name)) plan.add_sweep(prop, name, pm, sys, check);
+    };
+
     // Agreement and Validity via the round invariants (Prop. 1).
     for (int v : {0, 1}) {
-      plan.add_check(report.agreement, rd, spec::inv1(rd, v));
-      plan.add_check(report.validity, rd, spec::inv2(rd, v));
+      add_check(report.agreement, rd, spec::inv1(rd, v));
+      add_check(report.validity, rd, spec::inv2(rd, v));
     }
 
     // Almost-sure termination: category-specific sufficient conditions.
     switch (pm.category) {
       case Category::kA: {
         for (int v : {0, 1}) {
-          plan.add_check(report.termination, rd, spec::c2(rd, v));
+          add_check(report.termination, rd, spec::c2(rd, v));
         }
         if (opts.run_sweeps) {
-          plan.add_sweep(report.termination, "C1", pm, rd_prob,
-                         &check_c1_instance);
+          add_sweep(report.termination, "C1", rd_prob, &check_c1_instance);
         }
         break;
       }
       case Category::kB: {
         if (opts.run_sweeps) {
-          plan.add_sweep(report.termination, "C1", pm, rd_prob,
-                         &check_c1_instance);
-          plan.add_sweep(report.termination, "C2'", pm, rd_prob,
-                         &check_c2prime_instance);
+          add_sweep(report.termination, "C1", rd_prob, &check_c1_instance);
+          add_sweep(report.termination, "C2'", rd_prob,
+                    &check_c2prime_instance);
         }
         break;
       }
@@ -391,18 +412,18 @@ struct ProtocolRun::Impl {
             {"CB2", &pm.n0_loc, &pm.m1_loc}, {"CB3", &pm.n1_loc, &pm.m0_loc},
         };
         for (const CB& cb : cbs) {
-          plan.add_check(report.termination, *rdr,
-                         spec::binding(*rdr, cb.name, *cb.from, *cb.forbid));
+          add_check(report.termination, *rdr,
+                    spec::binding(*rdr, cb.name, *cb.from, *cb.forbid));
         }
         // CB4 forbids both M0 and M1 after N⊥.
         spec::Spec cb4 = spec::binding(*rdr, "CB4", pm.nbot_loc, pm.m0_loc);
         cb4.conclusion = spec::LocSet::process(
             {rdr->process.find_loc(pm.m0_loc),
              rdr->process.find_loc(pm.m1_loc)});
-        plan.add_check(report.termination, *rdr, std::move(cb4));
+        add_check(report.termination, *rdr, std::move(cb4));
         if (opts.run_sweeps) {
-          plan.add_sweep(report.termination, "C2'", pm, rd_prob,
-                         &check_c2prime_instance);
+          add_sweep(report.termination, "C2'", rd_prob,
+                    &check_c2prime_instance);
         }
         break;
       }
@@ -489,6 +510,15 @@ struct ProtocolRun::Impl {
       Obligation& o = t.prop->obligations[t.slot];
       if (t.result) {
         o = from_check(o.name, *t.result);
+        if (opts.replay_ce && o.ce_data) {
+          // Close the loop: concretize the schema counterexample and step
+          // it through the explicit semantics. Replay is deterministic, so
+          // this keeps reports byte-identical across jobs widths.
+          replay::ReplayReport rr =
+              replay::replay_counterexample(*t.sys, t.spec, *o.ce_data);
+          o.replay = rr.detail;
+          o.replay_ok = rr.ok();
+        }
       } else {
         // Skipped by budget exhaustion or cancellation: inconclusive.
         o.holds = false;

@@ -19,6 +19,7 @@
 #pragma once
 
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -52,6 +53,15 @@ struct Options {
   /// the run stays within budget: results are merged back in canonical
   /// obligation/instance order and each task is internally deterministic.
   int jobs = 0;
+  /// Replay every schema counterexample through the concretization engine
+  /// (src/replay) and record the ReplayReport summary on the obligation.
+  /// Replay is deterministic, so reports stay byte-identical across jobs.
+  bool replay_ce = false;
+  /// When non-empty, plan only the obligations whose canonical names are
+  /// listed (see protocols::obligation_names); everything else is skipped
+  /// entirely — no slot, no budget charge. `ctaver check` uses this to
+  /// discharge exactly the spec-declared regression surface.
+  std::vector<std::string> only_obligations;
 };
 
 /// One discharged proof obligation.
@@ -75,6 +85,16 @@ struct Obligation {
   /// Informational detail (e.g. the swept instance tags); never consulted
   /// for verdicts.
   std::string detail;
+  /// Structured schema counterexample (parametric obligations only) — what
+  /// the replay engine concretizes. Sweep failures carry instance tags in
+  /// `ce` instead and cannot be replayed.
+  std::optional<schema::Counterexample> ce_data;
+  /// Replay summary when Options.replay_ce was set and this obligation
+  /// produced a structured counterexample; empty otherwise. replay_ok means
+  /// the concretized schedule was applicable AND re-established the
+  /// violation with the LIA solver out of the loop.
+  std::string replay;
+  bool replay_ok = false;
 };
 
 struct PropertyResult {

@@ -483,6 +483,121 @@ protocol P {
                ParseError);
 }
 
+// --- expect blocks ----------------------------------------------------------
+
+/// kMiniSpec with `extra` spliced in before the protocol's closing brace.
+std::string mini_with(const std::string& extra) {
+  std::string text = kMiniSpec;
+  std::size_t brace = text.rfind('}');
+  text.insert(brace, extra + "\n");
+  return text;
+}
+
+TEST(Expect, VerdictsLowerOntoTheModel) {
+  protocols::ProtocolModel pm = load_spec_string(
+      mini_with("expect { Inv1(v=0) violated; C1 holds; C2' holds; }"),
+      "mini.cta");
+  ASSERT_EQ(pm.expects.size(), 3u);
+  EXPECT_EQ(pm.expects[0].obligation, "Inv1(v=0)");
+  EXPECT_TRUE(pm.expects[0].violated);
+  EXPECT_EQ(pm.expects[1].obligation, "C1");
+  EXPECT_FALSE(pm.expects[1].violated);
+  EXPECT_EQ(pm.expects[2].obligation, "C2'");
+  EXPECT_FALSE(pm.attack.has_value());
+}
+
+TEST(Expect, AttackSketchLowersOntoTheModel) {
+  protocols::ProtocolModel pm = load_spec_string(
+      mini_with("expect { Inv1(v=0) holds;\n"
+                "  attack split_vote {\n"
+                "    simulator miller18;\n"
+                "    system n = 5, t = 1;\n"
+                "    inputs 0, 1, 0;\n"
+                "    rounds 3;\n"
+                "    seed 9;\n"
+                "    outcome decision;\n"
+                "  }\n"
+                "}"),
+      "mini.cta");
+  ASSERT_TRUE(pm.attack.has_value());
+  EXPECT_EQ(pm.attack->script, "split_vote");
+  EXPECT_EQ(pm.attack->simulator, "miller18");
+  EXPECT_EQ(pm.attack->n, 5);
+  EXPECT_EQ(pm.attack->t, 1);
+  EXPECT_EQ(pm.attack->inputs, (std::vector<int>{0, 1, 0}));
+  EXPECT_EQ(pm.attack->rounds, 3);
+  EXPECT_EQ(pm.attack->seed, 9u);
+  EXPECT_TRUE(pm.attack->expect_decision);
+}
+
+TEST(Expect, UnknownObligationIsDiagnosedWithVocabulary) {
+  // CB2 belongs to category (C); this spec is category (B).
+  auto diags = diags_of(mini_with("expect { CB2 violated; }"));
+  EXPECT_TRUE(has_diag(diags, "unknown obligation 'CB2'"))
+      << all_messages(diags);
+  EXPECT_TRUE(has_diag(diags, "category B")) << all_messages(diags);
+  EXPECT_TRUE(has_diag(diags, "C2'")) << all_messages(diags);  // vocabulary
+}
+
+TEST(Expect, DuplicateVerdictIsDiagnosed) {
+  auto diags = diags_of(
+      mini_with("expect { Inv1(v=0) holds; Inv1(v=0) violated; }"));
+  EXPECT_TRUE(has_diag(diags, "duplicate expected verdict for 'Inv1(v=0)'"))
+      << all_messages(diags);
+}
+
+TEST(Expect, BadVerdictKeywordIsPositioned) {
+  try {
+    parse(mini_with("expect {\n  Inv1(v=0) maybe;\n}"), "t.cta");
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    ASSERT_EQ(e.diagnostics().size(), 1u);
+    EXPECT_NE(e.diagnostics()[0].message.find(
+                  "expected verdict 'holds' or 'violated'"),
+              std::string::npos);
+    EXPECT_GT(e.diagnostics()[0].pos.line, 1);
+  }
+}
+
+TEST(Expect, DuplicateExpectBlockIsSyntaxError) {
+  EXPECT_THROW(
+      parse(mini_with("expect { C1 holds; }\n  expect { C2' holds; }"),
+            "t.cta"),
+      ParseError);
+}
+
+TEST(Expect, MalformedAttackSketchCollectsDiagnostics) {
+  auto diags = diags_of(
+      mini_with("expect {\n"
+                "  attack split_vote {\n"
+                "    simulator z80;\n"
+                "    system n = 3, t = 3;\n"
+                "    inputs 0, 1;\n"
+                "  }\n"
+                "}"));
+  EXPECT_TRUE(has_diag(diags, "unknown simulator 'z80'"))
+      << all_messages(diags);
+  EXPECT_TRUE(has_diag(diags, "0 <= t < n")) << all_messages(diags);
+  EXPECT_TRUE(has_diag(diags, "exactly 3 correct processes"))
+      << all_messages(diags);
+  EXPECT_TRUE(has_diag(diags, "missing an 'outcome"))
+      << all_messages(diags);
+}
+
+TEST(Expect, SplitVoteNeedsAByzantineProcess) {
+  auto diags = diags_of(
+      mini_with("expect {\n"
+                "  attack split_vote {\n"
+                "    simulator mmr14;\n"
+                "    system n = 3, t = 0;\n"
+                "    inputs 0, 0, 1;\n"
+                "    outcome no_decision;\n"
+                "  }\n"
+                "}"));
+  EXPECT_TRUE(has_diag(diags, "at least one Byzantine"))
+      << all_messages(diags);
+}
+
 // --- registry ---------------------------------------------------------------
 
 TEST(Registry, BuiltinsArePopulated) {

@@ -6,10 +6,12 @@
 // the spec files are the builders, just textual.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdlib>
 #include <string>
 
 #include "frontend/lower.h"
+#include "frontend/registry.h"
 #include "verify/pipeline.h"
 
 namespace ctaver::frontend {
@@ -169,6 +171,62 @@ TEST(RoundTripPipeline, NaiveVotingReportsMatch) {
       EXPECT_EQ(pa->obligations[i].name, pb->obligations[i].name);
       EXPECT_EQ(pa->obligations[i].holds, pb->obligations[i].holds);
       EXPECT_EQ(pa->obligations[i].nschemas, pb->obligations[i].nschemas);
+    }
+  }
+}
+
+// The lowered `expect` declarations must survive the registry round trip:
+// a spec file registered under its name hands the same expectation surface
+// to `ctaver check` as loading the file directly.
+TEST(RoundTripExpect, ExpectationsSurviveTheRegistry) {
+  ProtocolRegistry r = ProtocolRegistry::with_builtins();
+  // Builtins declare nothing.
+  EXPECT_TRUE(r.make("MMR14").expects.empty());
+  EXPECT_FALSE(r.make("MMR14").attack.has_value());
+
+  r.add_file(spec_dir() + "/mmr14.cta");
+  protocols::ProtocolModel pm = r.make("MMR14");
+  ASSERT_EQ(pm.expects.size(), 9u);
+  int violated = 0;
+  for (const protocols::ExpectedVerdict& e : pm.expects) {
+    if (e.violated) {
+      ++violated;
+      EXPECT_TRUE(e.obligation == "CB2" || e.obligation == "CB3")
+          << e.obligation;
+    }
+  }
+  EXPECT_EQ(violated, 2);
+  ASSERT_TRUE(pm.attack.has_value());
+  EXPECT_EQ(pm.attack->script, "split_vote");
+  EXPECT_EQ(pm.attack->simulator, "mmr14");
+  EXPECT_EQ(pm.attack->n, 4);
+  EXPECT_EQ(pm.attack->t, 1);
+  EXPECT_EQ(pm.attack->inputs, (std::vector<int>{0, 0, 1}));
+  EXPECT_FALSE(pm.attack->expect_decision);
+
+  // Direct load and registry factory agree verbatim.
+  protocols::ProtocolModel direct = load_spec_file(spec_dir() + "/mmr14.cta");
+  ASSERT_EQ(direct.expects.size(), pm.expects.size());
+  for (std::size_t i = 0; i < direct.expects.size(); ++i) {
+    EXPECT_EQ(direct.expects[i].obligation, pm.expects[i].obligation);
+    EXPECT_EQ(direct.expects[i].violated, pm.expects[i].violated);
+  }
+}
+
+// Every shipped spec declares a verdict surface drawn from its category's
+// obligation vocabulary (the lowering enforces this; pin it for the corpus).
+TEST(RoundTripExpect, AllSpecsDeclareValidSurfaces) {
+  const char* files[] = {"naive_voting.cta", "rabin83.cta", "cc85a.cta",
+                         "cc85b.cta",        "fmr05.cta",   "ks16.cta",
+                         "mmr14.cta",        "miller18.cta", "aby22.cta"};
+  for (const char* f : files) {
+    protocols::ProtocolModel pm = load_spec_file(spec_dir() + "/" + f);
+    EXPECT_FALSE(pm.expects.empty()) << f;
+    std::vector<std::string> vocab = protocols::obligation_names(pm.category);
+    for (const protocols::ExpectedVerdict& e : pm.expects) {
+      EXPECT_NE(std::find(vocab.begin(), vocab.end(), e.obligation),
+                vocab.end())
+          << f << ": " << e.obligation;
     }
   }
 }
