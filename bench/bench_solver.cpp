@@ -1,18 +1,25 @@
 // Microbenchmark for the incremental LIA solver: runs every parametric
-// obligation of the Table-II suite twice — once with the pre-incremental
-// fresh-solver-per-query encoder ("fresh", the before leg) and once with
-// the long-lived scoped solver ("incremental") — and emits machine-readable
+// obligation of the Table-II suite per leg — the pre-incremental
+// fresh-solver-per-query encoder ("fresh", the before leg), the long-lived
+// scoped solver ("incremental"), and optionally the partitioned parallel
+// enumeration ("partitioned", --workers N > 1) — and emits machine-readable
 // JSON with queries, simplex pivots, pivots/query, schemas/sec, and the
-// before/after ratios. Both legs run the exact same deterministic query
-// set (jobs=1, sweeps off, schema cap instead of a wall clock), so the
-// pivot ratio is a query-for-query comparison, not a budget artifact.
+// between-leg ratios. All legs run the same deterministic query set
+// (jobs=1, sweeps off), so on runs that complete within the schema cap the
+// pivot comparison is query-for-query: the partitioned leg's canonical
+// merge makes its pivot counts byte-identical to the 1-worker incremental
+// leg's ("pivots_match"), only the wall clock changes. Budget-truncated
+// runs race the shared schema cap across workers, so there the partitioned
+// numbers measure throughput at equal work volume, not pivot identity.
 //
-//   bench_solver [--max-schemas N] [--budget SECONDS] [--specs DIR]
-//                [--out FILE] [PROTOCOL...]
+//   bench_solver [--max-schemas N] [--budget SECONDS] [--workers N]
+//                [--specs DIR] [--out FILE] [PROTOCOL...]
 //
 // Defaults: the paper's eight Table-II protocols, 1500 schemas and 300 s
-// per (protocol, mode). The committed BENCH_solver.json is produced by the
-// defaults; CI smoke-runs `bench_solver --max-schemas 50 --budget 20`.
+// per (protocol, mode), workers 1 (no partitioned leg). The committed
+// BENCH_solver.json is produced with --workers 4; CI smoke-runs a small
+// complete-regime workload and diffs the pivot counts against the
+// committed bench/bench_solver_smoke.json baseline.
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
@@ -53,6 +60,7 @@ int main(int argc, char** argv) {
 
   long long max_schemas = 1500;
   double budget_s = 300.0;
+  int workers = 1;
   std::string specs_dir;
   std::string out_path;
   std::vector<std::string> protocols;
@@ -61,6 +69,8 @@ int main(int argc, char** argv) {
       max_schemas = std::atoll(argv[++i]);
     } else if (std::strcmp(argv[i], "--budget") == 0 && i + 1 < argc) {
       budget_s = std::atof(argv[++i]);
+    } else if (std::strcmp(argv[i], "--workers") == 0 && i + 1 < argc) {
+      workers = std::atoi(argv[++i]);
     } else if (std::strcmp(argv[i], "--specs") == 0 && i + 1 < argc) {
       specs_dir = argv[++i];
     } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
@@ -85,64 +95,87 @@ int main(int argc, char** argv) {
     opts.schema.max_schemas = max_schemas;
     opts.schema.time_budget_s = budget_s;
 
+    struct Leg {
+      const char* name;
+      bool incremental;
+      int workers;
+    };
+    std::vector<Leg> legs = {{"fresh", false, 1}, {"incremental", true, 1}};
+    const bool partitioned = workers > 1;
+    if (partitioned) legs.push_back({"partitioned", true, workers});
+    const std::size_t nlegs = legs.size();
+
     std::ostringstream json;
     json << "{\n  \"benchmark\": \"ctaver_solver\",\n"
          << "  \"config\": {\"max_schemas\": " << max_schemas
-         << ", \"time_budget_s\": " << budget_s << ", \"jobs\": 1},\n"
+         << ", \"time_budget_s\": " << budget_s << ", \"jobs\": 1"
+         << ", \"workers\": " << workers << "},\n"
          << "  \"protocols\": [\n";
 
-    ModeStats total_fresh, total_inc;
+    std::vector<ModeStats> totals(nlegs);
     bool first = true;
     for (const std::string& name : protocols) {
       protocols::ProtocolModel pm = registry.resolve(name);
-      ModeStats stats[2];
-      for (int mode = 0; mode < 2; ++mode) {
-        verify::Options mode_opts = opts;
-        mode_opts.schema.incremental = mode == 1;
+      std::vector<ModeStats> stats(nlegs);
+      for (std::size_t leg = 0; leg < nlegs; ++leg) {
+        verify::Options leg_opts = opts;
+        leg_opts.schema.incremental = legs[leg].incremental;
+        leg_opts.schema.workers = legs[leg].workers;
         util::Stopwatch watch;
         verify::ProtocolReport report =
-            verify::verify_protocol(pm, mode_opts);
-        stats[mode].seconds = watch.seconds();
+            verify::verify_protocol(pm, leg_opts);
+        stats[leg].seconds = watch.seconds();
         for (const verify::PropertyResult* p :
              {&report.agreement, &report.validity, &report.termination}) {
-          stats[mode].queries += p->nschemas();
-          stats[mode].pivots += p->npivots();
+          stats[leg].queries += p->nschemas();
+          stats[leg].pivots += p->npivots();
           for (const verify::Obligation& o : p->obligations) {
-            if (o.parametric && !o.complete) stats[mode].complete = false;
+            if (o.parametric && !o.complete) stats[leg].complete = false;
           }
         }
-        std::cerr << name << " " << (mode == 1 ? "incremental" : "fresh")
-                  << ": " << stats[mode].queries << " queries, "
-                  << stats[mode].pivots << " pivots, " << stats[mode].seconds
-                  << " s\n";
+        std::cerr << name << " " << legs[leg].name << ": "
+                  << stats[leg].queries << " queries, " << stats[leg].pivots
+                  << " pivots, " << stats[leg].seconds << " s\n";
       }
-      total_fresh.queries += stats[0].queries;
-      total_fresh.pivots += stats[0].pivots;
-      total_fresh.seconds += stats[0].seconds;
-      total_fresh.complete = total_fresh.complete && stats[0].complete;
-      total_inc.queries += stats[1].queries;
-      total_inc.pivots += stats[1].pivots;
-      total_inc.seconds += stats[1].seconds;
-      total_inc.complete = total_inc.complete && stats[1].complete;
+      for (std::size_t leg = 0; leg < nlegs; ++leg) {
+        totals[leg].queries += stats[leg].queries;
+        totals[leg].pivots += stats[leg].pivots;
+        totals[leg].seconds += stats[leg].seconds;
+        totals[leg].complete = totals[leg].complete && stats[leg].complete;
+      }
 
       if (!first) json << ",\n";
       first = false;
       json << "    {\"name\": \"" << name << "\",\n"
            << "     \"fresh\": " << mode_json(stats[0]) << ",\n"
-           << "     \"incremental\": " << mode_json(stats[1]) << ",\n"
-           << "     \"pivot_reduction\": "
+           << "     \"incremental\": " << mode_json(stats[1]) << ",\n";
+      if (partitioned) {
+        json << "     \"partitioned\": " << mode_json(stats[2]) << ",\n"
+             << "     \"partitioned_pivots_match\": "
+             << (stats[2].pivots == stats[1].pivots ? "true" : "false")
+             << ", \"partitioned_speedup\": "
+             << ratio(stats[1].seconds, stats[2].seconds) << ",\n";
+      }
+      json << "     \"pivot_reduction\": "
            << ratio(double(stats[0].pivots), double(stats[1].pivots))
            << ", \"speedup\": "
            << ratio(stats[0].seconds, stats[1].seconds) << "}";
     }
     json << "\n  ],\n"
          << "  \"total\": {\n"
-         << "    \"fresh\": " << mode_json(total_fresh) << ",\n"
-         << "    \"incremental\": " << mode_json(total_inc) << ",\n"
-         << "    \"pivot_reduction\": "
-         << ratio(double(total_fresh.pivots), double(total_inc.pivots))
+         << "    \"fresh\": " << mode_json(totals[0]) << ",\n"
+         << "    \"incremental\": " << mode_json(totals[1]) << ",\n";
+    if (partitioned) {
+      json << "    \"partitioned\": " << mode_json(totals[2]) << ",\n"
+           << "    \"partitioned_pivots_match\": "
+           << (totals[2].pivots == totals[1].pivots ? "true" : "false")
+           << ",\n    \"partitioned_speedup\": "
+           << ratio(totals[1].seconds, totals[2].seconds) << ",\n";
+    }
+    json << "    \"pivot_reduction\": "
+         << ratio(double(totals[0].pivots), double(totals[1].pivots))
          << ",\n    \"speedup\": "
-         << ratio(total_fresh.seconds, total_inc.seconds) << "\n  }\n}\n";
+         << ratio(totals[0].seconds, totals[1].seconds) << "\n  }\n}\n";
 
     std::cout << json.str();
     if (!out_path.empty()) {

@@ -6,13 +6,15 @@
 // Protocols are resolved through frontend::ProtocolRegistry, so spec
 // directories can be benchmarked wholesale:
 //
-//   bench_table2 [--budget SECONDS] [--jobs N] [--specs DIR] [PROTOCOL...]
+//   bench_table2 [--budget SECONDS] [--jobs N] [--workers N] [--specs DIR]
+//                [PROTOCOL...]
 //
 // --budget is the shared wall-clock budget per protocol (default 60; the
 // committed table2_results.txt was produced with --budget 360). PROTOCOL is
 // a registry name or a .cta path; the default list is the paper's Table-II
-// order. --jobs 0 (default) uses every hardware thread; the rows are
-// identical at any width, only the times change.
+// order. --jobs 0 (default) uses every hardware thread; --workers N > 1
+// adds partitioned enumeration workers inside each obligation. The rows are
+// identical at any (jobs, workers) width, only the times change.
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
@@ -38,6 +40,8 @@ int main(int argc, char** argv) {
       opts.schema.time_budget_s = std::atof(argv[++i]);
     } else if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
       jobs = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--workers") == 0 && i + 1 < argc) {
+      opts.schema.workers = std::atoi(argv[++i]);
     } else if (std::strcmp(argv[i], "--specs") == 0 && i + 1 < argc) {
       specs_dir = argv[++i];
     } else {
@@ -47,6 +51,7 @@ int main(int argc, char** argv) {
   opts.jobs = jobs;
   const int threads =
       jobs > 0 ? jobs : util::ThreadPool::hardware_workers();
+  const int workers = opts.schema.workers > 0 ? opts.schema.workers : 1;
 
   try {
     frontend::ProtocolRegistry registry =
@@ -62,13 +67,15 @@ int main(int argc, char** argv) {
               << "(nschemas = LIA queries incl. prefix probes; times in "
                  "seconds; sweeps for (C1)/(C2') add no schemas)\n\n"
               << verify::table2_header()
-              << util::pad_left("threads", 9) << "\n";
+              << util::pad_left("threads", 9)
+              << util::pad_left("workers", 9) << "\n";
     // One pool shared by every protocol: all tasks are in flight from the
     // start, so a cheap protocol's tail overlaps the next one's ramp-up.
     // Rows are still merged and printed in the canonical order.
     auto emit = [&](verify::ProtocolReport report) {
       std::cout << verify::table2_row(report)
-                << util::pad_left(std::to_string(threads), 9) << "\n";
+                << util::pad_left(std::to_string(threads), 9)
+                << util::pad_left(std::to_string(workers), 9) << "\n";
       std::string fail = report.termination.failure();
       if (!fail.empty()) std::cout << "    CE -> " << fail << "\n";
       std::cout.flush();

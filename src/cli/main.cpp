@@ -55,6 +55,10 @@ int usage(std::ostream& os, int code) {
         "  --time-budget S    wall-clock budget per protocol (seconds)\n"
         "  --jobs N           obligation-scheduler workers (0 = all cores,\n"
         "                     1 = serial; reports are identical either way)\n"
+        "  --workers N        enumeration workers inside each obligation\n"
+        "                     (partitioned schema enumeration; default 1,\n"
+        "                     0 = all cores; reports are byte-identical for\n"
+        "                     every jobs x workers combination)\n"
         "  --sweep a,b,...    override sweep instances (repeatable)\n"
         "  --replay-ce        verify: replay every schema counterexample\n"
         "                     through the concretization engine (src/replay)\n"
@@ -73,6 +77,7 @@ struct Args {
   long long max_schemas = 0;   // 0: keep the pipeline default
   double time_budget = 0;      // 0: keep the pipeline default
   int jobs = 0;                // 0: one worker per hardware thread
+  int workers = -1;            // -1: keep the pipeline default (1)
   std::vector<std::vector<long long>> sweep_override;
 };
 
@@ -108,7 +113,7 @@ bool parse_args(int argc, char** argv, Args& args) {
       if (v == nullptr) return false;
       args.specs_dir = v;
     } else if (a == "--max-states" || a == "--max-schemas" ||
-               a == "--time-budget" || a == "--jobs") {
+               a == "--time-budget" || a == "--jobs" || a == "--workers") {
       const char* v = value();
       if (v == nullptr) return false;
       try {
@@ -119,6 +124,9 @@ bool parse_args(int argc, char** argv, Args& args) {
         } else if (a == "--jobs") {
           args.jobs = std::stoi(v);
           if (args.jobs < 0) throw std::invalid_argument("negative");
+        } else if (a == "--workers") {
+          args.workers = std::stoi(v);
+          if (args.workers < 0) throw std::invalid_argument("negative");
         } else {
           args.time_budget = std::stod(v);
         }
@@ -280,6 +288,13 @@ ctaver::verify::Options base_options(const Args& args) {
   ctaver::verify::Options opts;
   opts.run_sweeps = !args.no_sweeps;
   opts.jobs = args.jobs;
+  if (args.workers >= 0) {
+    // --workers 0 = all cores. Resolved here because the pipeline treats 0
+    // as "keep the deterministic-by-default width of 1".
+    opts.schema.workers =
+        args.workers == 0 ? ctaver::util::ThreadPool::hardware_workers()
+                          : args.workers;
+  }
   if (args.max_states > 0) opts.max_states = args.max_states;
   if (args.max_schemas > 0) opts.schema.max_schemas = args.max_schemas;
   if (args.time_budget > 0) opts.schema.time_budget_s = args.time_budget;

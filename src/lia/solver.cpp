@@ -28,6 +28,7 @@ int Solver::alloc_internal(std::optional<Rational> lb,
   beta_.push_back(std::move(init));
   row_of_.push_back(-1);
   cols_.emplace_back();
+  owner_.push_back(-1);
   return iv;
 }
 
@@ -213,6 +214,8 @@ void Solver::add(Constraint c) {
   row_sweep_.push_back(0);
   crow_.push_back(s);
   constraints_.push_back(std::move(c));
+  owner_[static_cast<std::size_t>(s)] =
+      static_cast<int>(constraints_.size()) - 1;
 }
 
 // ---------------------------------------------------------------------------
@@ -286,6 +289,7 @@ void Solver::pop_to(Checkpoint cp) {
   beta_.resize(static_cast<std::size_t>(scope.n_internal));
   row_of_.resize(static_cast<std::size_t>(scope.n_internal));
   cols_.resize(static_cast<std::size_t>(scope.n_internal));
+  owner_.resize(static_cast<std::size_t>(scope.n_internal));
   vars_.resize(static_cast<std::size_t>(scope.n_external));
   ext2int_.resize(static_cast<std::size_t>(scope.n_external));
 }
@@ -439,6 +443,10 @@ Result Solver::solve() {
     }
     if (xb == -1) return Result::kSat;
     if (stat_pivots_ >= options_.max_pivots) return Result::kUnknown;
+    if (options_.cancel != nullptr && (stat_pivots_ & 255) == 0 &&
+        options_.cancel->cancelled()) {
+      return Result::kUnknown;
+    }
 
     int r = row_of_[static_cast<std::size_t>(xb)];
     const SparseRow& row = rows_[static_cast<std::size_t>(r)];
@@ -461,7 +469,25 @@ Result Solver::solve() {
         break;
       }
     }
-    if (xn == -1) return Result::kUnsat;
+    if (xn == -1) {
+      // Conflict: xb's row with every nonbasic pinned at a blocking bound.
+      // The tableau row is the combination of exactly the constraint rows
+      // whose slacks appear in it (each slack occurs in one original row
+      // only), so folding the row's variables — and their owning
+      // constraints — into the core maxima summarizes this leaf of the
+      // refutation; see the core comments in solver.h.
+      auto fold = [&](int iv) {
+        core_max_var_ = std::max(core_max_var_, iv);
+        core_max_cons_ =
+            std::max(core_max_cons_, owner_[static_cast<std::size_t>(iv)]);
+      };
+      fold(xb);
+      for (const auto& [v, c] : row) {
+        (void)c;
+        fold(v);
+      }
+      return Result::kUnsat;
+    }
 
     ++stat_pivots_;
     ++total_pivots_;
@@ -480,7 +506,26 @@ Result Solver::do_check(bool relaxed) {
   stat_pivots_ = 0;
   stat_nodes_ = 0;
   model_.clear();
-  if (const_unsat_ > 0) return Result::kUnsat;
+  core_valid_ = false;
+  core_max_cons_ = -1;
+  core_max_var_ = -1;
+  if (const_unsat_ > 0) {
+    // The first violated constant constraint alone refutes the system.
+    for (std::size_t i = 0; i < constraints_.size(); ++i) {
+      if (crow_[i] != -1) continue;
+      const Constraint& c = constraints_[i];
+      const Rational& k = c.expr.constant();
+      bool ok = (c.rel == Rel::kLe && !k.is_positive()) ||
+                (c.rel == Rel::kGe && !k.is_negative()) ||
+                (c.rel == Rel::kEq && k.is_zero());
+      if (!ok) {
+        core_max_cons_ = static_cast<int>(i);
+        break;
+      }
+    }
+    core_valid_ = true;
+    return Result::kUnsat;
+  }
 
   const Checkpoint outer = push();
   // Default window: every externally-unbounded variable is clamped so
@@ -497,15 +542,27 @@ Result Solver::do_check(bool relaxed) {
   }
 
   Result res = Result::kUnsat;
+  // Whether every leaf of the refutation was folded into the core maxima.
+  // A root-level lb>ub pair predates the check and is not attributed;
+  // deeper bound conflicts come from branch asserts, whose variables are
+  // folded below, so those leaves stay tracked.
+  bool tracked = true;
   std::vector<PendingBranch> pending;
   for (;;) {
     if (stat_nodes_ >= options_.max_nodes) {
       res = Result::kUnknown;
       break;
     }
+    if (options_.cancel != nullptr && options_.cancel->cancelled()) {
+      res = Result::kUnknown;
+      break;
+    }
     ++stat_nodes_;
 
     Result r = conflicts_ > 0 ? Result::kUnsat : solve();
+    if (r == Result::kUnsat && conflicts_ > 0 && stat_nodes_ == 1) {
+      tracked = false;
+    }
     if (r == Result::kUnknown) {
       res = Result::kUnknown;
       break;
@@ -533,6 +590,9 @@ Result Solver::do_check(bool relaxed) {
         break;
       }
       int iv = internal(frac);
+      // Branch splits case-split integer points exhaustively, so a split
+      // variable is part of any refutation assembled below it.
+      core_max_var_ = std::max(core_max_var_, iv);
       Int128 fl = beta_[static_cast<std::size_t>(iv)].floor();
       // Explore the "down" branch first: counterexamples with small values
       // make for readable reports. The "up" sibling waits on the stack with
@@ -555,6 +615,7 @@ Result Solver::do_check(bool relaxed) {
   }
 
   pop_to(outer);
+  core_valid_ = res == Result::kUnsat && tracked;
   return res;
 }
 

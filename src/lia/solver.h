@@ -33,6 +33,7 @@
 
 #include "lia/linexpr.h"
 #include "lia/sparse_row.h"
+#include "util/cancel.h"
 #include "util/rational.h"
 
 namespace ctaver::lia {
@@ -53,6 +54,13 @@ struct SolverOptions {
   /// the integers (no model is exposed), but kUnsat remains a proof. Used
   /// for prune-only probes where UNSAT is the actionable answer.
   bool relax_integrality = false;
+  /// Optional cooperative-cancellation source (not owned), polled every 256
+  /// pivots and at every branch-and-bound node. A tripped source makes the
+  /// in-flight check() return kUnknown, which is how the schema checker
+  /// bounds --time-budget overshoot (and sibling-cancellation latency) to a
+  /// few hundred pivots per worker instead of one full query. Determinism:
+  /// a source that never trips never changes any result.
+  const util::CancelSource* cancel = nullptr;
 };
 
 /// Conjunction-of-constraints LIA solver with push()/pop() scopes.
@@ -124,6 +132,38 @@ class Solver {
   /// solver, so the constraint system is unchanged afterwards.
   Result minimize(const LinExpr& objective);
 
+  // --- conflict cores ------------------------------------------------------
+  //
+  // UNSAT-core-lite: instead of a constraint set, the solver exports a
+  // *prefix bound* on the refutation. After a kUnsat whose proof tree was
+  // fully tracked (conflict_core_valid()), every simplex conflict row, every
+  // constraint whose slack appears in one, and every branch-and-bound split
+  // variable lies within the first core_max_constraint()+1 constraints and
+  // the first core_max_var()+1 internal variables. Soundness: a conflict
+  // row is the combination of exactly the constraint rows whose slacks
+  // appear in it, so the conjunction of that constraint prefix plus the
+  // bounds of that variable prefix is already integer-infeasible (the B&B
+  // splits, all on tracked variables, case-split integer points
+  // exhaustively) — any system containing an isomorphic copy of those
+  // prefixes is UNSAT without solving. The schema checker compares the
+  // maxima against its emission-divergence markers to skip sibling witness
+  // placements.
+
+  /// True iff the last check()'s kUnsat refutation was fully tracked
+  /// (pre-existing lb>ub bound conflicts are the untracked case). Only
+  /// meaningful after a check that returned kUnsat.
+  [[nodiscard]] bool conflict_core_valid() const { return core_valid_; }
+  /// Largest constraint index participating in the refutation, -1 if none.
+  [[nodiscard]] int core_max_constraint() const { return core_max_cons_; }
+  /// Largest internal variable id participating, -1 if none. Compare
+  /// against internal_size() snapshots taken while asserting.
+  [[nodiscard]] int core_max_var() const { return core_max_var_; }
+  /// Number of internal (structural + slack) variables currently live —
+  /// the marker companion to core_max_var().
+  [[nodiscard]] int internal_size() const {
+    return static_cast<int>(beta_.size());
+  }
+
   /// Statistics of the last check().
   [[nodiscard]] long long last_pivots() const { return stat_pivots_; }
   [[nodiscard]] long long last_nodes() const { return stat_nodes_; }
@@ -187,6 +227,7 @@ class Solver {
   std::vector<int> ext2int_;
   std::vector<Constraint> constraints_;
   std::vector<int> crow_;  // constraint -> internal slack id, -1 if constant
+  std::vector<int> owner_;  // internal var -> owning constraint, -1 if none
   int const_unsat_ = 0;    // violated constant constraints currently active
 
   // Tableau over internal ids (structural + slack interleaved).
@@ -230,6 +271,9 @@ class Solver {
   std::vector<Var> scratch_vars_;          // new-entry buffer for the index
 
   std::vector<util::Int128> model_;
+  bool core_valid_ = false;  // see conflict_core_valid()
+  int core_max_cons_ = -1;
+  int core_max_var_ = -1;
   long long stat_pivots_ = 0;
   long long stat_nodes_ = 0;
   long long total_pivots_ = 0;

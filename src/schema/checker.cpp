@@ -3,13 +3,12 @@
 #include <algorithm>
 #include <atomic>
 #include <climits>
+#include <cstdint>
 #include <functional>
-#include <mutex>
+#include <memory>
 #include <sstream>
 #include <stdexcept>
 #include <thread>
-#include <condition_variable>
-#include <deque>
 
 #include "util/logging.h"
 #include "util/stopwatch.h"
@@ -167,30 +166,50 @@ std::vector<RuleView> make_rule_views(const ta::System& sys,
 // ---------------------------------------------------------------------------
 class Encoder {
  public:
+  /// `cancel` (not owned, may be null) is polled inside every solver call;
+  /// a tripped source turns the in-flight query kUnknown, bounding budget
+  /// overshoot and sibling-cancellation latency to a few hundred pivots.
   Encoder(const ta::System& sys, const GuardTable& table,
-          const std::vector<RuleView>& rules, const CheckOptions& opts)
+          const std::vector<RuleView>& rules, const CheckOptions& opts,
+          const util::CancelSource* cancel = nullptr)
       : sys_(&sys),
         table_(&table),
         rules_(&rules),
         opts_(&opts),
+        solver_opts_(opts.solver),
         n_proc_(static_cast<int>(sys.process.locations.size())),
         n_coin_(static_cast<int>(sys.coin.locations.size())),
         flip_pos_(table.guards.size(), kUnflipped) {
+    solver_opts_.cancel = cancel;
     if (opts_->incremental) {
-      inc_.solver = Solver(opts_->solver);
+      inc_.solver = Solver(solver_opts_);
       assert_prelude(inc_);
     }
   }
 
   /// Prefix-feasibility probe over the incremental solver: SAT of the
   /// rational relaxation of "some schedule realizes this milestone order".
-  bool probe(const std::vector<int>& flips, bool* unknown) {
+  /// On UNSAT, `siblings_unsat` (when non-null) is set if the conflict core
+  /// provably avoids the final milestone constraint — the only constraint
+  /// a same-parent sibling order does not share (the parent scopes are
+  /// literally the same solver state, and the last segment's batch emission
+  /// depends only on the set of flipped guards, which siblings agree on up
+  /// to the final position) — so every remaining sibling is UNSAT too.
+  bool probe(const std::vector<int>& flips, bool* unknown,
+             bool* siblings_unsat = nullptr) {
     set_flips(flips);
     sync_levels(flips, flips.size());
+    ++nqueries_;
     Result res = inc_.solver.check_relaxed();
     if (res == Result::kUnknown) {
       *unknown = true;
       return false;
+    }
+    if (res == Result::kUnsat && siblings_unsat != nullptr &&
+        !levels_.empty() && inc_.solver.conflict_core_valid()) {
+      *siblings_unsat =
+          inc_.solver.core_max_constraint() < levels_.back().marker_cons &&
+          inc_.solver.core_max_var() < levels_.back().marker_var;
     }
     return res == Result::kSat;
   }
@@ -198,8 +217,23 @@ class Encoder {
   /// SAT of one (prefix, cut placement) spec query over the incremental
   /// solver. Counterexamples are extracted separately via solve_fresh so
   /// the reported model never depends on warm-solver state.
+  ///
+  /// On UNSAT, `later_cuts_unsat` (when non-null; pass only for two-cut
+  /// shapes with swap_cuts=false) is set if the conflict core lies entirely
+  /// before the conclusion witness's emission point. Every placement
+  /// (cut1, cut2' > cut2) emits the identical constraint sequence up to
+  /// that point — segments below cut2 (premise cut included) are unchanged
+  /// and the conclusion witness plus its re-emission pass simply move later
+  /// — so the core embeds verbatim and those placements are UNSAT without
+  /// solving. This is the non-degenerate face of UNSAT-core skipping: a
+  /// probe core must involve its final milestone (the milestone is the only
+  /// lower-bound forcer — anything before it extends the parent's solution
+  /// with empty batches), but a query core frequently stops at an
+  /// infeasible premise placement, which kills the whole cut2 row.
   bool query_sat(const std::vector<int>& flips, int cut1, int cut2,
-                 bool swap_cuts, const spec::Spec& spec, bool* unknown) {
+                 bool swap_cuts, const spec::Spec& spec, bool* unknown,
+                 bool* later_cuts_unsat = nullptr) {
+    ++nqueries_;
     set_flips(flips);
     const int nseg = static_cast<int>(flips.size()) + 1;
     const bool two_cuts =
@@ -210,6 +244,8 @@ class Encoder {
     sync_levels(flips, static_cast<std::size_t>(d));
     Snapshot snap = snapshot(inc_);
     Solver::Checkpoint cp = inc_.solver.push();
+    inc_.marker_cons = -1;
+    inc_.marker_var = -1;
     if (spec.shape == spec::Shape::kInitialImpliesGlobally) {
       assert_initial_premise(inc_, spec);
     }
@@ -217,6 +253,12 @@ class Encoder {
       emit_segment_with_cuts(inc_, s, cut1, cut2, swap_cuts, &spec, flips);
     }
     Result res = inc_.solver.check();
+    if (res == Result::kUnsat && later_cuts_unsat != nullptr &&
+        inc_.marker_cons >= 0 && inc_.solver.conflict_core_valid()) {
+      *later_cuts_unsat =
+          inc_.solver.core_max_constraint() < inc_.marker_cons &&
+          inc_.solver.core_max_var() < inc_.marker_var;
+    }
     inc_.solver.pop_to(cp);
     restore(inc_, snap);
     if (res == Result::kUnknown) {
@@ -237,7 +279,8 @@ class Encoder {
                                             bool* unknown,
                                             bool* sat = nullptr,
                                             bool swap_cuts = false) {
-    lia::SolverOptions solver_opts = opts_->solver;
+    ++nqueries_;
+    lia::SolverOptions solver_opts = solver_opts_;
     // Prune-only probes act on UNSAT alone: the rational relaxation is
     // enough (and much cheaper than branch & bound).
     if (!spec) solver_opts.relax_integrality = true;
@@ -318,6 +361,10 @@ class Encoder {
     return fresh_pivots_ + inc_.solver.total_pivots();
   }
 
+  /// LIA solver invocations made by this encoder (probes, spec queries,
+  /// fresh counterexample re-solves). Core-skipped probes never reach here.
+  [[nodiscard]] long long queries() const { return nqueries_; }
+
  private:
   struct BatchVar {
     lia::Var x;
@@ -337,6 +384,12 @@ class Encoder {
     std::vector<char> reachable;    // cumulative location reachability
     std::vector<BatchVar> batches;
     int batch_serial = 0;
+    /// Constraint and internal-variable counts at the moment the conclusion
+    /// witness of the query being emitted was asserted (-1 before that
+    /// point): the emission-divergence markers the sibling-cut-placement
+    /// skip in query_sat compares the conflict-core maxima against.
+    int marker_cons = -1;
+    int marker_var = -1;
   };
 
   /// Rolling emission state at a segment boundary (everything needed to
@@ -353,6 +406,10 @@ class Encoder {
   /// state to rewind to when the level is popped.
   struct Level {
     int guard = -1;
+    /// Emission markers taken just before the flip constraint — the only
+    /// constraint a same-parent sibling order does not share.
+    int marker_cons = -1;
+    int marker_var = -1;
     Solver::Checkpoint cp;
     Snapshot before;
   };
@@ -572,6 +629,10 @@ class Encoder {
     }
     emit_part(m, s);
     for (const spec::LocSet* set : cuts) {
+      if (spec != nullptr && set == &spec->conclusion) {
+        m.marker_cons = static_cast<int>(m.solver.constraints().size());
+        m.marker_var = m.solver.internal_size();
+      }
       witness(m, *set);
       emit_part(m, s);
     }
@@ -610,6 +671,8 @@ class Encoder {
       lv.before = snapshot(inc_);
       lv.cp = inc_.solver.push();
       emit_part(inc_, static_cast<int>(k));
+      lv.marker_cons = static_cast<int>(inc_.solver.constraints().size());
+      lv.marker_var = inc_.solver.internal_size();
       milestone(inc_, flips[k]);
       levels_.push_back(std::move(lv));
     }
@@ -619,6 +682,7 @@ class Encoder {
   const GuardTable* table_;
   const std::vector<RuleView>* rules_;
   const CheckOptions* opts_;
+  lia::SolverOptions solver_opts_;  // opts_->solver + the cancel source
   const int n_proc_;
   const int n_coin_;
 
@@ -628,6 +692,7 @@ class Encoder {
   Model inc_;                   // long-lived incremental model
   std::vector<Level> levels_;   // asserted prefix (scope per level)
   long long fresh_pivots_ = 0;
+  long long nqueries_ = 0;
 };
 
 // ---------------------------------------------------------------------------
@@ -645,29 +710,10 @@ struct Enumerator {
   /// Calls visit(flips) for every admissible milestone order (including the
   /// empty one) in DFS prefix order; kSkipChildren prunes the subtree below
   /// the current order. Returns false iff stopped by kStop.
-  bool run(const VisitFn& visit) const { return run_partition(0, 1, visit); }
-
-  /// Worker `worker` of `workers` explores the depth-1 subtrees whose first
-  /// milestone index is congruent to `worker` (worker 0 also visits the
-  /// empty order). The union over workers covers the full enumeration.
-  bool run_partition(int worker, int workers, const VisitFn& visit) const {
+  bool run(const VisitFn& visit) const {
     std::vector<int> flips;
     std::vector<bool> used(table.guards.size(), false);
-    if (worker == 0) {
-      Walk w = visit(flips);
-      if (w == Walk::kStop) return false;
-      if (w == Walk::kSkipChildren) return true;
-    }
-    for (int g = worker; g < table.num_guards(); g += workers) {
-      if (!admissible_next(g, flips, used)) continue;
-      used[static_cast<std::size_t>(g)] = true;
-      flips.push_back(g);
-      bool cont = rec(flips, used, visit);
-      flips.pop_back();
-      used[static_cast<std::size_t>(g)] = false;
-      if (!cont) return false;
-    }
-    return true;
+    return rec(flips, used, visit);
   }
 
   [[nodiscard]] bool admissible_next(int g, const std::vector<int>& flips,
@@ -762,6 +808,334 @@ int first_witness_segment(const GuardTable& table,
   return best;
 }
 
+// ---------------------------------------------------------------------------
+// Partitioned deterministic enumeration.
+//
+// The canonical enumeration order is level-major: all milestone orders of
+// length d (in lexicographic sibling order) before any of length d+1, each
+// followed by its witness placements — the order the pre-partitioned serial
+// checker already used. check_spec splits that tree statically at
+// CheckOptions::partition_depth: prefixes shorter than the split form the
+// serial *stem*, every surviving split-depth prefix roots one *unit*, and
+// units are assigned round-robin (in canonical sibling order) to the
+// enumeration workers. Each unit runs breadth-first with its own warm
+// incremental solver — so its per-query pivot counts depend only on the
+// unit, never on which worker ran it or what ran concurrently — and records
+// per-level tallies. The merge then replays the canonical order: totals
+// accumulate level by level, and the first counterexample in canonical
+// order wins (an atomic min over (depth, unit) keys lets doomed units stop
+// early without ever influencing the merged bytes). The result: CheckResult
+// is byte-identical for every `workers` value, within budget.
+// ---------------------------------------------------------------------------
+
+/// Canonical position of (depth, unit) in the level-major order; smaller is
+/// earlier. Unit 0 is the stem, which only owns depths below the split.
+constexpr std::uint64_t order_key(int depth, std::size_t unit) {
+  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(depth))
+          << 32) |
+         static_cast<std::uint32_t>(unit);
+}
+constexpr std::uint64_t kNoCe = ~std::uint64_t{0};
+
+/// Everything the stem and the subtree units share.
+struct EnumContext {
+  const ta::System* sys = nullptr;
+  const spec::Spec* spec = nullptr;
+  const GuardTable* table = nullptr;
+  const std::vector<RuleView>* rules = nullptr;
+  const CheckOptions* opts = nullptr;
+  const Enumerator* enumerator = nullptr;
+  SharedBudget* budget = nullptr;
+  bool two_cuts = false;
+  /// order_key of the canonically-best counterexample found so far.
+  std::atomic<std::uint64_t> best_ce{kNoCe};
+  std::atomic<bool> budget_hit{false};
+};
+
+/// Cancel source handed to a unit's solver: trips on budget exhaustion
+/// (deadline included, so --time-budget overshoot stays bounded by the
+/// solver's pivot-poll granularity) or once a canonically-earlier
+/// counterexample makes this unit's current level moot. self_key is written
+/// by the owning worker thread only and read back on the same thread from
+/// inside the solver.
+struct UnitCancel final : util::CancelSource {
+  const SharedBudget* budget = nullptr;
+  const std::atomic<std::uint64_t>* best_ce = nullptr;
+  std::uint64_t self_key = 0;
+  [[nodiscard]] bool cancelled() const override {
+    return best_ce->load(std::memory_order_relaxed) < self_key ||
+           budget->exhausted();
+  }
+};
+
+/// One BFS work item: a milestone-order prefix plus its sibling-group id.
+/// Children of one parent share a group; UNSAT-core sibling skipping never
+/// crosses group (or unit) boundaries, which keeps it order-deterministic.
+struct PrefixItem {
+  std::vector<int> flips;
+  long long group = 0;
+};
+
+/// One enumeration unit: the breadth-first exploration of one milestone-
+/// prefix subtree with its own warm incremental solver (the prelude plus
+/// the root's scopes are replayed on construction via the encoder's level
+/// sync), advanced one level at a time so a worker interleaves its units in
+/// canonical level order. Unit 0 — the stem — starts at the empty prefix,
+/// stops below the split depth, and exports the surviving split-depth
+/// prefixes as the roots of units 1..K.
+class SubtreeRun {
+ public:
+  SubtreeRun(EnumContext& cx, std::size_t index, std::vector<int> root,
+             int max_depth, std::vector<std::vector<int>>* overflow)
+      : cx_(&cx),
+        index_(index),
+        depth_(static_cast<int>(root.size())),
+        base_depth_(depth_),
+        max_depth_(max_depth),
+        overflow_(overflow) {
+    cancel_.budget = cx.budget;
+    cancel_.best_ce = &cx.best_ce;
+    cancel_.self_key = order_key(depth_, index_);
+    encoder_ = std::make_unique<Encoder>(*cx.sys, *cx.table, *cx.rules,
+                                         *cx.opts, &cancel_);
+    cur_.push_back({std::move(root), 0});
+  }
+
+  [[nodiscard]] bool active() const { return active_; }
+  [[nodiscard]] std::size_t index() const { return index_; }
+  [[nodiscard]] bool unknown_at_or_below(int cutoff) const {
+    return unknown_depth_ >= 0 && unknown_depth_ <= cutoff;
+  }
+  [[nodiscard]] std::optional<Counterexample> take_ce() {
+    return std::move(ce_);
+  }
+
+  /// Adds this unit's budget charges / solver queries / pivots for every
+  /// level with depth <= cutoff into the totals. Callers only ever ask for
+  /// cutoffs this unit is guaranteed to have completed (see the merge).
+  void accumulate(int cutoff, long long* charges, long long* queries,
+                  long long* pivots) const {
+    for (std::size_t i = 0; i < level_charges_.size(); ++i) {
+      if (base_depth_ + static_cast<int>(i) > cutoff) break;
+      *charges += level_charges_[i];
+      *queries += level_queries_[i];
+      *pivots += level_pivots_[i];
+    }
+  }
+
+  /// Processes every prefix at the current depth — probe, witness-placement
+  /// queries, expansion into the next level — then advances. Deactivates on
+  /// exhaustion, counterexample, budget, or canonical-order abort.
+  void advance_level() {
+    if (!active_) return;
+    cancel_.self_key = order_key(depth_, index_);
+    level_charges_.push_back(0);
+    level_queries_.push_back(0);
+    level_pivots_.push_back(0);
+    long long group = -1;
+    bool skip_rest = false;
+    for (PrefixItem& item : cur_) {
+      if (!poll()) break;
+      if (item.group != group) {
+        group = item.group;
+        skip_rest = false;
+      }
+      if (!process(item, &skip_rest)) break;
+    }
+    level_queries_.back() = encoder_->queries() - query_mark_;
+    query_mark_ = encoder_->queries();
+    level_pivots_.back() = encoder_->pivots() - pivot_mark_;
+    pivot_mark_ = encoder_->pivots();
+    cur_ = std::move(next_);
+    next_.clear();
+    ++depth_;
+    if (stopped_ || cur_.empty()) active_ = false;
+  }
+
+ private:
+  /// False once this unit must stop: a canonically-earlier CE exists (its
+  /// remaining work can no longer reach the merged result) or the shared
+  /// budget tripped. Polled before every query, so cancellation latency is
+  /// one query, not one subtree.
+  bool poll() {
+    if (cx_->best_ce.load(std::memory_order_relaxed) <
+        order_key(depth_, index_)) {
+      stopped_ = true;
+      return false;
+    }
+    if (cx_->budget->cancel.cancelled()) {
+      hit_budget();
+      return false;
+    }
+    return true;
+  }
+
+  void hit_budget() {
+    cx_->budget_hit.store(true, std::memory_order_relaxed);
+    stopped_ = true;
+  }
+
+  /// Reserves one schema query from the shared budget (core-skipped probes
+  /// included, which is what keeps nschemas independent of core_skip).
+  bool charge_one() {
+    if (!cx_->budget->charge(1)) {
+      hit_budget();
+      return false;
+    }
+    ++level_charges_.back();
+    return true;
+  }
+
+  void note_unknown() {
+    if (unknown_depth_ < 0) unknown_depth_ = depth_;
+  }
+
+  void found_ce(Counterexample ce) {
+    ce_ = std::move(ce);
+    stopped_ = true;
+    std::uint64_t key = order_key(depth_, index_);
+    std::uint64_t prev = cx_->best_ce.load(std::memory_order_relaxed);
+    while (prev > key &&
+           !cx_->best_ce.compare_exchange_weak(prev, key,
+                                               std::memory_order_relaxed)) {
+    }
+  }
+
+  /// One prefix: feasibility probe (with UNSAT-core sibling skipping), spec
+  /// queries over the witness cut placements, then expansion. Returns false
+  /// when the run must stop.
+  bool process(const PrefixItem& item, bool* skip_rest) {
+    const std::vector<int>& flips = item.flips;
+    const CheckOptions& opts = *cx_->opts;
+    const spec::Spec& spec = *cx_->spec;
+    if (opts.prefix_prune && !flips.empty()) {
+      if (!charge_one()) return false;
+      if (*skip_rest) {
+        // A same-group sibling's probe was refuted without its final
+        // milestone constraint — the only constraint this prefix does not
+        // share — so this probe is UNSAT too. Charged like a real probe
+        // (verdicts, nschemas, and report bytes are unchanged); the solver
+        // call is skipped, which is where the query/pivot counts drop.
+        return true;
+      }
+      bool unknown = false, sat = false, siblings_unsat = false;
+      if (opts.incremental) {
+        sat = encoder_->probe(
+            flips, &unknown, opts.core_skip ? &siblings_unsat : nullptr);
+      } else {
+        (void)encoder_->solve_fresh(flips, -1, -1, nullptr, &unknown, &sat);
+      }
+      if (unknown) note_unknown();
+      if (!sat && !unknown) {
+        if (siblings_unsat) *skip_rest = true;
+        return true;  // subtree pruned
+      }
+    }
+    const int m = static_cast<int>(flips.size()) + 1;
+    // Witness placement: cuts are only meaningful from the first segment
+    // where a rule into the witness set is allowed. The two witnesses of
+    // the F/G shape are unordered, so they range independently; when they
+    // share a segment both within-segment orders are tried.
+    int c1_lo = cx_->two_cuts
+                    ? first_witness_segment(*cx_->table, *cx_->rules,
+                                            spec.premise, flips)
+                    : first_witness_segment(*cx_->table, *cx_->rules,
+                                            spec.conclusion, flips);
+    int c2_first = cx_->two_cuts
+                       ? first_witness_segment(*cx_->table, *cx_->rules,
+                                               spec.conclusion, flips)
+                       : -1;
+    const bool cut_skip = opts.core_skip && opts.incremental &&
+                          cx_->two_cuts;
+    for (int c1 = c1_lo; c1 < m; ++c1) {
+      int c2_lo = cx_->two_cuts ? c2_first : -1;
+      int c2_hi = cx_->two_cuts ? m - 1 : -1;
+      // Set once an UNSAT at (c1, c2) is refuted by a core that ends before
+      // the conclusion witness: every later (c1, c2' > c2) placement of the
+      // unswapped within-segment order embeds that core and is skipped
+      // (still charged, so nschemas and report bytes are unchanged).
+      bool c2_rest_unsat = false;
+      for (int c2 = c2_lo; c2 <= c2_hi; ++c2) {
+        for (int swap = 0; swap <= (cx_->two_cuts && c1 == c2 ? 1 : 0);
+             ++swap) {
+          if (!poll()) return false;
+          if (!charge_one()) return false;
+          if (c2_rest_unsat && swap == 0) continue;  // UNSAT by embedding
+          bool unknown = false;
+          std::optional<Counterexample> ce;
+          if (opts.incremental) {
+            bool later_unsat = false;
+            bool sat = encoder_->query_sat(
+                flips, c1, c2, swap == 1, spec, &unknown,
+                cut_skip && swap == 0 ? &later_unsat : nullptr);
+            if (later_unsat) c2_rest_unsat = true;
+            if (sat) {
+              // Re-solve the hit in a fresh solver: the reported model (and
+              // the minimized parameters) must not depend on warm-solver
+              // state, so reports stay identical across enumeration paths.
+              bool fresh_unknown = false;
+              ce = encoder_->solve_fresh(flips, c1, c2, &spec,
+                                         &fresh_unknown, nullptr, swap == 1);
+              if (fresh_unknown) unknown = true;
+              if (!ce && !fresh_unknown) {
+                // The scoped and fresh encodings are equisatisfiable; treat
+                // a disagreement as inconclusive, never as a proof.
+                CTAVER_LOG(kWarn)
+                    << "check_spec(" << spec.name
+                    << "): incremental/fresh solver disagreement";
+                unknown = true;
+              }
+            }
+          } else {
+            ce = encoder_->solve_fresh(flips, c1, c2, &spec, &unknown,
+                                       nullptr, swap == 1);
+          }
+          if (unknown) note_unknown();
+          if (ce) {
+            found_ce(std::move(*ce));
+            return false;
+          }
+        }
+      }
+    }
+    // Expand admissible extensions; split-depth children become unit roots.
+    std::vector<bool> used(cx_->table->guards.size(), false);
+    for (int g : flips) used[static_cast<std::size_t>(g)] = true;
+    long long group = next_group_++;
+    for (int g = 0; g < cx_->table->num_guards(); ++g) {
+      if (!cx_->enumerator->admissible_next(g, flips, used)) continue;
+      std::vector<int> child = flips;
+      child.push_back(g);
+      if (depth_ + 1 < max_depth_) {
+        next_.push_back({std::move(child), group});
+      } else {
+        overflow_->push_back(std::move(child));
+      }
+    }
+    return true;
+  }
+
+  EnumContext* cx_;
+  std::size_t index_;
+  int depth_;            // depth of the prefixes in cur_
+  const int base_depth_;
+  const int max_depth_;  // exclusive: deeper children go to overflow_
+  std::vector<std::vector<int>>* overflow_;
+
+  UnitCancel cancel_;
+  std::unique_ptr<Encoder> encoder_;
+  std::vector<PrefixItem> cur_, next_;
+  long long next_group_ = 1;
+
+  // Per-level tallies (indexed from base_depth_) for the canonical merge.
+  std::vector<long long> level_charges_, level_queries_, level_pivots_;
+  long long query_mark_ = 0, pivot_mark_ = 0;
+  int unknown_depth_ = -1;
+  bool active_ = true;
+  bool stopped_ = false;
+  std::optional<Counterexample> ce_;
+};
+
 }  // namespace
 
 CheckResult check_spec(const ta::System& sys, const spec::Spec& spec,
@@ -790,182 +1164,135 @@ CheckResult check_spec(const ta::System& sys, const spec::Spec& spec,
   // anywhere cancels every sibling obligation) or a private one scoped to
   // this call, built from the per-call limits.
   SharedBudget local_budget(opts.max_schemas, opts.time_budget_s);
-  SharedBudget* budget = opts.budget != nullptr ? opts.budget : &local_budget;
 
-  std::atomic<long long> nschemas{0};
-  std::atomic<long long> npivots{0};
-  std::atomic<bool> budget_hit{false};
-  std::atomic<bool> unknown_any{false};
-  std::atomic<bool> stop{false};
-  std::mutex ce_mutex;
-  std::optional<Counterexample> found_ce;
+  EnumContext cx;
+  cx.sys = &sys;
+  cx.spec = &spec;
+  cx.table = &table;
+  cx.rules = &rules;
+  cx.opts = &opts;
+  cx.enumerator = &enumerator;
+  cx.budget = opts.budget != nullptr ? opts.budget : &local_budget;
+  cx.two_cuts = spec.shape == spec::Shape::kEventuallyImpliesGlobally;
 
-  const bool two_cuts =
-      spec.shape == spec::Shape::kEventuallyImpliesGlobally;
+  const int split = std::max(1, opts.partition_depth);
 
-  // Parallel breadth-first exploration of milestone orders, shortest
-  // prefixes first: counterexamples live at short orders, so finding them
-  // does not require exhausting any deep subtree; for proofs the total work
-  // is the same as DFS (every feasible prefix is probed exactly once). The
-  // FIFO order also keeps consecutive prefixes siblings most of the time,
-  // which is what the incremental encoder's level reuse thrives on.
-  std::mutex queue_mutex;
-  std::condition_variable queue_cv;
-  std::deque<std::vector<int>> frontier;
-  int active = 0;
-  frontier.push_back({});
+  // The stem: prefixes shorter than the split depth, explored serially with
+  // one warm solver. It is canonically first at every level, so it runs to
+  // completion (or to its counterexample) before any unit starts, and its
+  // expansion yields the unit roots in canonical sibling order.
+  std::vector<std::vector<int>> roots;
+  SubtreeRun stem(cx, 0, {}, split, &roots);
+  while (stem.active()) stem.advance_level();
 
-  auto over_budget = [&]() {
-    if (budget->exhausted()) {
-      budget_hit.store(true);
-      stop.store(true);
-      queue_cv.notify_all();
-      return true;
+  long long nschemas = 0, nqueries = 0, npivots = 0;
+  stem.accumulate(INT_MAX, &nschemas, &nqueries, &npivots);
+  bool unknown = stem.unknown_at_or_below(INT_MAX);
+  std::optional<Counterexample> ce = stem.take_ce();
+
+  if (!ce && !cx.budget_hit.load() && !roots.empty()) {
+    std::vector<std::unique_ptr<SubtreeRun>> units;
+    units.reserve(roots.size());
+    for (std::size_t i = 0; i < roots.size(); ++i) {
+      units.push_back(std::make_unique<SubtreeRun>(
+          cx, i + 1, std::move(roots[i]), INT_MAX, nullptr));
     }
-    return false;
-  };
-  // Reserves one LIA query from the budget; false trips the stop flags.
-  auto charge = [&]() {
-    if (!budget->charge(1)) {
-      budget_hit.store(true);
-      stop.store(true);
-      queue_cv.notify_all();
-      return false;
-    }
-    ++nschemas;
-    return true;
-  };
 
-  // Processes one prefix: probe, spec queries over cut placements, expand.
-  auto process = [&](Encoder& encoder, const std::vector<int>& flips,
-                     std::vector<std::vector<int>>* children) {
-    if (opts.prefix_prune && !flips.empty()) {
-      bool unknown = false, sat = false;
-      if (!charge()) return;
-      if (opts.incremental) {
-        sat = encoder.probe(flips, &unknown);
-      } else {
-        (void)encoder.solve_fresh(flips, -1, -1, nullptr, &unknown, &sat);
+    // Static round-robin split over the canonical sibling order: worker w
+    // owns units w, w+workers, ... and advances each of them one level per
+    // sweep, so within a worker progress follows the canonical level-major
+    // order. A worker that runs ahead of a slower sibling can only burn
+    // budget, never change the merged bytes (the merge is by-level).
+    int workers = opts.workers > 0 ? opts.workers
+                                   : util::ThreadPool::hardware_workers();
+    workers = std::min(workers, static_cast<int>(units.size()));
+    std::vector<std::exception_ptr> errors(
+        static_cast<std::size_t>(std::max(workers, 1)));
+    auto run_worker = [&](int w) {
+      try {
+        for (;;) {
+          bool any = false;
+          for (std::size_t i = static_cast<std::size_t>(w); i < units.size();
+               i += static_cast<std::size_t>(workers)) {
+            SubtreeRun& u = *units[i];
+            if (!u.active()) continue;
+            u.advance_level();
+            any = any || u.active();
+          }
+          if (!any) break;
+        }
+      } catch (...) {
+        errors[static_cast<std::size_t>(w)] = std::current_exception();
+        cx.budget->cancel.cancel();  // wind the sibling workers down
       }
-      if (unknown) unknown_any.store(true);
-      if (!sat && !unknown) return;  // subtree pruned
+    };
+    if (workers <= 1) {
+      run_worker(0);
+    } else if (opts.pool != nullptr) {
+      // Nested-parallelism spill: the enumeration workers run as tasks on
+      // the caller's pool, and this (obligation) thread acts as worker 0,
+      // then drains its own remaining tasks instead of parking — total
+      // thread count stays at the pool's width, never jobs × workers.
+      util::TaskGroup group;
+      for (int w = 1; w < workers; ++w) {
+        opts.pool->submit([&run_worker, w] { run_worker(w); },
+                          util::CancelToken{}, &group);
+      }
+      run_worker(0);
+      opts.pool->run_group(group);
+    } else {
+      std::vector<std::thread> threads;
+      threads.reserve(static_cast<std::size_t>(workers - 1));
+      for (int w = 1; w < workers; ++w) threads.emplace_back(run_worker, w);
+      run_worker(0);
+      for (std::thread& t : threads) t.join();
     }
-    const int m = static_cast<int>(flips.size()) + 1;
-    // Witness placement: cuts are only meaningful from the first segment
-    // where a rule into the witness set is allowed. The two witnesses of
-    // the F/G shape are unordered, so they range independently; when they
-    // share a segment both within-segment orders are tried.
-    int c1_lo = two_cuts
-                    ? first_witness_segment(table, rules, spec.premise, flips)
-                    : first_witness_segment(table, rules, spec.conclusion,
-                                            flips);
-    int c2_first =
-        two_cuts ? first_witness_segment(table, rules, spec.conclusion, flips)
-                 : -1;
-    for (int c1 = c1_lo; c1 < m && !stop.load(); ++c1) {
-      int c2_lo = two_cuts ? c2_first : -1;
-      int c2_hi = two_cuts ? m - 1 : -1;
-      for (int c2 = c2_lo; c2 <= c2_hi; ++c2) {
-        for (int swap = 0; swap <= (two_cuts && c1 == c2 ? 1 : 0); ++swap) {
-          if (stop.load()) return;
-          if (!charge()) return;
-          bool unknown = false;
-          std::optional<Counterexample> ce;
-          if (opts.incremental) {
-            bool sat = encoder.query_sat(flips, c1, c2, swap == 1, spec,
-                                         &unknown);
-            if (sat) {
-              // Re-solve the hit in a fresh solver: the reported model (and
-              // the minimized parameters) must not depend on warm-solver
-              // state, so reports stay identical across enumeration paths.
-              bool fresh_unknown = false;
-              ce = encoder.solve_fresh(flips, c1, c2, &spec, &fresh_unknown,
-                                       nullptr, swap == 1);
-              if (fresh_unknown) unknown = true;
-              if (!ce && !fresh_unknown) {
-                // The scoped and fresh encodings are equisatisfiable; treat
-                // a disagreement as inconclusive, never as a proof.
-                CTAVER_LOG(kWarn)
-                    << "check_spec(" << spec.name
-                    << "): incremental/fresh solver disagreement";
-                unknown = true;
-              }
-            }
-          } else {
-            ce = encoder.solve_fresh(flips, c1, c2, &spec, &unknown, nullptr,
-                                     swap == 1);
-          }
-          if (unknown) unknown_any.store(true);
-          if (ce) {
-            std::lock_guard<std::mutex> lock(ce_mutex);
-            if (!found_ce) found_ce = std::move(ce);
-            stop.store(true);
-            queue_cv.notify_all();
-            return;
-          }
+    for (std::exception_ptr& e : errors) {
+      if (e) std::rethrow_exception(e);
+    }
+
+    // Canonical merge: replay the level-major order. Units strictly before
+    // the CE unit contribute through the CE depth, units after it through
+    // the depth before — exactly the region each is guaranteed to have
+    // completed (a unit can only abort at positions canonically after the
+    // final best_ce key). With no counterexample every unit ran dry and
+    // contributes everything.
+    std::uint64_t best = cx.best_ce.load();
+    if (best == kNoCe) {
+      for (auto& u : units) {
+        u->accumulate(INT_MAX, &nschemas, &nqueries, &npivots);
+        unknown = unknown || u->unknown_at_or_below(INT_MAX);
+      }
+    } else {
+      const int ce_depth = static_cast<int>(best >> 32);
+      const std::size_t ce_unit =
+          static_cast<std::size_t>(best & 0xffffffffu);
+      for (auto& u : units) {
+        if (u->index() < ce_unit) {
+          u->accumulate(ce_depth, &nschemas, &nqueries, &npivots);
+          unknown = unknown || u->unknown_at_or_below(ce_depth);
+        } else if (u->index() == ce_unit) {
+          // The winner stopped at its (canonically-first) counterexample,
+          // so its cumulative tallies are exactly the canonical region.
+          u->accumulate(INT_MAX, &nschemas, &nqueries, &npivots);
+          unknown = unknown || u->unknown_at_or_below(INT_MAX);
+          ce = u->take_ce();
+        } else {
+          u->accumulate(ce_depth - 1, &nschemas, &nqueries, &npivots);
+          unknown = unknown || u->unknown_at_or_below(ce_depth - 1);
         }
       }
     }
-    // Expand admissible extensions.
-    std::vector<bool> used(table.guards.size(), false);
-    for (int g : flips) used[static_cast<std::size_t>(g)] = true;
-    for (int g = 0; g < table.num_guards(); ++g) {
-      if (!enumerator.admissible_next(g, flips, used)) continue;
-      std::vector<int> child = flips;
-      child.push_back(g);
-      children->push_back(std::move(child));
-    }
-  };
-
-  auto worker_fn = [&]() {
-    Encoder encoder(sys, table, rules, opts);
-    std::unique_lock<std::mutex> lock(queue_mutex);
-    for (;;) {
-      queue_cv.wait(lock, [&] {
-        return stop.load() || !frontier.empty() || active == 0;
-      });
-      if (stop.load() || (frontier.empty() && active == 0)) break;
-      if (frontier.empty()) continue;
-      std::vector<int> flips = std::move(frontier.front());
-      frontier.pop_front();
-      ++active;
-      lock.unlock();
-
-      std::vector<std::vector<int>> children;
-      if (!over_budget()) process(encoder, flips, &children);
-
-      lock.lock();
-      for (auto& c : children) frontier.push_back(std::move(c));
-      --active;
-      queue_cv.notify_all();
-    }
-    lock.unlock();
-    npivots.fetch_add(encoder.pivots(), std::memory_order_relaxed);
-  };
-
-  int workers = opts.workers > 0 ? opts.workers
-                                 : util::ThreadPool::hardware_workers();
-  if (workers == 1) {
-    // Single-worker mode runs inline: the FIFO frontier makes the whole
-    // enumeration (and therefore nschemas and the counterexample found)
-    // deterministic, independent of everything outside this call.
-    worker_fn();
-  } else {
-    std::vector<std::thread> pool;
-    pool.reserve(static_cast<std::size_t>(workers));
-    for (int w = 0; w < workers; ++w) pool.emplace_back(worker_fn);
-    for (std::thread& t : pool) t.join();
   }
 
-  result.nschemas = nschemas.load();
-  result.npivots = npivots.load();
+  result.nschemas = nschemas;
+  result.nqueries = nqueries;
+  result.npivots = npivots;
   result.seconds = watch.seconds();
-  result.ce = std::move(found_ce);
+  result.ce = std::move(ce);
   result.holds = !result.ce.has_value();
   // Finding a CE counts as a complete (conclusive) answer.
-  result.complete =
-      (result.ce.has_value() || !stop.load()) && !budget_hit.load() &&
-      !unknown_any.load();
+  result.complete = !cx.budget_hit.load() && !unknown;
   if (result.holds && !result.complete) {
     CTAVER_LOG(kWarn) << "check_spec(" << spec.name
                       << "): budget exhausted; result is inconclusive";

@@ -33,6 +33,10 @@
 #include "ta/model.h"
 #include "util/cancel.h"
 
+namespace ctaver::util {
+class ThreadPool;
+}
+
 namespace ctaver::schema {
 
 /// A time/schema budget shared by several concurrent check_spec calls (and
@@ -117,7 +121,7 @@ struct CheckOptions {
   double time_budget_s = 600.0;
   /// Shrink counterexample parameters via objective minimization.
   bool minimize_ce = true;
-  /// Keep one long-lived incremental LIA solver per enumeration worker:
+  /// Keep one long-lived incremental LIA solver per enumeration subtree:
   /// the obligation-invariant prelude is asserted once, each milestone-
   /// order prefix level lives in a solver scope shared by all of its cut
   /// placements and child prefixes, and per-query constraints are popped
@@ -127,10 +131,42 @@ struct CheckOptions {
   /// are identical either way; only pivot counts and wall-clock differ.
   bool incremental = true;
   /// Enumeration workers inside one check_spec call (0 = hardware
-  /// concurrency). With workers = 1 the breadth-first exploration is fully
-  /// deterministic — same nschemas, same counterexample — which is what the
-  /// pipeline relies on for byte-identical reports across --jobs settings.
+  /// concurrency). The milestone-order tree is statically split at
+  /// partition_depth into disjoint prefix subtrees, assigned round-robin
+  /// (in canonical sibling order) to the workers; each worker advances its
+  /// subtrees level by level with one warm incremental solver per subtree
+  /// (prelude plus the subtree's root scopes replayed on adoption), and the
+  /// results merge back in the canonical level-major order. CheckResult —
+  /// nschemas, the counterexample chosen (canonically-first wins, re-solved
+  /// fresh), npivots, everything rendered into reports — is byte-identical
+  /// for EVERY value of workers, within budget. This extends the pipeline's
+  /// per-obligation determinism guarantee to within-obligation parallelism.
   int workers = 0;
+  /// Depth of the static partition split. Prefixes shorter than this form
+  /// the serial "stem" (canonically first at every level); every surviving
+  /// prefix of exactly this depth roots one subtree unit. Reports are
+  /// byte-identical for any value; only pivot/query counts shift (per-unit
+  /// warm solvers and sibling skipping regroup at the split boundary).
+  int partition_depth = 2;
+  /// UNSAT-core-lite sibling skipping: when a query is refuted by a
+  /// conflict core confined to the emission prefix it shares with its
+  /// pending siblings, those siblings are unsatisfiable by embedding and
+  /// are charged but not solved. Two surfaces: sibling milestone orders of
+  /// a prefix probe (core before the final milestone constraint — provably
+  /// near-vacuous when the parent probed feasible, kept for the
+  /// unknown-parent edge) and, the one that fires in practice, later
+  /// conclusion-witness placements of a spec query (core before the
+  /// conclusion cut, e.g. a LIA-infeasible premise placement killing the
+  /// whole cut row). Verdicts, nschemas, and report bytes are unchanged for
+  /// either value; only solver-query and pivot counts drop. Requires
+  /// `incremental` (the fresh-encoder baseline never skips).
+  bool core_skip = true;
+  /// Pool to run the enumeration workers on (not owned; may be null, in
+  /// which case workers > 1 spawns private threads). The calling thread
+  /// always acts as worker 0 and, with a pool, drains its own enumeration
+  /// tasks while waiting — so an obligation task blocked on its subtrees
+  /// spills into enumeration work instead of oversubscribing the machine.
+  util::ThreadPool* pool = nullptr;
   /// Optional budget shared with sibling obligations. When set, max_schemas
   /// and time_budget_s above are ignored in favour of the shared pool, and
   /// exhaustion anywhere cancels every sibling. Not owned.
@@ -173,7 +209,11 @@ struct Counterexample {
 struct CheckResult {
   bool holds = false;     // no counterexample found
   bool complete = false;  // enumeration finished within budget
-  long long nschemas = 0; // schemas submitted to the solver
+  long long nschemas = 0; // schemas charged to the budget (incl. skipped)
+  /// LIA solver invocations actually made. nqueries == nschemas plus CE
+  /// re-solves, minus the probes discharged by UNSAT-core sibling skipping
+  /// — the number core_skip drives down while nschemas stays put.
+  long long nqueries = 0;
   long long npivots = 0;  // simplex pivots spent on those schemas
   double seconds = 0.0;
   std::optional<Counterexample> ce;

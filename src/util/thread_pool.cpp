@@ -1,5 +1,7 @@
 #include "util/thread_pool.h"
 
+#include <algorithm>
+
 namespace ctaver::util {
 
 void TaskGroup::add_one() {
@@ -8,12 +10,11 @@ void TaskGroup::add_one() {
 }
 
 void TaskGroup::finish_one() {
-  std::size_t left;
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    left = --pending_;
-  }
-  if (left == 0) cv_.notify_all();
+  // Notify while holding the lock: with stack-local groups (check_spec's
+  // enumeration workers) the waiter may destroy the group the moment
+  // wait() returns, so an after-unlock notify would touch a dead cv.
+  std::lock_guard<std::mutex> lock(mu_);
+  if (--pending_ == 0) cv_.notify_all();
 }
 
 void TaskGroup::wait() {
@@ -116,6 +117,39 @@ bool ThreadPool::try_pop(std::size_t self, Item& out) {
     return true;
   }
   return false;
+}
+
+bool ThreadPool::try_pop_group(const TaskGroup* group, Item& out) {
+  for (std::size_t i = 0; i < queues_.size(); ++i) {
+    WorkerQueue& wq = *queues_[i];
+    {
+      std::lock_guard<std::mutex> lock(wq.mu);
+      auto it = std::find_if(wq.q.begin(), wq.q.end(), [&](const Item& x) {
+        return x.group == group;
+      });
+      if (it == wq.q.end()) continue;
+      out = std::move(*it);
+      wq.q.erase(it);
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    --queued_;
+    return true;
+  }
+  return false;
+}
+
+void ThreadPool::run_group(TaskGroup& group) {
+  for (;;) {
+    Item it;
+    if (!try_pop_group(&group, it)) break;
+    if (!it.has_token || !it.token.cancelled()) it.fn();
+    if (it.group != nullptr) it.group->finish_one();
+    finish_one();
+  }
+  // No group task is queued anymore (only this thread and the workers pop,
+  // and nobody re-enqueues group tasks), so the remainder is in flight on
+  // workers: a plain group wait cannot deadlock.
+  group.wait();
 }
 
 void ThreadPool::finish_one() {

@@ -74,6 +74,16 @@ class ThreadPool {
   /// The pool stays usable for further submit() rounds afterwards.
   void wait();
 
+  /// Drains the tasks tagged with `group` on the CALLING thread, then blocks
+  /// until the group's in-flight remainder (running on pool workers)
+  /// completes. This is how a pool task that fans out subtasks onto its own
+  /// pool waits without deadlocking: the blocked slot spills into running
+  /// its own subtasks instead of parking while they starve in the queues.
+  /// Only tasks of `group` are executed here, so the call never recurses
+  /// into unrelated (potentially blocking) work; progress is guaranteed
+  /// because group tasks themselves never wait on the pool.
+  void run_group(TaskGroup& group);
+
   [[nodiscard]] int workers() const {
     return static_cast<int>(threads_.size());
   }
@@ -96,6 +106,7 @@ class ThreadPool {
   void enqueue(Item it);
   void worker_loop(std::size_t self);
   bool try_pop(std::size_t self, Item& out);
+  bool try_pop_group(const TaskGroup* group, Item& out);
   void finish_one();
 
   std::vector<std::unique_ptr<WorkerQueue>> queues_;

@@ -31,6 +31,7 @@ Obligation from_check(const std::string& name,
   o.parametric = true;
   o.complete = res.complete;
   o.nschemas = res.nschemas;
+  o.nqueries = res.nqueries;
   o.npivots = res.npivots;
   o.seconds = res.seconds;
   if (res.ce) {
@@ -431,11 +432,11 @@ struct ProtocolRun::Impl {
 
     task_opts = opts.schema;
     task_opts.budget = &budget;
-    // One enumeration worker per obligation task: parallelism comes from
-    // the obligation scheduler, and a single-worker check is deterministic,
-    // which keeps reports identical across jobs settings. An explicit
-    // workers > 1 is honoured (at the cost of that determinism for CE
-    // nschemas).
+    // Default to one enumeration worker per obligation task: the obligation
+    // scheduler is the outer parallelism dial. An explicit workers > 1 adds
+    // within-obligation partitioned enumeration; either way every check
+    // merges canonically, so reports stay byte-identical across all
+    // (jobs, workers) combinations.
     if (task_opts.workers == 0) task_opts.workers = 1;
 
     // Task closures, in canonical order (all referenced vectors are final
@@ -560,6 +561,11 @@ ProtocolRun verify_protocol_async(const protocols::ProtocolModel& pm,
   ProtocolRun run;
   run.impl_ = std::make_unique<ProtocolRun::Impl>(pm, opts);
   run.impl_->plan_all();
+  // Enumeration workers (schema.workers > 1) run on this same pool: the
+  // submitting obligation task acts as worker 0 and drains its own
+  // enumeration tasks while waiting, so the two parallelism levels share
+  // the pool's width instead of multiplying it.
+  run.impl_->task_opts.pool = &pool;
   for (auto& task : run.impl_->tasks) {
     pool.submit(task, run.impl_->budget.cancel, &run.impl_->group);
   }

@@ -39,8 +39,15 @@ struct Options {
   /// instances alike): exhaustion anywhere cancels every in-flight sibling
   /// and skips the queued remainder, so a tight budget degrades to
   /// inconclusive obligations instead of a partial serial prefix.
-  /// schema.workers = 0 is remapped to 1 per obligation task — that keeps
-  /// each check deterministic, which `jobs` below relies on.
+  /// schema.workers = 0 is remapped to 1 per obligation task; an explicit
+  /// schema.workers > 1 adds within-obligation (partitioned enumeration)
+  /// parallelism. Reports are byte-identical for every (jobs, workers)
+  /// combination — each check's partitioned enumeration merges canonically
+  /// — so workers is purely a throughput dial for the huge category-(C)
+  /// proofs. In async (shared-pool) mode the enumeration workers run as
+  /// tasks on the same pool (schema.pool is set internally): a blocked
+  /// obligation slot spills into enumeration work instead of the two levels
+  /// oversubscribing each other.
   schema::CheckOptions schema;
   /// Run the explicit-instance sweeps for (C1)/(C2′).
   bool run_sweeps = true;
@@ -73,6 +80,10 @@ struct Obligation {
   bool parametric = false;
   bool complete = false;
   long long nschemas = 0;
+  /// LIA solver invocations actually made (nschemas minus the probes
+  /// discharged by UNSAT-core sibling skipping, plus CE re-solves). Zero
+  /// for sweeps. Informational — never rendered into reports.
+  long long nqueries = 0;
   /// Simplex pivots spent by the schema checker on this obligation (zero
   /// for sweeps). Informational — bench_solver's measurement hook.
   long long npivots = 0;

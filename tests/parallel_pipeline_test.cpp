@@ -86,6 +86,123 @@ TEST(ParallelPipeline, SerialEquivalenceOnEveryRegistryProtocol) {
   }
 }
 
+/// Deterministic solver statistics of every budget-complete obligation
+/// (npivots, nqueries), masked to -1 for budget-truncated ones. These are
+/// not rendered into reports but must still be byte-for-byte reproducible
+/// across every (jobs, workers) combination — the partitioned enumeration's
+/// per-unit warm solvers make pivot counts independent of scheduling.
+std::vector<long long> complete_solver_stats(const ProtocolReport& r) {
+  std::vector<long long> out;
+  for (const PropertyResult* p :
+       {&r.agreement, &r.validity, &r.termination}) {
+    for (const Obligation& o : p->obligations) {
+      out.push_back(o.complete ? o.npivots : -1);
+      out.push_back(o.complete ? o.nqueries : -1);
+    }
+  }
+  return out;
+}
+
+TEST(ParallelPipeline, WorkersJobsMatrixEquivalence) {
+  // Tentpole guarantee of the partitioned schema enumeration: rendered
+  // reports — verdicts, counterexamples, nschemas — are byte-identical over
+  // the full workers x jobs matrix, and so are the per-obligation solver
+  // statistics wherever the run completed. Sweeps are off (they never touch
+  // enumeration workers; the jobs dimension with sweeps is covered by
+  // SerialEquivalenceOnEveryRegistryProtocol), and the expensive
+  // category-(C) models run in the deterministic zero-budget regime.
+  frontend::ProtocolRegistry registry =
+      frontend::ProtocolRegistry::with_builtins();
+  std::vector<std::string> names = registry.names();
+  ASSERT_EQ(names.size(), 9u);
+  for (const std::string& name : names) {
+    protocols::ProtocolModel pm = registry.make(name);
+    Options opts;
+    opts.run_sweeps = false;
+    if (!conclusively_cheap(name)) opts.schema.time_budget_s = 0.0;
+    opts.jobs = 1;
+    opts.schema.workers = 1;
+    ProtocolReport base = verify_protocol(pm, opts);
+    std::string base_render = render(base);
+    std::vector<long long> base_stats = complete_solver_stats(base);
+    for (int workers : {1, 2, 8}) {
+      for (int jobs : {1, 2, 8}) {
+        if (workers == 1 && jobs == 1) continue;
+        opts.jobs = jobs;
+        opts.schema.workers = workers;
+        ProtocolReport r = verify_protocol(pm, opts);
+        EXPECT_EQ(base_render, render(r))
+            << name << " jobs=" << jobs << " workers=" << workers;
+        EXPECT_EQ(base_stats, complete_solver_stats(r))
+            << name << " jobs=" << jobs << " workers=" << workers;
+      }
+    }
+  }
+}
+
+TEST(ParallelPipeline, CoreSkipPreservesReportBytesAndCutsQueries) {
+  // UNSAT-core sibling skipping may only reduce solver-query and pivot
+  // counts; every rendered byte — verdicts, counterexamples, nschemas —
+  // stays put (skipped probes are still charged to the budget).
+  frontend::ProtocolRegistry registry =
+      frontend::ProtocolRegistry::with_builtins();
+  long long q_skip = 0, q_full = 0, p_skip = 0, p_full = 0;
+  for (const std::string& name : registry.names()) {
+    if (!conclusively_cheap(name)) continue;
+    protocols::ProtocolModel pm = registry.make(name);
+    Options opts;
+    opts.jobs = 1;
+    opts.run_sweeps = false;
+    opts.schema.core_skip = false;
+    ProtocolReport full = verify_protocol(pm, opts);
+    opts.schema.core_skip = true;
+    ProtocolReport skip = verify_protocol(pm, opts);
+    EXPECT_EQ(render(full), render(skip)) << name;
+    for (const PropertyResult* p :
+         {&full.agreement, &full.validity, &full.termination}) {
+      for (const Obligation& o : p->obligations) {
+        q_full += o.nqueries;
+        p_full += o.npivots;
+      }
+    }
+    for (const PropertyResult* p :
+         {&skip.agreement, &skip.validity, &skip.termination}) {
+      for (const Obligation& o : p->obligations) {
+        q_skip += o.nqueries;
+        p_skip += o.npivots;
+      }
+    }
+  }
+  EXPECT_LE(q_skip, q_full);
+  EXPECT_LE(p_skip, p_full);
+  // No strict-drop assertion here: on the registry protocols the syntactic
+  // first-witness bound already collapses every conclusion-cut row to a
+  // single placement, so the core skip has no queries to discharge (see
+  // CheckSpec.CoreSkipCutsQueriesWhereWitnessRowsAreLong for a system
+  // where the row is long and the reduction is observable and asserted).
+}
+
+TEST(ParallelPipeline, PartitionDepthDoesNotChangeReportBytes) {
+  // The static split depth regroups per-unit warm solvers and sibling
+  // skipping, so pivot/query counts may shift — but the canonical order,
+  // and with it every rendered byte, is split-invariant.
+  frontend::ProtocolRegistry registry =
+      frontend::ProtocolRegistry::with_builtins();
+  for (const char* name : {"NaiveVoting", "CC85a", "KS16"}) {
+    protocols::ProtocolModel pm = registry.make(name);
+    Options opts;
+    opts.jobs = 1;
+    opts.run_sweeps = false;
+    opts.schema.workers = 2;
+    std::string base = render(verify_protocol(pm, opts));
+    for (int depth : {1, 3, 5}) {
+      opts.schema.partition_depth = depth;
+      EXPECT_EQ(base, render(verify_protocol(pm, opts)))
+          << name << " partition_depth=" << depth;
+    }
+  }
+}
+
 TEST(ParallelPipeline, IncrementalEncoderMatchesFreshEncoder) {
   // The incremental (prefix-reusing) encoder and the fresh-solver-per-query
   // encoder must produce byte-identical reports — same verdicts, same

@@ -3,11 +3,15 @@
 // expected verdicts are known (naive voting, coin adoption).
 #include <gtest/gtest.h>
 
+#include <chrono>
+#include <thread>
+
 #include "schema/checker.h"
 #include "schema/guards.h"
 #include "spec/spec.h"
 #include "ta/builder.h"
 #include "ta/transforms.h"
+#include "util/thread_pool.h"
 
 namespace ctaver::schema {
 namespace {
@@ -191,6 +195,148 @@ TEST(CheckSpec, BudgetExhaustionIsInconclusive) {
   CheckResult res = check_spec(rd, spec::inv1(rd, 0), opts);
   EXPECT_FALSE(res.complete);
   EXPECT_FALSE(res.holds);  // inconclusive must not report "verified"
+}
+
+/// A system built so the premise witness of the gap spec below is
+/// syntactically placeable from segment 0 — the L→A hop is unguarded,
+/// which is all first_witness_segment's direct-rule scan sees — but
+/// LIA-infeasible before the w>=1 guard flips (L is only fed by a gated
+/// rule). The conclusion-cut row at early c1 then dies by UNSAT-core
+/// embedding after a single solve, which is the surface the core_skip
+/// optimization needs. (On the registry protocols the syntactic witness
+/// bound already collapses every cut row to length one, so this is where
+/// the skip's query reduction is actually observable.)
+ta::System witness_gap_system() {
+  SystemBuilder b("WitnessGap");
+  ParamId n = b.param("n");
+  b.require(b.P(n) - b.K(1), ta::CmpOp::kGe);  // n >= 1
+  b.model_counts(b.P(n), SystemBuilder::K(0));
+  VarId w = b.shared("w");
+  LocId j = b.border("J", 0);
+  LocId i = b.initial("I", 0);
+  LocId l = b.internal("L");
+  LocId a = b.internal("A");
+  LocId bb = b.internal("B");
+  b.border_entry(j, i);
+  b.rule("rb", i, bb, {}, {{w, 1}});           // unguarded, drives w
+  b.rule("rl", i, l, {b.ge(w, b.K(1))});       // gated: feeds L late
+  b.rule("ra", l, a, {});                      // unguarded hop into A
+  return b.build();
+}
+
+TEST(CheckSpec, CoreSkipCutsQueriesWhereWitnessRowsAreLong) {
+  ta::System rd = prepared(witness_gap_system());
+  spec::Spec s;
+  s.name = "gap";
+  s.shape = spec::Shape::kEventuallyImpliesGlobally;
+  s.premise = spec::LocSet::process({rd.process.find_loc("A")});
+  s.conclusion = spec::LocSet::process({rd.process.find_loc("B")});
+
+  CheckOptions opts;
+  opts.workers = 1;
+  opts.core_skip = false;
+  CheckResult full = check_spec(rd, s, opts);
+  opts.core_skip = true;
+  CheckResult skip = check_spec(rd, s, opts);
+
+  // Identical verdict, schema charges, and counterexample bytes...
+  EXPECT_EQ(full.holds, skip.holds);
+  EXPECT_EQ(full.complete, skip.complete);
+  EXPECT_EQ(full.nschemas, skip.nschemas);
+  ASSERT_EQ(full.ce.has_value(), skip.ce.has_value());
+  if (full.ce) {
+    EXPECT_EQ(full.ce->text, skip.ce->text);
+  }
+  // ...while the skip discharges part of the cut row without the solver.
+  EXPECT_LT(skip.nqueries, full.nqueries);
+  EXPECT_LE(skip.npivots, full.npivots);
+}
+
+TEST(CheckSpec, MidSubtreeBudgetCancellationNeverFlipsVerdict) {
+  // A budget that dies mid-subtree — at any schema count, under any worker
+  // width — may only degrade the result to inconclusive (holds=false,
+  // complete=false, no counterexample), never flip it. Verified as a spec
+  // that holds: no truncation point may fabricate a counterexample or a
+  // premature "verified".
+  ta::System rd = prepared(naive_voting(false));
+  for (int workers : {1, 4}) {
+    for (long long cap : {1LL, 2LL, 3LL, 5LL, 8LL, 13LL, 21LL, 100LL}) {
+      CheckOptions opts;
+      opts.workers = workers;
+      opts.max_schemas = cap;
+      CheckResult res = check_spec(rd, spec::inv1(rd, 0), opts);
+      EXPECT_FALSE(res.ce.has_value()) << "cap=" << cap;
+      if (res.holds) {
+        EXPECT_TRUE(res.complete) << "cap=" << cap;
+      } else {
+        EXPECT_FALSE(res.complete) << "cap=" << cap;
+      }
+    }
+  }
+  // Asynchronous cancellation racing the enumeration workers: same
+  // contract, now with the trip landing inside in-flight solver calls
+  // (which the solver's cancel poll turns into kUnknown, not a verdict).
+  for (int delay_us : {0, 50, 200, 1000, 4000}) {
+    SharedBudget budget(1'000'000, 600.0);
+    CheckOptions opts;
+    opts.workers = 4;
+    opts.budget = &budget;
+    std::thread killer([&budget, delay_us] {
+      std::this_thread::sleep_for(std::chrono::microseconds(delay_us));
+      budget.cancel.cancel();
+    });
+    CheckResult res = check_spec(rd, spec::inv1(rd, 0), opts);
+    killer.join();
+    EXPECT_FALSE(res.ce.has_value()) << "delay=" << delay_us;
+    if (res.holds) {
+      EXPECT_TRUE(res.complete) << "delay=" << delay_us;
+    }
+  }
+  // And on a genuinely violated spec the verdict may be the (canonical)
+  // counterexample or inconclusive — but never "holds".
+  ta::System bad = prepared(naive_voting(true));
+  for (long long cap : {1LL, 3LL, 7LL, 1000LL}) {
+    CheckOptions opts;
+    opts.workers = 4;
+    opts.max_schemas = cap;
+    CheckResult res = check_spec(bad, spec::inv1(bad, 0), opts);
+    EXPECT_FALSE(res.holds) << "cap=" << cap;
+    if (!res.ce.has_value()) {
+      EXPECT_FALSE(res.complete) << "cap=" << cap;
+    }
+  }
+}
+
+TEST(CheckSpec, WorkersAndPoolProduceIdenticalResults) {
+  // Direct check_spec determinism across worker widths and across the
+  // private-threads vs shared-pool dispatch paths (the pipeline's
+  // nested-parallelism spill), including the counterexample bytes.
+  ta::System rd = prepared(naive_voting(true));
+  CheckOptions base;
+  base.workers = 1;
+  CheckResult ref = check_spec(rd, spec::inv1(rd, 0), base);
+  ASSERT_TRUE(ref.ce.has_value());
+  for (int workers : {2, 3, 8}) {
+    CheckOptions opts;
+    opts.workers = workers;
+    CheckResult res = check_spec(rd, spec::inv1(rd, 0), opts);
+    EXPECT_EQ(res.nschemas, ref.nschemas) << "workers=" << workers;
+    EXPECT_EQ(res.nqueries, ref.nqueries) << "workers=" << workers;
+    EXPECT_EQ(res.npivots, ref.npivots) << "workers=" << workers;
+    ASSERT_TRUE(res.ce.has_value()) << "workers=" << workers;
+    EXPECT_EQ(res.ce->text, ref.ce->text) << "workers=" << workers;
+    EXPECT_EQ(res.ce->milestones, ref.ce->milestones)
+        << "workers=" << workers;
+  }
+  util::ThreadPool pool(3);
+  CheckOptions pooled;
+  pooled.workers = 3;
+  pooled.pool = &pool;
+  CheckResult res = check_spec(rd, spec::inv1(rd, 0), pooled);
+  EXPECT_EQ(res.nschemas, ref.nschemas);
+  EXPECT_EQ(res.npivots, ref.npivots);
+  ASSERT_TRUE(res.ce.has_value());
+  EXPECT_EQ(res.ce->text, ref.ce->text);
 }
 
 TEST(CheckSpec, UnprunedEnumerationStillSound) {

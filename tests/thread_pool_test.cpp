@@ -129,6 +129,88 @@ TEST(ThreadPool, TokenlessAndLiveTokenTasksRun) {
   EXPECT_EQ(ran.load(), 20);
 }
 
+TEST(ThreadPool, RunGroupDrainsOwnTasksFromExternalThread) {
+  // run_group on a non-worker thread executes the group's queued tasks
+  // itself and returns once the group is done, leaving unrelated tasks to
+  // the pool.
+  ThreadPool pool(1);
+  std::mutex mu;
+  std::condition_variable cv;
+  bool release = false;
+  pool.submit([&] {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return release; });
+  });
+  TaskGroup group;
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 8; ++i) {
+    pool.submit([&ran] { ++ran; }, CancelToken{}, &group);
+  }
+  // The lone worker is parked, so only run_group can make progress.
+  pool.run_group(group);
+  EXPECT_EQ(ran.load(), 8);
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    release = true;
+  }
+  cv.notify_all();
+  pool.wait();
+}
+
+TEST(ThreadPool, RunGroupSpillsBlockedSubmitters) {
+  // Every pool slot is occupied by a task that fans subtasks out onto the
+  // same pool and waits for them — the exact shape of an obligation task
+  // waiting on its enumeration workers. A plain group wait would deadlock
+  // with all slots blocked; run_group must drain the subtasks on the
+  // blocked threads themselves.
+  ThreadPool pool(2);
+  std::atomic<int> outer_done{0};
+  std::atomic<int> inner_done{0};
+  TaskGroup outer;
+  for (int t = 0; t < 4; ++t) {
+    pool.submit(
+        [&pool, &inner_done, &outer_done] {
+          TaskGroup inner;
+          for (int i = 0; i < 8; ++i) {
+            pool.submit([&inner_done] { ++inner_done; }, CancelToken{},
+                        &inner);
+          }
+          pool.run_group(inner);
+          ++outer_done;
+        },
+        CancelToken{}, &outer);
+  }
+  outer.wait();
+  EXPECT_EQ(outer_done.load(), 4);
+  EXPECT_EQ(inner_done.load(), 32);
+}
+
+TEST(ThreadPool, RunGroupSkipsCancelledTasks) {
+  ThreadPool pool(1);
+  std::mutex mu;
+  std::condition_variable cv;
+  bool release = false;
+  pool.submit([&] {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return release; });
+  });
+  TaskGroup group;
+  CancelToken token;
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 6; ++i) {
+    pool.submit([&ran] { ++ran; }, token, &group);
+  }
+  token.cancel();
+  pool.run_group(group);  // must return (skipped tasks count as finished)
+  EXPECT_EQ(ran.load(), 0);
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    release = true;
+  }
+  cv.notify_all();
+  pool.wait();
+}
+
 TEST(ThreadPool, ManyMoreTasksThanWorkers) {
   ThreadPool pool(3);
   std::atomic<long long> sum{0};
