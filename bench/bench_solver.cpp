@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "frontend/registry.h"
+#include "obs/metrics.h"
 #include "util/stopwatch.h"
 #include "verify/pipeline.h"
 
@@ -39,6 +40,11 @@ struct ModeStats {
   long long pivots = 0;
   double seconds = 0.0;
   bool complete = true;
+  // Wall-clock attribution, from the metrics registry (reset per leg):
+  // seconds spent inside Solver::check vs the leg's total wall clock. The
+  // remainder is encoding, enumeration bookkeeping, and scheduling.
+  long long solver_checks = 0;
+  double solver_seconds = 0.0;
 };
 
 double ratio(double num, double den) { return den > 0 ? num / den : 0.0; }
@@ -49,6 +55,9 @@ std::string mode_json(const ModeStats& s) {
      << ", \"pivots_per_query\": " << ratio(double(s.pivots), double(s.queries))
      << ", \"seconds\": " << s.seconds
      << ", \"schemas_per_sec\": " << ratio(double(s.queries), s.seconds)
+     << ", \"solver_checks\": " << s.solver_checks
+     << ", \"solver_seconds\": " << s.solver_seconds
+     << ", \"solver_share\": " << ratio(s.solver_seconds, s.seconds)
      << ", \"complete\": " << (s.complete ? "true" : "false") << "}";
   return os.str();
 }
@@ -89,6 +98,11 @@ int main(int argc, char** argv) {
         frontend::ProtocolRegistry::with_builtins();
     if (!specs_dir.empty()) registry.add_directory(specs_dir);
 
+    // The wall-clock attribution (solver_seconds / solver_share) comes from
+    // the metrics registry; the pipeline is instrumented out-of-band so
+    // this does not perturb the measured query/pivot counts.
+    obs::Registry::global().set_enabled(true);
+
     verify::Options opts;
     opts.run_sweeps = false;  // solver work only: no state-graph sweeps
     opts.jobs = 1;            // deterministic, comparable query sequence
@@ -121,10 +135,19 @@ int main(int argc, char** argv) {
         verify::Options leg_opts = opts;
         leg_opts.schema.incremental = legs[leg].incremental;
         leg_opts.schema.workers = legs[leg].workers;
+        // Fresh registry per leg, so solver_seconds attributes THIS leg's
+        // wall clock (nothing instrumented is in flight between legs).
+        obs::Registry::global().reset();
         util::Stopwatch watch;
         verify::ProtocolReport report =
             verify::verify_protocol(pm, leg_opts);
         stats[leg].seconds = watch.seconds();
+        stats[leg].solver_checks = static_cast<long long>(
+            obs::Registry::global().counter_total(obs::Counter::kSolverChecks));
+        stats[leg].solver_seconds =
+            static_cast<double>(obs::Registry::global().counter_total(
+                obs::Counter::kSolverMicros)) /
+            1e6;
         for (const verify::PropertyResult* p :
              {&report.agreement, &report.validity, &report.termination}) {
           stats[leg].queries += p->nschemas();
@@ -141,6 +164,8 @@ int main(int argc, char** argv) {
         totals[leg].queries += stats[leg].queries;
         totals[leg].pivots += stats[leg].pivots;
         totals[leg].seconds += stats[leg].seconds;
+        totals[leg].solver_checks += stats[leg].solver_checks;
+        totals[leg].solver_seconds += stats[leg].solver_seconds;
         totals[leg].complete = totals[leg].complete && stats[leg].complete;
       }
 

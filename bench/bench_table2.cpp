@@ -7,7 +7,11 @@
 // directories can be benchmarked wholesale:
 //
 //   bench_table2 [--budget SECONDS] [--jobs N] [--workers N] [--specs DIR]
-//                [PROTOCOL...]
+//                [--metrics FILE] [PROTOCOL...]
+//
+// --metrics FILE dumps the merged obs registry (same JSON as `ctaver
+// verify --metrics`) after the run, so a benchmark sweep records where its
+// wall clock went (solver vs enumeration vs scheduling).
 //
 // --budget is the shared wall-clock budget per protocol (default 60; the
 // committed table2_results.txt was produced with --budget 360). PROTOCOL is
@@ -17,11 +21,13 @@
 // identical at any (jobs, workers) width, only the times change.
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
 
 #include "frontend/registry.h"
+#include "obs/metrics.h"
 #include "util/strings.h"
 #include "util/thread_pool.h"
 #include "verify/pipeline.h"
@@ -34,6 +40,7 @@ int main(int argc, char** argv) {
   opts.schema.max_schemas = 10'000'000;
   int jobs = 0;
   std::string specs_dir;
+  std::string metrics_path;
   std::vector<std::string> protocols;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--budget") == 0 && i + 1 < argc) {
@@ -44,10 +51,13 @@ int main(int argc, char** argv) {
       opts.schema.workers = std::atoi(argv[++i]);
     } else if (std::strcmp(argv[i], "--specs") == 0 && i + 1 < argc) {
       specs_dir = argv[++i];
+    } else if (std::strcmp(argv[i], "--metrics") == 0 && i + 1 < argc) {
+      metrics_path = argv[++i];
     } else {
       protocols.emplace_back(argv[i]);
     }
   }
+  if (!metrics_path.empty()) obs::Registry::global().set_enabled(true);
   opts.jobs = jobs;
   const int threads =
       jobs > 0 ? jobs : util::ThreadPool::hardware_workers();
@@ -93,6 +103,14 @@ int main(int argc, char** argv) {
             verify::verify_protocol_async(registry.resolve(name), opts, pool));
       }
       for (verify::ProtocolRun& run : runs) emit(run.finish());
+    }
+    if (!metrics_path.empty()) {
+      std::ofstream out(metrics_path, std::ios::binary | std::ios::trunc);
+      out << obs::Registry::global().snapshot().to_json();
+      if (!out) {
+        std::cerr << "bench_table2: cannot write " << metrics_path << "\n";
+        return 2;
+      }
     }
   } catch (const std::exception& e) {
     std::cerr << "bench_table2: " << e.what() << "\n";

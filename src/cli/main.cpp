@@ -11,6 +11,7 @@
 // built-ins and spec files are interchangeable everywhere.
 #include <algorithm>
 #include <exception>
+#include <fstream>
 #include <functional>
 #include <iostream>
 #include <optional>
@@ -20,7 +21,11 @@
 
 #include "frontend/diag.h"
 #include "frontend/registry.h"
+#include "obs/metrics.h"
+#include "obs/progress.h"
+#include "obs/trace.h"
 #include "sim/attack.h"
+#include "util/logging.h"
 #include "util/thread_pool.h"
 #include "verify/pipeline.h"
 
@@ -62,7 +67,18 @@ int usage(std::ostream& os, int code) {
         "  --sweep a,b,...    override sweep instances (repeatable)\n"
         "  --replay-ce        verify: replay every schema counterexample\n"
         "                     through the concretization engine (src/replay)\n"
-        "  --quiet            verify: print only the Table-II rows\n";
+        "  --quiet            verify: print only the Table-II rows\n"
+        "\n"
+        "observability (out-of-band: reports are byte-identical with these\n"
+        "on or off; see the README's Observability section):\n"
+        "  --trace FILE       write a Chrome trace-event JSON (Perfetto /\n"
+        "                     chrome://tracing) with protocol > obligation >\n"
+        "                     unit > query spans\n"
+        "  --metrics FILE     write the merged metrics registry as JSON\n"
+        "                     ('-': print a human-readable summary table to\n"
+        "                     stdout instead)\n"
+        "  --progress         live progress line on stderr\n"
+        "  --log-level L      debug|info|warn|error (default warn)\n";
   return code;
 }
 
@@ -79,6 +95,10 @@ struct Args {
   int jobs = 0;                // 0: one worker per hardware thread
   int workers = -1;            // -1: keep the pipeline default (1)
   std::vector<std::vector<long long>> sweep_override;
+  std::string trace_path;    // --trace: Chrome trace-event JSON output
+  std::string metrics_path;  // --metrics: registry JSON ('-': table, stdout)
+  std::string log_level;     // --log-level
+  bool progress = false;
 };
 
 bool parse_sweep(const std::string& s, std::vector<long long>& out) {
@@ -108,10 +128,24 @@ bool parse_args(int argc, char** argv, Args& args) {
       args.quiet = true;
     } else if (a == "--replay-ce") {
       args.replay_ce = true;
+    } else if (a == "--progress") {
+      args.progress = true;
     } else if (a == "--specs") {
       const char* v = value();
       if (v == nullptr) return false;
       args.specs_dir = v;
+    } else if (a == "--trace") {
+      const char* v = value();
+      if (v == nullptr) return false;
+      args.trace_path = v;
+    } else if (a == "--metrics") {
+      const char* v = value();
+      if (v == nullptr) return false;
+      args.metrics_path = v;
+    } else if (a == "--log-level") {
+      const char* v = value();
+      if (v == nullptr) return false;
+      args.log_level = v;
     } else if (a == "--max-states" || a == "--max-schemas" ||
                a == "--time-budget" || a == "--jobs" || a == "--workers") {
       const char* v = value();
@@ -174,6 +208,24 @@ void print_summary(const ProtocolModel& pm, const std::string& origin) {
             << "\n  sweep instances = " << pm.sweep_params.size() << "\n";
 }
 
+/// Suffix for the obligation line: distinguishes the two faces of
+/// "incomplete" (cut mid-run vs never started). Which face shows is
+/// scheduling-dependent under a truncated budget, which is fine here — the
+/// obligation lines are human-readable output, outside the byte-identity
+/// contract (the Table-II rows and --quiet output never render run_state).
+const char* run_state_str(ctaver::verify::Obligation::RunState rs) {
+  using RunState = ctaver::verify::Obligation::RunState;
+  switch (rs) {
+    case RunState::kComplete:
+      return "";
+    case RunState::kCancelled:
+      return ", budget-limited";
+    case RunState::kSkipped:
+      return ", skipped (budget)";
+  }
+  return "";
+}
+
 void print_property(const std::string& title,
                     const ctaver::verify::PropertyResult& pr) {
   std::cout << "  " << title << ": "
@@ -184,7 +236,7 @@ void print_property(const std::string& title,
   for (const ctaver::verify::Obligation& o : pr.obligations) {
     std::cout << "    " << o.name << ": " << (o.holds ? "ok" : "FAIL") << " ["
               << (o.parametric ? "parametric" : "sweep")
-              << (o.complete ? "" : ", budget-limited") << "]";
+              << run_state_str(o.run_state) << "]";
     if (o.nschemas > 0) std::cout << " " << o.nschemas << " schemas";
     std::cout << "\n";
     if (!o.holds) {
@@ -531,15 +583,7 @@ int cmd_check(const ProtocolRegistry& registry, const Args& args) {
   return failed == 0 ? 0 : 1;
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
-  Args args;
-  if (!parse_args(argc, argv, args)) return usage(std::cerr, 2);
-  if (args.command == "help" || args.command == "--help" ||
-      args.command == "-h") {
-    return usage(std::cout, 0);
-  }
+int dispatch(const Args& args) {
   try {
     ProtocolRegistry registry = ProtocolRegistry::with_builtins();
     if (!args.specs_dir.empty()) registry.add_directory(args.specs_dir);
@@ -567,4 +611,68 @@ int main(int argc, char** argv) {
     std::cerr << "ctaver: " << e.what() << "\n";
     return 2;
   }
+}
+
+/// Flushes --trace / --metrics output after the command ran. Runs even when
+/// the command failed — a partial trace of a failing run is exactly what
+/// one wants to look at. Returns 2 on I/O failure (but never masks a
+/// nonzero command code with a success).
+int flush_observability(const Args& args, int code) {
+  if (!args.trace_path.empty() &&
+      !ctaver::obs::Tracer::global().write_file(args.trace_path)) {
+    std::cerr << "ctaver: cannot write trace file '" << args.trace_path
+              << "'\n";
+    if (code == 0) code = 2;
+  }
+  if (!args.metrics_path.empty()) {
+    const ctaver::obs::Snapshot snap =
+        ctaver::obs::Registry::global().snapshot();
+    if (args.metrics_path == "-") {
+      std::cout << snap.to_table();
+    } else {
+      std::ofstream out(args.metrics_path,
+                        std::ios::binary | std::ios::trunc);
+      out << snap.to_json();
+      if (!out) {
+        std::cerr << "ctaver: cannot write metrics file '"
+                  << args.metrics_path << "'\n";
+        if (code == 0) code = 2;
+      }
+    }
+  }
+  return code;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  if (!parse_args(argc, argv, args)) return usage(std::cerr, 2);
+  if (args.command == "help" || args.command == "--help" ||
+      args.command == "-h") {
+    return usage(std::cout, 0);
+  }
+  if (!args.log_level.empty()) {
+    std::optional<ctaver::util::LogLevel> level =
+        ctaver::util::parse_log_level(args.log_level);
+    if (!level) {
+      std::cerr << "ctaver: --log-level wants debug|info|warn|error, got '"
+                << args.log_level << "'\n";
+      return 2;
+    }
+    ctaver::util::set_log_level(*level);
+  }
+  // The meter reads the registry, so --progress implies metrics collection.
+  if (!args.metrics_path.empty() || args.progress) {
+    ctaver::obs::Registry::global().set_enabled(true);
+  }
+  if (!args.trace_path.empty()) ctaver::obs::Tracer::global().enable();
+  int code;
+  {
+    std::optional<ctaver::obs::ProgressMeter> meter;
+    if (args.progress) meter.emplace();
+    code = dispatch(args);
+    if (meter) meter->stop();  // before any final output lands on stderr
+  }
+  return flush_observability(args, code);
 }

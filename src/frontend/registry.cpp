@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "frontend/lower.h"
+#include "util/logging.h"
 #include "util/strings.h"
 
 namespace ctaver::frontend {
@@ -56,6 +57,8 @@ std::vector<std::string> ProtocolRegistry::add_directory(
   std::vector<std::string> names;
   names.reserve(paths.size());
   for (const std::string& path : paths) names.push_back(add_file(path));
+  CTAVER_LOG(kInfo) << "registered " << names.size() << " spec(s) from "
+                    << dir;
   return names;
 }
 

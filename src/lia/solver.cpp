@@ -4,6 +4,7 @@
 #include <cassert>
 #include <stdexcept>
 
+#include "obs/metrics.h"
 #include "util/logging.h"
 
 namespace ctaver::lia {
@@ -223,6 +224,7 @@ void Solver::add(Constraint c) {
 // ---------------------------------------------------------------------------
 
 Solver::Checkpoint Solver::push() {
+  obs::add(obs::Counter::kSolverScopes);
   Checkpoint cp{static_cast<int>(scopes_.size())};
   scopes_.push_back({trail_.size(), constraints_.size(),
                      static_cast<int>(beta_.size()),
@@ -619,9 +621,25 @@ Result Solver::do_check(bool relaxed) {
   return res;
 }
 
-Result Solver::check() { return do_check(options_.relax_integrality); }
+Result Solver::do_check_counted(bool relaxed) {
+  if (!obs::enabled()) return do_check(relaxed);
+  const std::int64_t t0 = obs::now_ns();
+  Result res = do_check(relaxed);
+  obs::add(obs::Counter::kSolverChecks);
+  obs::add(obs::Counter::kSolverPivots,
+           static_cast<std::uint64_t>(stat_pivots_));
+  obs::add(obs::Counter::kSolverBBNodes,
+           static_cast<std::uint64_t>(stat_nodes_));
+  obs::add(obs::Counter::kSolverMicros,
+           static_cast<std::uint64_t>((obs::now_ns() - t0) / 1000));
+  obs::observe(obs::Histogram::kCheckPivots,
+               static_cast<std::uint64_t>(stat_pivots_));
+  return res;
+}
 
-Result Solver::check_relaxed() { return do_check(true); }
+Result Solver::check() { return do_check_counted(options_.relax_integrality); }
+
+Result Solver::check_relaxed() { return do_check_counted(true); }
 
 // ---------------------------------------------------------------------------
 // Models, minimization, entailment

@@ -220,6 +220,9 @@ class Solver {
   void push_violated(int iv);
   Result solve();
   Result do_check(bool relaxed);
+  /// do_check plus the obs registry bumps (checks/pivots/nodes/micros),
+  /// aggregated once per check so the pivot loop itself stays untouched.
+  Result do_check_counted(bool relaxed);
 
   SolverOptions options_;
   // External (caller-visible) variables.

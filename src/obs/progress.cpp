@@ -1,0 +1,83 @@
+#include "obs/progress.h"
+
+#include <chrono>
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "obs/metrics.h"
+#include "util/stopwatch.h"
+
+namespace ctaver::obs {
+
+namespace {
+
+std::string compact(std::uint64_t v) {
+  char buf[32];
+  if (v >= 10'000'000) {
+    std::snprintf(buf, sizeof buf, "%.1fM", static_cast<double>(v) / 1e6);
+  } else if (v >= 10'000) {
+    std::snprintf(buf, sizeof buf, "%.0fk", static_cast<double>(v) / 1e3);
+  } else {
+    std::snprintf(buf, sizeof buf, "%llu",
+                  static_cast<unsigned long long>(v));
+  }
+  return buf;
+}
+
+}  // namespace
+
+ProgressMeter::ProgressMeter() : thread_([this] { loop(); }) {}
+
+ProgressMeter::~ProgressMeter() { stop(); }
+
+void ProgressMeter::stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stop_) return;
+    stop_ = true;
+  }
+  cv_.notify_all();
+  thread_.join();
+}
+
+void ProgressMeter::loop() {
+  const Registry& reg = Registry::global();
+  util::Stopwatch clock;
+  std::size_t painted = 0;
+  auto paint = [&](bool last) {
+    char line[256];
+    std::snprintf(
+        line, sizeof line,
+        "[ctaver] tasks %llu/%llu  schemas %s  queries %s  pivots %s  "
+        "steals %s  %.1fs",
+        static_cast<unsigned long long>(
+            reg.counter_total(Counter::kVerifyTasksDone)),
+        static_cast<unsigned long long>(
+            reg.counter_total(Counter::kVerifyTasksPlanned)),
+        compact(reg.counter_total(Counter::kSchemaSchemas)).c_str(),
+        compact(reg.counter_total(Counter::kSchemaQueries)).c_str(),
+        compact(reg.counter_total(Counter::kSolverPivots)).c_str(),
+        compact(reg.counter_total(Counter::kPoolSteals)).c_str(),
+        clock.seconds());
+    std::string s = line;
+    // Overpaint the previous (possibly longer) line, then erase on exit so
+    // the final report starts on a clean column.
+    std::string pad(painted > s.size() ? painted - s.size() : 0, ' ');
+    painted = s.size();
+    std::cerr << "\r" << s << pad;
+    if (last) std::cerr << "\r" << std::string(painted, ' ') << "\r";
+    std::cerr.flush();
+  };
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!stop_) {
+    lock.unlock();
+    paint(false);
+    lock.lock();
+    cv_.wait_for(lock, std::chrono::milliseconds(250), [&] { return stop_; });
+  }
+  lock.unlock();
+  paint(true);
+}
+
+}  // namespace ctaver::obs

@@ -1,0 +1,37 @@
+// Live progress line for long verification runs: a background thread
+// repaints one \r-overwritten stderr line from the metrics registry a few
+// times a second. Strictly a registry READER — it never writes pipeline
+// state — so it cannot perturb the byte-identical report contract. The
+// registry must be enabled (obs::Registry::global().set_enabled(true))
+// before construction or every counter reads zero.
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+
+namespace ctaver::obs {
+
+class ProgressMeter {
+ public:
+  /// Starts the repaint thread immediately.
+  ProgressMeter();
+  /// stop()s if still running.
+  ~ProgressMeter();
+  ProgressMeter(const ProgressMeter&) = delete;
+  ProgressMeter& operator=(const ProgressMeter&) = delete;
+
+  /// Joins the repaint thread and clears the line. Call before printing
+  /// final results so they don't interleave with a stale progress line.
+  void stop();
+
+ private:
+  void loop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  std::thread thread_;
+};
+
+}  // namespace ctaver::obs

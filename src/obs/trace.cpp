@@ -1,0 +1,139 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <sstream>
+
+#include "obs/metrics.h"
+
+namespace ctaver::obs {
+
+namespace {
+
+struct TraceBuf {
+  std::vector<Tracer::Event> events;
+  int tid = 0;
+};
+
+struct TState {
+  std::mutex mu;
+  std::vector<std::unique_ptr<TraceBuf>> bufs;  // append-only, never freed
+  int next_tid = 0;
+  // Read lock-free on every span close; written only by enable()/reset().
+  std::atomic<std::int64_t> t0{0};
+};
+
+TState& tstate() {
+  static TState* s = new TState;
+  return *s;
+}
+
+TraceBuf& local_buf() {
+  thread_local TraceBuf* buf = [] {
+    TState& s = tstate();
+    std::lock_guard<std::mutex> lock(s.mu);
+    s.bufs.push_back(std::make_unique<TraceBuf>());
+    s.bufs.back()->tid = s.next_tid++;
+    return s.bufs.back().get();
+  }();
+  return *buf;
+}
+
+}  // namespace
+
+Tracer& Tracer::global() {
+  static Tracer* t = new Tracer;
+  return *t;
+}
+
+void Tracer::enable() {
+  tstate().t0.store(now_ns(), std::memory_order_relaxed);
+  detail::g_trace_enabled.store(true, std::memory_order_relaxed);
+}
+
+void Tracer::disable() {
+  detail::g_trace_enabled.store(false, std::memory_order_relaxed);
+}
+
+void Tracer::reset() {
+  TState& s = tstate();
+  std::lock_guard<std::mutex> lock(s.mu);
+  for (auto& buf : s.bufs) buf->events.clear();
+  s.t0.store(0, std::memory_order_relaxed);
+}
+
+void Tracer::emit(const char* name, std::int64_t start_ns,
+                  std::int64_t end_ns, std::string args) {
+  std::int64_t t0 = tstate().t0.load(std::memory_order_relaxed);
+  TraceBuf& buf = local_buf();
+  Event e;
+  e.name = name;
+  e.start_ns = start_ns - t0;
+  e.dur_ns = end_ns - start_ns;
+  e.tid = buf.tid;
+  e.args = std::move(args);
+  buf.events.push_back(std::move(e));
+}
+
+std::vector<Tracer::Event> Tracer::events() const {
+  std::vector<Event> out;
+  TState& s = tstate();
+  std::lock_guard<std::mutex> lock(s.mu);
+  for (const auto& buf : s.bufs) {
+    out.insert(out.end(), buf->events.begin(), buf->events.end());
+  }
+  std::sort(out.begin(), out.end(), [](const Event& a, const Event& b) {
+    if (a.tid != b.tid) return a.tid < b.tid;
+    if (a.start_ns != b.start_ns) return a.start_ns < b.start_ns;
+    return a.dur_ns > b.dur_ns;  // enclosing span first
+  });
+  return out;
+}
+
+std::string Tracer::to_json() const {
+  std::vector<Event> evs = events();
+  std::ostringstream os;
+  os << "{\"traceEvents\":[\n";
+  bool first = true;
+  int max_tid = -1;
+  for (const Event& e : evs) max_tid = std::max(max_tid, e.tid);
+  for (int tid = 0; tid <= max_tid; ++tid) {
+    os << (first ? "" : ",\n")
+       << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":" << tid
+       << ",\"args\":{\"name\":\"ctaver-t" << tid << "\"}}";
+    first = false;
+  }
+  char buf[64];
+  for (const Event& e : evs) {
+    os << (first ? "" : ",\n");
+    first = false;
+    os << "{\"name\":\"" << e.name << "\",\"cat\":\"ctaver\",\"ph\":\"X\"";
+    std::snprintf(buf, sizeof buf, "%.3f",
+                  static_cast<double>(e.start_ns) / 1e3);
+    os << ",\"ts\":" << buf;
+    std::snprintf(buf, sizeof buf, "%.3f", static_cast<double>(e.dur_ns) / 1e3);
+    os << ",\"dur\":" << buf << ",\"pid\":1,\"tid\":" << e.tid;
+    if (!e.args.empty()) os << ",\"args\":{" << e.args << "}";
+    os << "}";
+  }
+  os << "\n],\"displayTimeUnit\":\"ms\"}\n";
+  return os.str();
+}
+
+bool Tracer::write_file(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << to_json();
+  return static_cast<bool>(out);
+}
+
+void Span::begin() { start_ns_ = now_ns(); }
+
+void Span::end() {
+  Tracer::global().emit(name_, start_ns_, now_ns(), std::move(args_));
+}
+
+}  // namespace ctaver::obs

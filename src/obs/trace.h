@@ -1,0 +1,105 @@
+// Span tracer emitting Chrome trace-event JSON (loadable in Perfetto or
+// chrome://tracing). Spans nest per thread by construction — Span is a
+// stack-discipline RAII object — so the viewer reconstructs the
+// protocol → obligation → unit → query hierarchy from ts/dur containment
+// without explicit parent links.
+//
+// Cost model: a disabled Span is one branch in the constructor and one in
+// the destructor. An enabled span is one clock read at open and, at close,
+// a second clock read plus one append to this thread's event buffer.
+// Buffers are never flushed mid-run; to_json()/write_file() render
+// everything once at the end. Like the metrics shards (see metrics.h),
+// buffers are per-thread, append-only for the owner, and never freed, so
+// thread exit loses nothing.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ctaver::obs {
+
+namespace detail {
+inline std::atomic<bool> g_trace_enabled{false};
+}  // namespace detail
+
+[[nodiscard]] inline bool trace_enabled() {
+  return detail::g_trace_enabled.load(std::memory_order_relaxed);
+}
+
+class Tracer {
+ public:
+  /// One closed span. Times are steady-clock nanos relative to enable().
+  struct Event {
+    const char* name = "";
+    std::int64_t start_ns = 0;
+    std::int64_t dur_ns = 0;
+    int tid = 0;
+    /// Inner JSON fields of the args object (no braces), e.g.
+    /// "\"kind\":\"probe\""; empty for no args.
+    std::string args;
+  };
+
+  /// Leaky singleton, same rationale as obs::Registry::global().
+  static Tracer& global();
+
+  /// Starts a capture: records t0 and raises the global flag. Spans opened
+  /// before enable() are not recorded.
+  void enable();
+  void disable();
+  [[nodiscard]] bool enabled() const { return trace_enabled(); }
+  /// Drops all buffered events. Quiescent-only, like Registry::reset().
+  void reset();
+
+  /// Appends a closed span to the CALLING thread's buffer (public so code
+  /// can record a span whose open and close are not a lexical scope, e.g.
+  /// the async protocol span that opens at planning time).
+  void emit(const char* name, std::int64_t start_ns, std::int64_t end_ns,
+            std::string args);
+
+  /// All buffered events, sorted by (tid, start). For tests and the writer;
+  /// call only when no instrumented work is in flight.
+  [[nodiscard]] std::vector<Event> events() const;
+  /// Chrome trace-event JSON: {"traceEvents": [...]} with complete ("X")
+  /// events in microseconds plus thread_name metadata.
+  [[nodiscard]] std::string to_json() const;
+  /// Writes to_json() to `path`; false on I/O failure.
+  [[nodiscard]] bool write_file(const std::string& path) const;
+
+ private:
+  Tracer() = default;
+};
+
+/// RAII span: records [construction, destruction) on the current thread
+/// under `name`. `name` must outlive the tracer (string literals only).
+class Span {
+ public:
+  explicit Span(const char* name) {
+    if (trace_enabled()) {
+      name_ = name;
+      begin();
+    }
+  }
+  ~Span() {
+    if (name_ != nullptr) end();
+  }
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  /// True when the span is being recorded; callers use this to skip
+  /// building args strings on the disabled path.
+  [[nodiscard]] bool active() const { return name_ != nullptr; }
+  /// Sets the args object's inner JSON fields (no braces).
+  void args(std::string json_fields) { args_ = std::move(json_fields); }
+
+ private:
+  void begin();
+  void end();
+
+  const char* name_ = nullptr;
+  std::int64_t start_ns_ = 0;
+  std::string args_;
+};
+
+}  // namespace ctaver::obs

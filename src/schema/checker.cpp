@@ -10,6 +10,8 @@
 #include <stdexcept>
 #include <thread>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/logging.h"
 #include "util/stopwatch.h"
 #include "util/thread_pool.h"
@@ -197,6 +199,9 @@ class Encoder {
   /// to the final position) — so every remaining sibling is UNSAT too.
   bool probe(const std::vector<int>& flips, bool* unknown,
              bool* siblings_unsat = nullptr) {
+    obs::Span span("query");
+    if (span.active()) span.args("\"kind\":\"probe\"");
+    obs::add(obs::Counter::kSchemaQueries);
     set_flips(flips);
     sync_levels(flips, flips.size());
     ++nqueries_;
@@ -233,6 +238,9 @@ class Encoder {
   bool query_sat(const std::vector<int>& flips, int cut1, int cut2,
                  bool swap_cuts, const spec::Spec& spec, bool* unknown,
                  bool* later_cuts_unsat = nullptr) {
+    obs::Span span("query");
+    if (span.active()) span.args("\"kind\":\"cut\"");
+    obs::add(obs::Counter::kSchemaQueries);
     ++nqueries_;
     set_flips(flips);
     const int nseg = static_cast<int>(flips.size()) + 1;
@@ -279,6 +287,9 @@ class Encoder {
                                             bool* unknown,
                                             bool* sat = nullptr,
                                             bool swap_cuts = false) {
+    obs::Span span("query");
+    if (span.active()) span.args("\"kind\":\"fresh\"");
+    obs::add(obs::Counter::kSchemaQueries);
     ++nqueries_;
     lia::SolverOptions solver_opts = solver_opts_;
     // Prune-only probes act on UNSAT alone: the rational relaxation is
@@ -928,6 +939,19 @@ class SubtreeRun {
   /// exhaustion, counterexample, budget, or canonical-order abort.
   void advance_level() {
     if (!active_) return;
+    // First advance = this worker thread adopting the unit: the unit was
+    // constructed on the obligation thread, but all its solving happens
+    // here, so per-thread adoption counts measure worker imbalance.
+    if (!adopted_) {
+      adopted_ = true;
+      obs::add(obs::Counter::kSchemaUnits);
+    }
+    obs::add(obs::Counter::kSchemaUnitLevels);
+    obs::Span span("unit");
+    if (span.active()) {
+      span.args("\"unit\":" + std::to_string(index_) +
+                ",\"depth\":" + std::to_string(depth_));
+    }
     cancel_.self_key = order_key(depth_, index_);
     level_charges_.push_back(0);
     level_queries_.push_back(0);
@@ -971,7 +995,11 @@ class SubtreeRun {
   }
 
   void hit_budget() {
-    cx_->budget_hit.store(true, std::memory_order_relaxed);
+    // exchange: log the budget trip once per check, not once per unit.
+    if (!cx_->budget_hit.exchange(true, std::memory_order_relaxed)) {
+      CTAVER_LOG(kDebug) << "check_spec(" << cx_->spec->name
+                         << "): budget exhausted at depth " << depth_;
+    }
     stopped_ = true;
   }
 
@@ -982,6 +1010,7 @@ class SubtreeRun {
       hit_budget();
       return false;
     }
+    obs::add(obs::Counter::kSchemaSchemas);
     ++level_charges_.back();
     return true;
   }
@@ -1016,6 +1045,7 @@ class SubtreeRun {
         // share — so this probe is UNSAT too. Charged like a real probe
         // (verdicts, nschemas, and report bytes are unchanged); the solver
         // call is skipped, which is where the query/pivot counts drop.
+        obs::add(obs::Counter::kSchemaCoreSkips);
         return true;
       }
       bool unknown = false, sat = false, siblings_unsat = false;
@@ -1060,7 +1090,10 @@ class SubtreeRun {
              ++swap) {
           if (!poll()) return false;
           if (!charge_one()) return false;
-          if (c2_rest_unsat && swap == 0) continue;  // UNSAT by embedding
+          if (c2_rest_unsat && swap == 0) {
+            obs::add(obs::Counter::kSchemaCoreSkips);
+            continue;  // UNSAT by embedding
+          }
           bool unknown = false;
           std::optional<Counterexample> ce;
           if (opts.incremental) {
@@ -1131,6 +1164,7 @@ class SubtreeRun {
   std::vector<long long> level_charges_, level_queries_, level_pivots_;
   long long query_mark_ = 0, pivot_mark_ = 0;
   int unknown_depth_ = -1;
+  bool adopted_ = false;  // obs: first advance_level() ran (on its worker)
   bool active_ = true;
   bool stopped_ = false;
   std::optional<Counterexample> ce_;
@@ -1206,6 +1240,9 @@ CheckResult check_spec(const ta::System& sys, const spec::Spec& spec,
     int workers = opts.workers > 0 ? opts.workers
                                    : util::ThreadPool::hardware_workers();
     workers = std::min(workers, static_cast<int>(units.size()));
+    CTAVER_LOG(kDebug) << "check_spec(" << spec.name << "): " << units.size()
+                       << " subtree units at split depth " << split << ", "
+                       << workers << " enumeration worker(s)";
     std::vector<std::exception_ptr> errors(
         static_cast<std::size_t>(std::max(workers, 1)));
     auto run_worker = [&](int w) {

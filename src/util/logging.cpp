@@ -1,6 +1,9 @@
 #include "util/logging.h"
 
 #include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <ctime>
 #include <iostream>
 #include <mutex>
 
@@ -23,15 +26,47 @@ const char* prefix(LogLevel level) {
   }
   return "[?] ";
 }
+
+/// "2026-08-08T12:34:56.789Z " — UTC so interleaved logs from different
+/// machines line up without timezone archaeology.
+std::string timestamp() {
+  using namespace std::chrono;
+  const auto now = system_clock::now();
+  const std::time_t secs = system_clock::to_time_t(now);
+  const auto ms =
+      duration_cast<milliseconds>(now.time_since_epoch()).count() % 1000;
+  std::tm tm{};
+  gmtime_r(&secs, &tm);
+  char buf[40];
+  std::size_t n = std::strftime(buf, sizeof buf, "%Y-%m-%dT%H:%M:%S", &tm);
+  std::snprintf(buf + n, sizeof buf - n, ".%03dZ ", static_cast<int>(ms));
+  return buf;
+}
+
+int thread_ordinal() {
+  static std::atomic<int> next{0};
+  thread_local int id = next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
 }  // namespace
 
 void set_log_level(LogLevel level) { g_level.store(level); }
 LogLevel log_level() { return g_level.load(); }
 
+std::optional<LogLevel> parse_log_level(const std::string& name) {
+  if (name == "debug") return LogLevel::kDebug;
+  if (name == "info") return LogLevel::kInfo;
+  if (name == "warn") return LogLevel::kWarn;
+  if (name == "error") return LogLevel::kError;
+  return std::nullopt;
+}
+
 void log_line(LogLevel level, const std::string& msg) {
   if (static_cast<int>(level) < static_cast<int>(g_level.load())) return;
+  const int tid = thread_ordinal();
   std::lock_guard<std::mutex> lock(g_mutex);
-  std::cerr << prefix(level) << msg << "\n";
+  std::cerr << timestamp() << prefix(level) << "[t" << tid << "] " << msg
+            << "\n";
 }
 
 }  // namespace ctaver::util

@@ -2,6 +2,7 @@
 // without dragging in a logging framework.
 #pragma once
 
+#include <optional>
 #include <sstream>
 #include <string>
 
@@ -13,8 +14,15 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
 void set_log_level(LogLevel level);
 LogLevel log_level();
 
-/// Emits one line to stderr with a level prefix if `level` passes the
-/// threshold. Thread-safe at line granularity.
+/// Parses "debug" / "info" / "warn" / "error" (the `--log-level` values);
+/// nullopt for anything else.
+std::optional<LogLevel> parse_log_level(const std::string& name);
+
+/// Emits one line to stderr if `level` passes the threshold, prefixed with
+/// an ISO-8601 UTC timestamp (millisecond precision), the level, and a
+/// small per-thread ordinal (threads numbered in first-log order — NOT the
+/// obs registry/tracer ordinals, which number threads independently).
+/// Thread-safe at line granularity.
 void log_line(LogLevel level, const std::string& msg);
 
 namespace internal {

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
+
 namespace ctaver::util {
 
 void TaskGroup::add_one() {
@@ -29,6 +31,8 @@ int ThreadPool::hardware_workers() {
 
 ThreadPool::ThreadPool(int workers) {
   int n = workers > 0 ? workers : hardware_workers();
+  worker_run_ =
+      std::make_unique<std::atomic<std::uint64_t>[]>(static_cast<std::size_t>(n));
   queues_.reserve(static_cast<std::size_t>(n));
   for (int i = 0; i < n; ++i) {
     queues_.push_back(std::make_unique<WorkerQueue>());
@@ -82,10 +86,16 @@ void ThreadPool::enqueue(Item it) {
     ++queued_;
     ++pending_;
   }
+  std::size_t depth;
   {
     std::lock_guard<std::mutex> lock(queues_[victim]->mu);
     queues_[victim]->q.push_back(std::move(it));
+    depth = queues_[victim]->q.size();
+    queues_[victim]->max_depth = std::max(queues_[victim]->max_depth, depth);
   }
+  submitted_.fetch_add(1, std::memory_order_relaxed);
+  obs::add(obs::Counter::kPoolSubmits);
+  obs::gauge_max(obs::Gauge::kPoolMaxQueueDepth, depth);
   cv_work_.notify_one();
 }
 
@@ -110,6 +120,8 @@ bool ThreadPool::try_pop(std::size_t self, Item& out) {
         // Thief side: steal from the opposite end to reduce contention.
         out = std::move(wq.q.back());
         wq.q.pop_back();
+        stolen_.fetch_add(1, std::memory_order_relaxed);
+        obs::add(obs::Counter::kPoolSteals);
       }
     }
     std::lock_guard<std::mutex> lock(mu_);
@@ -142,7 +154,9 @@ void ThreadPool::run_group(TaskGroup& group) {
   for (;;) {
     Item it;
     if (!try_pop_group(&group, it)) break;
-    if (!it.has_token || !it.token.cancelled()) it.fn();
+    spilled_.fetch_add(1, std::memory_order_relaxed);
+    obs::add(obs::Counter::kPoolGroupSpills);
+    execute(it, SIZE_MAX);
     if (it.group != nullptr) it.group->finish_one();
     finish_one();
   }
@@ -161,12 +175,47 @@ void ThreadPool::finish_one() {
   if (left == 0) cv_done_.notify_all();
 }
 
+void ThreadPool::execute(Item& it, std::size_t worker) {
+  // A task whose token tripped while queued is skipped, not run.
+  if (!it.has_token || !it.token.cancelled()) {
+    run_.fetch_add(1, std::memory_order_relaxed);
+    if (worker != SIZE_MAX) {
+      worker_run_[worker].fetch_add(1, std::memory_order_relaxed);
+    }
+    obs::add(obs::Counter::kPoolTasksRun);
+    it.fn();
+  } else {
+    skipped_.fetch_add(1, std::memory_order_relaxed);
+    obs::add(obs::Counter::kPoolTasksSkipped);
+  }
+}
+
+ThreadPool::Stats ThreadPool::stats() const {
+  Stats s;
+  s.submitted = submitted_.load(std::memory_order_relaxed);
+  s.run = run_.load(std::memory_order_relaxed);
+  s.skipped = skipped_.load(std::memory_order_relaxed);
+  s.stolen = stolen_.load(std::memory_order_relaxed);
+  s.spilled = spilled_.load(std::memory_order_relaxed);
+  for (const auto& wq : queues_) {
+    std::lock_guard<std::mutex> lock(wq->mu);
+    s.max_queue_depth =
+        std::max(s.max_queue_depth,
+                 static_cast<std::uint64_t>(wq->max_depth));
+  }
+  s.tasks_per_worker.reserve(threads_.size());
+  for (std::size_t i = 0; i < threads_.size(); ++i) {
+    s.tasks_per_worker.push_back(
+        worker_run_[i].load(std::memory_order_relaxed));
+  }
+  return s;
+}
+
 void ThreadPool::worker_loop(std::size_t self) {
   for (;;) {
     Item it;
     if (try_pop(self, it)) {
-      // A task whose token tripped while queued is skipped, not run.
-      if (!it.has_token || !it.token.cancelled()) it.fn();
+      execute(it, self);
       if (it.group != nullptr) it.group->finish_one();
       finish_one();
       continue;

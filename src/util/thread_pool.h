@@ -15,8 +15,10 @@
 // while still collecting each protocol's results separately.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <memory>
@@ -88,6 +90,25 @@ class ThreadPool {
     return static_cast<int>(threads_.size());
   }
 
+  /// Lifetime scheduling health of this pool. All counts are cumulative
+  /// since construction and purely diagnostic — nothing reads them back
+  /// into scheduling decisions, so they cannot perturb report bytes.
+  struct Stats {
+    std::uint64_t submitted = 0;  // tasks enqueued
+    std::uint64_t run = 0;        // executed (by workers or run_group)
+    std::uint64_t skipped = 0;    // dequeued with an already-tripped token
+    std::uint64_t stolen = 0;     // run-or-skipped from a sibling's deque
+    std::uint64_t spilled = 0;    // drained by run_group() callers
+    std::uint64_t max_queue_depth = 0;  // high-water mark over all deques
+    /// Tasks executed by each pool worker (spills excluded, so the values
+    /// sum to run - spilled). The spread measures the static round-robin
+    /// imbalance the ROADMAP's shared claim-index item wants to fix.
+    std::vector<std::uint64_t> tasks_per_worker;
+  };
+  /// Safe to call while the pool is busy; counters are read relaxed, so a
+  /// concurrent snapshot can be a few events stale but never torn.
+  [[nodiscard]] Stats stats() const;
+
   /// std::thread::hardware_concurrency with a sane fallback.
   static int hardware_workers();
 
@@ -101,6 +122,7 @@ class ThreadPool {
   struct WorkerQueue {
     std::mutex mu;
     std::deque<Item> q;
+    std::size_t max_depth = 0;  // guarded by mu
   };
 
   void enqueue(Item it);
@@ -108,9 +130,24 @@ class ThreadPool {
   bool try_pop(std::size_t self, Item& out);
   bool try_pop_group(const TaskGroup* group, Item& out);
   void finish_one();
+  /// Runs or skips a dequeued item and bumps the matching stats/metrics.
+  /// `worker` is the executing pool worker, or SIZE_MAX for run_group
+  /// callers (spills).
+  void execute(Item& it, std::size_t worker);
 
   std::vector<std::unique_ptr<WorkerQueue>> queues_;
   std::vector<std::thread> threads_;
+
+  // Diagnostic counters (see Stats). Writers use relaxed RMWs: these sit
+  // off the queue locks on purpose so stats never add contention.
+  std::atomic<std::uint64_t> submitted_{0};
+  std::atomic<std::uint64_t> run_{0};
+  std::atomic<std::uint64_t> skipped_{0};
+  std::atomic<std::uint64_t> stolen_{0};
+  std::atomic<std::uint64_t> spilled_{0};
+  /// Tasks run per worker; sized once in the constructor (atomics cannot
+  /// live in a resizable vector).
+  std::unique_ptr<std::atomic<std::uint64_t>[]> worker_run_;
 
   std::mutex mu_;                  // guards sleeping / wait() coordination
   std::condition_variable cv_work_;

@@ -9,10 +9,13 @@
 
 #include "cs/explicit_system.h"
 #include "cs/state_graph.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "replay/replay.h"
 #include "spec/spec.h"
 #include "ta/transforms.h"
 #include "ta/validate.h"
+#include "util/logging.h"
 #include "util/stopwatch.h"
 #include "util/strings.h"
 #include "util/thread_pool.h"
@@ -168,6 +171,9 @@ using SweepCheckFn = bool (*)(const ta::System&,
 struct SweepInstanceResult {
   enum class Status { kSkipped, kOk, kFail };
   Status status = Status::kSkipped;
+  /// The instance's check ran at all (status can still be kSkipped when the
+  /// budget cancelled it mid-run — that distinction is Obligation::run_state).
+  bool started = false;
   double seconds = 0.0;
   std::exception_ptr error;
 };
@@ -179,6 +185,10 @@ struct ParametricTask {
   spec::Spec spec;
   std::optional<schema::CheckResult> result;
   std::exception_ptr error;
+  bool started = false;
+  /// Scheduler-side wall time around the whole task body; attributes even
+  /// budget-cancelled work (check_spec's own seconds die with the throw).
+  double task_seconds = 0.0;
 };
 
 struct SweepTask {
@@ -236,10 +246,12 @@ void merge_sweep(SweepTask& t) {
   o.holds = true;
   o.complete = true;
   o.seconds = 0.0;
+  bool any_started = false;
   std::vector<std::string> swept;
   std::vector<std::string> failed;
   for (std::size_t i = 0; i < t.instances.size(); ++i) {
     const SweepInstanceResult& inst = t.instances[i];
+    any_started = any_started || inst.started;
     std::string tag = instance_tag(t.pm->sweep_params[i]);
     switch (inst.status) {
       case SweepInstanceResult::Status::kOk:
@@ -260,6 +272,9 @@ void merge_sweep(SweepTask& t) {
     swept.push_back(std::move(tag));
     o.seconds += inst.seconds;
   }
+  o.run_state = o.complete    ? Obligation::RunState::kComplete
+                : any_started ? Obligation::RunState::kCancelled
+                              : Obligation::RunState::kSkipped;
   o.detail = "instances " + util::join(swept, " ");
   if (!failed.empty()) {
     o.ce = "failing instances " + util::join(failed, " ");
@@ -334,6 +349,10 @@ struct ProtocolRun::Impl {
   std::vector<std::function<void()>> tasks;
   util::TaskGroup group;
   bool finished = false;
+  /// Protocol trace span: opened at planning time, closed (emitted) by
+  /// merge(). Not an RAII Span because the async run's open and close
+  /// straddle verify_protocol_async's return.
+  std::int64_t proto_start_ns = -1;
 
   Impl(const protocols::ProtocolModel& pm_in, const Options& opts_in)
       : pm(pm_in),
@@ -341,11 +360,13 @@ struct ProtocolRun::Impl {
         budget(opts_in.schema.max_schemas, opts_in.schema.time_budget_s) {}
 
   void plan_all() {
+    if (obs::trace_enabled()) proto_start_ns = obs::now_ns();
     report.protocol = pm.name;
     report.category = pm.category;
     report.n_locations = pm.system.total_locations();
     report.n_rules = pm.system.total_rules();
 
+    CTAVER_LOG(kDebug) << pm.name << ": lowering to the single-round system";
     rd = ta::single_round(ta::nonprobabilistic(pm.system));
     // Probabilistic single-round system for the (C1)/(C2′) games: the coin
     // toss must stay a probabilistic branch (resolved by the ∃-path
@@ -440,45 +461,84 @@ struct ProtocolRun::Impl {
     if (task_opts.workers == 0) task_opts.workers = 1;
 
     // Task closures, in canonical order (all referenced vectors are final
-    // from here on, so the captured references stay valid).
+    // from here on, so the captured references stay valid). Each body is
+    // wrapped in an "obligation" trace span plus a scheduler-side stopwatch
+    // whose reading survives budget cancellation (check_spec's own seconds
+    // die with the Cancelled throw) — this is where per-obligation wall
+    // time attribution comes from.
     for (const auto& [is_sweep, idx] : plan.order) {
       if (!is_sweep) {
         ParametricTask& t = plan.checks[idx];
         tasks.push_back([this, &t]() {
+          obs::Span span("obligation");
+          if (span.active()) {
+            span.args("\"protocol\":\"" + obs::json_escape(pm.name) +
+                      "\",\"obligation\":\"" + obs::json_escape(t.spec.name) +
+                      "\"");
+          }
+          util::Stopwatch w;
           try {
-            if (budget.exhausted()) return;  // slot stays inconclusive
-            t.result = schema::check_spec(*t.sys, t.spec, task_opts);
+            if (!budget.exhausted()) {  // else the slot stays inconclusive
+              t.started = true;
+              t.result = schema::check_spec(*t.sys, t.spec, task_opts);
+            }
           } catch (const util::Cancelled&) {
           } catch (...) {
             t.error = std::current_exception();
             budget.cancel.cancel();
           }
+          t.task_seconds = w.seconds();
+          obs::add(obs::Counter::kVerifyTasksDone);
+          obs::add(obs::Counter::kVerifyObligationMicros,
+                   static_cast<std::uint64_t>(t.task_seconds * 1e6));
+          obs::observe(obs::Histogram::kObligationMillis,
+                       static_cast<std::uint64_t>(t.task_seconds * 1e3));
         });
       } else {
         SweepTask& t = plan.sweeps[idx];
         for (std::size_t i = 0; i < t.instances.size(); ++i) {
           tasks.push_back([this, &t, i]() {
             SweepInstanceResult& inst = t.instances[i];
+            obs::Span span("obligation");
+            if (span.active()) {
+              std::string name =
+                  t.prop->obligations[t.slot].name + "[" +
+                  std::to_string(i) + "]";
+              span.args("\"protocol\":\"" + obs::json_escape(pm.name) +
+                        "\",\"obligation\":\"" + obs::json_escape(name) +
+                        "\"");
+            }
+            util::Stopwatch w;
             try {
-              if (budget.exhausted()) return;
-              util::Stopwatch w;
-              // The budget itself is the cancel source, so a long
-              // state-graph build notices an expired deadline, not just a
-              // tripped flag.
-              bool ok = t.check(*t.sys, t.pm->sweep_params[i],
-                                opts.max_states, &budget);
-              inst.seconds = w.seconds();
-              inst.status = ok ? SweepInstanceResult::Status::kOk
-                               : SweepInstanceResult::Status::kFail;
+              if (!budget.exhausted()) {
+                inst.started = true;
+                // The budget itself is the cancel source, so a long
+                // state-graph build notices an expired deadline, not just a
+                // tripped flag.
+                bool ok = t.check(*t.sys, t.pm->sweep_params[i],
+                                  opts.max_states, &budget);
+                inst.status = ok ? SweepInstanceResult::Status::kOk
+                                 : SweepInstanceResult::Status::kFail;
+              }
             } catch (const util::Cancelled&) {
             } catch (...) {
               inst.error = std::current_exception();
               budget.cancel.cancel();
             }
+            inst.seconds = w.seconds();
+            obs::add(obs::Counter::kVerifyTasksDone);
+            obs::add(obs::Counter::kVerifyObligationMicros,
+                     static_cast<std::uint64_t>(inst.seconds * 1e6));
+            obs::observe(obs::Histogram::kObligationMillis,
+                         static_cast<std::uint64_t>(inst.seconds * 1e3));
           });
         }
       }
     }
+    obs::add(obs::Counter::kVerifyTasksPlanned,
+             static_cast<std::uint64_t>(tasks.size()));
+    CTAVER_LOG(kInfo) << pm.name << ": planned " << plan.order.size()
+                      << " obligation(s) as " << tasks.size() << " task(s)";
   }
 
   /// Abandoned before finish(): drop the queued tasks and wait out the
@@ -511,6 +571,8 @@ struct ProtocolRun::Impl {
       Obligation& o = t.prop->obligations[t.slot];
       if (t.result) {
         o = from_check(o.name, *t.result);
+        o.run_state = o.complete ? Obligation::RunState::kComplete
+                                 : Obligation::RunState::kCancelled;
         if (opts.replay_ce && o.ce_data) {
           // Close the loop: concretize the schema counterexample and step
           // it through the explicit semantics. Replay is deterministic, so
@@ -524,10 +586,35 @@ struct ProtocolRun::Impl {
         // Skipped by budget exhaustion or cancellation: inconclusive.
         o.holds = false;
         o.complete = false;
+        o.run_state = t.started ? Obligation::RunState::kCancelled
+                                : Obligation::RunState::kSkipped;
       }
+      // Table-II time columns come from the scheduler-side task timer, so
+      // budget-cancelled obligations are attributable too.
+      o.seconds = t.task_seconds;
     }
     for (SweepTask& t : plan.sweeps) merge_sweep(t);
 
+    int cancelled = 0, skipped = 0;
+    for (const PropertyResult* prop :
+         {&report.agreement, &report.validity, &report.termination}) {
+      for (const Obligation& o : prop->obligations) {
+        if (o.run_state == Obligation::RunState::kCancelled) ++cancelled;
+        if (o.run_state == Obligation::RunState::kSkipped) ++skipped;
+      }
+    }
+    if (cancelled + skipped > 0) {
+      CTAVER_LOG(kInfo) << pm.name << ": budget exhausted after "
+                        << budget.used() << " schema charge(s) — "
+                        << cancelled << " obligation(s) cut mid-run, "
+                        << skipped << " never started";
+    }
+    obs::add(obs::Counter::kVerifyProtocols);
+    if (proto_start_ns >= 0) {
+      obs::Tracer::global().emit(
+          "protocol", proto_start_ns, obs::now_ns(),
+          "\"protocol\":\"" + obs::json_escape(pm.name) + "\"");
+    }
     return std::move(report);
   }
 };
@@ -623,7 +710,20 @@ std::string table2_row(const ProtocolReport& r) {
              r.termination.has_counterexample()) {
     os << "CE";
   } else {
+    // Attribute the shortfall: obligations cut down mid-run burned real
+    // time (see their time columns), skipped ones never got a slot.
+    int cancelled = 0, skipped = 0;
+    for (const PropertyResult* prop :
+         {&r.agreement, &r.validity, &r.termination}) {
+      for (const Obligation& o : prop->obligations) {
+        if (o.run_state == Obligation::RunState::kCancelled) ++cancelled;
+        if (o.run_state == Obligation::RunState::kSkipped) ++skipped;
+      }
+    }
     os << "budget-limited";
+    if (cancelled + skipped > 0) {
+      os << " (" << cancelled << " cut, " << skipped << " skipped)";
+    }
   }
   return os.str();
 }

@@ -73,12 +73,23 @@ struct Options {
 
 /// One discharged proof obligation.
 struct Obligation {
+  /// How the obligation's task ended. Distinguishes the two faces of
+  /// "inconclusive": kCancelled started and was cut down mid-run by the
+  /// shared budget (its seconds are real work), kSkipped never started
+  /// (the budget was spent before its slot came up; its seconds are 0).
+  /// Which face an incomplete obligation shows is time- and
+  /// scheduling-dependent under a truncated budget, so the CLI renders it
+  /// only in the human-readable obligation lines — never in the fields the
+  /// byte-identity contract compares (complete runs are always kComplete).
+  enum class RunState { kComplete, kCancelled, kSkipped };
+
   std::string name;
   bool holds = false;
   /// true: proved for all admissible parameters (schema checker);
   /// false: checked on the sweep instances only.
   bool parametric = false;
   bool complete = false;
+  RunState run_state = RunState::kSkipped;
   long long nschemas = 0;
   /// LIA solver invocations actually made (nschemas minus the probes
   /// discharged by UNSAT-core sibling skipping, plus CE re-solves). Zero
@@ -87,6 +98,11 @@ struct Obligation {
   /// Simplex pivots spent by the schema checker on this obligation (zero
   /// for sweeps). Informational — bench_solver's measurement hook.
   long long npivots = 0;
+  /// Wall time of this obligation's task(s), measured by the scheduler
+  /// around the whole task body (sweeps: summed over instances). Unlike the
+  /// checker's own seconds this also covers budget-cancelled work, so a
+  /// cut-down obligation is attributable in the Table-II time columns; a
+  /// skipped one reads 0.
   double seconds = 0.0;
   /// Genuine counterexample text (schema-checker CE or the failing sweep
   /// instances). Empty when the obligation holds or merely ran out of

@@ -211,6 +211,65 @@ TEST(ThreadPool, RunGroupSkipsCancelledTasks) {
   pool.wait();
 }
 
+TEST(ThreadPool, StatsAccountForEveryTask) {
+  ThreadPool pool(3);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.submit([&count] { ++count; });
+  }
+  pool.wait();
+  ThreadPool::Stats s = pool.stats();
+  EXPECT_EQ(s.submitted, 100u);
+  EXPECT_EQ(s.run, 100u);
+  EXPECT_EQ(s.skipped, 0u);
+  EXPECT_EQ(s.spilled, 0u);
+  EXPECT_EQ(s.submitted, s.run + s.skipped);
+  EXPECT_GE(s.max_queue_depth, 1u);
+  ASSERT_EQ(s.tasks_per_worker.size(), 3u);
+  std::uint64_t per_worker_sum = 0;
+  for (std::uint64_t n : s.tasks_per_worker) per_worker_sum += n;
+  EXPECT_EQ(per_worker_sum, s.run - s.spilled);
+}
+
+TEST(ThreadPool, StatsCountSkipsAndSpills) {
+  // Same shape as CancelledTasksAreSkippedNotRun plus a run_group drain
+  // from this (non-worker) thread, so skipped and spilled both move.
+  ThreadPool pool(1);
+  std::mutex mu;
+  std::condition_variable cv;
+  bool release = false;
+  pool.submit([&] {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return release; });
+  });
+  CancelToken token;
+  for (int i = 0; i < 5; ++i) {
+    pool.submit([] {}, token);
+  }
+  token.cancel();
+  TaskGroup group;
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 4; ++i) {
+    pool.submit([&ran] { ++ran; }, CancelToken{}, &group);
+  }
+  pool.run_group(group);  // the lone worker is parked: all 4 spill here
+  EXPECT_EQ(ran.load(), 4);
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    release = true;
+  }
+  cv.notify_all();
+  pool.wait();
+  ThreadPool::Stats s = pool.stats();
+  EXPECT_EQ(s.submitted, 10u);  // blocker + 5 cancelled + 4 group tasks
+  EXPECT_EQ(s.skipped, 5u);
+  EXPECT_EQ(s.spilled, 4u);
+  EXPECT_EQ(s.submitted, s.run + s.skipped);
+  ASSERT_EQ(s.tasks_per_worker.size(), 1u);
+  // Spilled tasks ran on this thread, not a pool worker.
+  EXPECT_EQ(s.tasks_per_worker[0], s.run - s.spilled);
+}
+
 TEST(ThreadPool, ManyMoreTasksThanWorkers) {
   ThreadPool pool(3);
   std::atomic<long long> sum{0};

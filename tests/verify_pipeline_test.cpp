@@ -3,6 +3,12 @@
 // formatting behave; the C1/C2' instance games give the expected verdicts.
 #include <gtest/gtest.h>
 
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "protocols/protocols.h"
 #include "verify/pipeline.h"
 
@@ -109,6 +115,86 @@ TEST(Pipeline, PropertyResultAggregation) {
   EXPECT_EQ(pr.nschemas(), 12);
   EXPECT_NEAR(pr.seconds(), 1.0, 1e-9);
   EXPECT_EQ(pr.failure(), "x: ce");
+}
+
+/// The Table-II row with its wall-clock columns (fields 6, 8, 10) struck —
+/// the same strip CI's awk applies before diffing traced vs untraced runs.
+std::string row_sans_times(const ProtocolReport& r) {
+  std::istringstream is(table2_row(r));
+  std::ostringstream os;
+  std::string field;
+  for (int i = 1; is >> field; ++i) {
+    if (i == 6 || i == 8 || i == 10) continue;
+    os << field << " ";
+  }
+  return os.str();
+}
+
+/// Every report field the byte-identity contract covers (everything except
+/// wall-clock seconds and the scheduling-dependent run_state).
+std::string render(const ProtocolReport& r) {
+  std::ostringstream os;
+  os << r.protocol << "\n";
+  for (const PropertyResult* p :
+       {&r.agreement, &r.validity, &r.termination}) {
+    for (const Obligation& o : p->obligations) {
+      os << o.name << " holds=" << o.holds << " parametric=" << o.parametric
+         << " complete=" << o.complete << " nschemas=" << o.nschemas
+         << " ce=" << o.ce << " detail=" << o.detail << "\n";
+    }
+  }
+  os << row_sans_times(r) << "\n";
+  return os.str();
+}
+
+TEST(Pipeline, ObservabilityIsOutOfBand) {
+  // The hard contract of the obs layer: enabling metrics + tracing changes
+  // no rendered report field, at every (jobs x workers) combination. Runs
+  // complete well within budget here, so the renders must be byte-equal.
+  const protocols::ProtocolModel pm = protocols::cc85a();
+  const int widths[] = {1, 2, 8};
+
+  auto run_grid = [&] {
+    std::vector<std::string> renders;
+    for (int jobs : widths) {
+      for (int workers : widths) {
+        Options opts = fast_options();
+        opts.jobs = jobs;
+        opts.schema.workers = workers;
+        renders.push_back(render(verify_protocol(pm, opts)));
+      }
+    }
+    return renders;
+  };
+
+  obs::Registry::global().set_enabled(false);
+  obs::Tracer::global().disable();
+  const std::vector<std::string> plain = run_grid();
+
+  obs::Registry::global().set_enabled(true);
+  obs::Registry::global().reset();
+  obs::Tracer::global().reset();
+  obs::Tracer::global().enable();
+  const std::vector<std::string> observed = run_grid();
+
+  obs::Registry::global().set_enabled(false);
+  obs::Tracer::global().disable();
+
+  for (std::size_t i = 1; i < plain.size(); ++i) {
+    EXPECT_EQ(plain[i], plain[0]) << "jobs x workers combo " << i;
+  }
+  for (std::size_t i = 0; i < observed.size(); ++i) {
+    EXPECT_EQ(observed[i], plain[0]) << "obs-on combo " << i;
+  }
+
+  // And the observed runs actually recorded something (the test would pass
+  // vacuously if the instrumentation were disconnected).
+  EXPECT_GT(obs::Registry::global().counter_total(
+                obs::Counter::kVerifyTasksDone),
+            0u);
+  EXPECT_FALSE(obs::Tracer::global().events().empty());
+  obs::Registry::global().reset();
+  obs::Tracer::global().reset();
 }
 
 TEST(Pipeline, FailedObligationWithDetailOnlyIsInconclusive) {
