@@ -13,13 +13,19 @@
 // numbers measure throughput at equal work volume, not pivot identity.
 //
 //   bench_solver [--max-schemas N] [--budget SECONDS] [--workers N]
-//                [--specs DIR] [--out FILE] [PROTOCOL...]
+//                [--static-leg] [--specs DIR] [--out FILE] [PROTOCOL...]
 //
 // Defaults: the paper's eight Table-II protocols, 1500 schemas and 300 s
-// per (protocol, mode), workers 1 (no partitioned leg). The committed
-// BENCH_solver.json is produced with --workers 4; CI smoke-runs a small
-// complete-regime workload and diffs the pivot counts against the
-// committed bench/bench_solver_smoke.json baseline.
+// per (protocol, mode), workers 1 (no partitioned leg). --static-leg adds
+// a fourth leg running the reference static round-robin dispatcher, so the
+// JSON records the claim-index scheduling-imbalance drop (unit_imbalance /
+// pivot_imbalance, max/mean over per-logical-worker slot sums) next to the
+// identical pivot counts. The committed BENCH_solver.json is produced with
+// --workers 2 --static-leg; CI smoke-runs a small complete-regime workload
+// and diffs the pivot counts against the committed
+// bench/bench_solver_smoke.json baseline (plus a unit-imbalance ceiling on
+// the claim leg).
+#include <algorithm>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
@@ -45,9 +51,28 @@ struct ModeStats {
   // remainder is encoding, enumeration bookkeeping, and scheduling.
   long long solver_checks = 0;
   double solver_seconds = 0.0;
+  // Per-logical-enumeration-worker scheduling stats, slot-summed across the
+  // leg's obligations (verify::worker_stats). Slot w aggregates worker w of
+  // every check_spec call; the imbalance ratios below are max/mean over the
+  // slots — 1.0 is perfectly balanced, W is one worker holding everything.
+  std::vector<ctaver::schema::CheckResult::WorkerStat> slots;
 };
 
 double ratio(double num, double den) { return den > 0 ? num / den : 0.0; }
+
+/// max/mean over the per-slot values; 1.0 when there is at most one slot
+/// (serial legs) or no samples.
+double imbalance(const std::vector<ctaver::schema::CheckResult::WorkerStat>&
+                     slots,
+                 long long ctaver::schema::CheckResult::WorkerStat::*field) {
+  long long mx = 0, total = 0;
+  for (const auto& s : slots) {
+    mx = std::max(mx, s.*field);
+    total += s.*field;
+  }
+  if (slots.empty() || total == 0) return 1.0;
+  return double(mx) * double(slots.size()) / double(total);
+}
 
 std::string mode_json(const ModeStats& s) {
   std::ostringstream os;
@@ -57,8 +82,16 @@ std::string mode_json(const ModeStats& s) {
      << ", \"schemas_per_sec\": " << ratio(double(s.queries), s.seconds)
      << ", \"solver_checks\": " << s.solver_checks
      << ", \"solver_seconds\": " << s.solver_seconds
-     << ", \"solver_share\": " << ratio(s.solver_seconds, s.seconds)
-     << ", \"complete\": " << (s.complete ? "true" : "false") << "}";
+     << ", \"solver_share\": " << ratio(s.solver_seconds, s.seconds);
+  os << ", \"units_per_worker\": [";
+  for (std::size_t w = 0; w < s.slots.size(); ++w) {
+    os << (w ? ", " : "") << s.slots[w].units;
+  }
+  os << "], \"unit_imbalance\": "
+     << imbalance(s.slots, &ctaver::schema::CheckResult::WorkerStat::units)
+     << ", \"pivot_imbalance\": "
+     << imbalance(s.slots, &ctaver::schema::CheckResult::WorkerStat::pivots);
+  os << ", \"complete\": " << (s.complete ? "true" : "false") << "}";
   return os.str();
 }
 
@@ -70,6 +103,7 @@ int main(int argc, char** argv) {
   long long max_schemas = 1500;
   double budget_s = 300.0;
   int workers = 1;
+  bool static_leg = false;
   std::string specs_dir;
   std::string out_path;
   std::vector<std::string> protocols;
@@ -80,6 +114,8 @@ int main(int argc, char** argv) {
       budget_s = std::atof(argv[++i]);
     } else if (std::strcmp(argv[i], "--workers") == 0 && i + 1 < argc) {
       workers = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--static-leg") == 0) {
+      static_leg = true;
     } else if (std::strcmp(argv[i], "--specs") == 0 && i + 1 < argc) {
       specs_dir = argv[++i];
     } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
@@ -113,10 +149,19 @@ int main(int argc, char** argv) {
       const char* name;
       bool incremental;
       int workers;
+      bool static_assignment;
     };
-    std::vector<Leg> legs = {{"fresh", false, 1}, {"incremental", true, 1}};
+    std::vector<Leg> legs = {{"fresh", false, 1, false},
+                             {"incremental", true, 1, false}};
     const bool partitioned = workers > 1;
-    if (partitioned) legs.push_back({"partitioned", true, workers});
+    if (partitioned) legs.push_back({"partitioned", true, workers, false});
+    // --static-leg: the PR-5 static round-robin dispatcher as a fourth leg,
+    // so the JSON records the claim-index imbalance drop side by side
+    // (pivots must match the claim leg query-for-query on complete runs).
+    const bool with_static = partitioned && static_leg;
+    if (with_static) {
+      legs.push_back({"partitioned_static", true, workers, true});
+    }
     const std::size_t nlegs = legs.size();
 
     std::ostringstream json;
@@ -135,6 +180,7 @@ int main(int argc, char** argv) {
         verify::Options leg_opts = opts;
         leg_opts.schema.incremental = legs[leg].incremental;
         leg_opts.schema.workers = legs[leg].workers;
+        leg_opts.schema.static_assignment = legs[leg].static_assignment;
         // Fresh registry per leg, so solver_seconds attributes THIS leg's
         // wall clock (nothing instrumented is in flight between legs).
         obs::Registry::global().reset();
@@ -156,9 +202,19 @@ int main(int argc, char** argv) {
             if (o.parametric && !o.complete) stats[leg].complete = false;
           }
         }
+        stats[leg].slots = verify::worker_stats(report);
         std::cerr << name << " " << legs[leg].name << ": "
                   << stats[leg].queries << " queries, " << stats[leg].pivots
-                  << " pivots, " << stats[leg].seconds << " s\n";
+                  << " pivots, " << stats[leg].seconds << " s";
+        if (legs[leg].workers > 1) {
+          std::cerr << ", unit imbalance "
+                    << imbalance(stats[leg].slots,
+                                 &schema::CheckResult::WorkerStat::units)
+                    << ", pivot imbalance "
+                    << imbalance(stats[leg].slots,
+                                 &schema::CheckResult::WorkerStat::pivots);
+        }
+        std::cerr << "\n";
       }
       for (std::size_t leg = 0; leg < nlegs; ++leg) {
         totals[leg].queries += stats[leg].queries;
@@ -167,6 +223,13 @@ int main(int argc, char** argv) {
         totals[leg].solver_checks += stats[leg].solver_checks;
         totals[leg].solver_seconds += stats[leg].solver_seconds;
         totals[leg].complete = totals[leg].complete && stats[leg].complete;
+        if (stats[leg].slots.size() > totals[leg].slots.size()) {
+          totals[leg].slots.resize(stats[leg].slots.size());
+        }
+        for (std::size_t w = 0; w < stats[leg].slots.size(); ++w) {
+          totals[leg].slots[w].units += stats[leg].slots[w].units;
+          totals[leg].slots[w].pivots += stats[leg].slots[w].pivots;
+        }
       }
 
       if (!first) json << ",\n";
@@ -180,6 +243,13 @@ int main(int argc, char** argv) {
              << (stats[2].pivots == stats[1].pivots ? "true" : "false")
              << ", \"partitioned_speedup\": "
              << ratio(stats[1].seconds, stats[2].seconds) << ",\n";
+      }
+      if (with_static) {
+        json << "     \"partitioned_static\": " << mode_json(stats[3])
+             << ",\n"
+             << "     \"static_pivots_match\": "
+             << (stats[3].pivots == stats[2].pivots ? "true" : "false")
+             << ",\n";
       }
       json << "     \"pivot_reduction\": "
            << ratio(double(stats[0].pivots), double(stats[1].pivots))
@@ -196,6 +266,12 @@ int main(int argc, char** argv) {
            << (totals[2].pivots == totals[1].pivots ? "true" : "false")
            << ",\n    \"partitioned_speedup\": "
            << ratio(totals[1].seconds, totals[2].seconds) << ",\n";
+    }
+    if (with_static) {
+      json << "    \"partitioned_static\": " << mode_json(totals[3]) << ",\n"
+           << "    \"static_pivots_match\": "
+           << (totals[3].pivots == totals[2].pivots ? "true" : "false")
+           << ",\n";
     }
     json << "    \"pivot_reduction\": "
          << ratio(double(totals[0].pivots), double(totals[1].pivots))

@@ -19,6 +19,7 @@
 // order. --jobs 0 (default) uses every hardware thread; --workers N > 1
 // adds partitioned enumeration workers inside each obligation. The rows are
 // identical at any (jobs, workers) width, only the times change.
+#include <algorithm>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
@@ -82,6 +83,7 @@ int main(int argc, char** argv) {
     // One pool shared by every protocol: all tasks are in flight from the
     // start, so a cheap protocol's tail overlaps the next one's ramp-up.
     // Rows are still merged and printed in the canonical order.
+    std::vector<schema::CheckResult::WorkerStat> slots;
     auto emit = [&](verify::ProtocolReport report) {
       std::cout << verify::table2_row(report)
                 << util::pad_left(std::to_string(threads), 9)
@@ -89,6 +91,13 @@ int main(int argc, char** argv) {
       std::string fail = report.termination.failure();
       if (!fail.empty()) std::cout << "    CE -> " << fail << "\n";
       std::cout.flush();
+      std::vector<schema::CheckResult::WorkerStat> s =
+          verify::worker_stats(report);
+      if (s.size() > slots.size()) slots.resize(s.size());
+      for (std::size_t w = 0; w < s.size(); ++w) {
+        slots[w].units += s[w].units;
+        slots[w].pivots += s[w].pivots;
+      }
     };
     if (jobs == 1) {
       for (const std::string& name : protocols) {
@@ -103,6 +112,29 @@ int main(int argc, char** argv) {
             verify::verify_protocol_async(registry.resolve(name), opts, pool));
       }
       for (verify::ProtocolRun& run : runs) emit(run.finish());
+    }
+    if (workers > 1) {
+      // Scheduling-balance summary over the whole run: slot w sums logical
+      // enumeration worker w of every obligation's check_spec call;
+      // max/mean of 1.0 is perfectly balanced, `workers` is one worker
+      // holding everything. Diagnostic — the rows above are byte-identical
+      // at any width or dispatch mode.
+      auto imbalance = [&](long long schema::CheckResult::WorkerStat::*f) {
+        long long mx = 0, total = 0;
+        for (const auto& s : slots) {
+          mx = std::max(mx, s.*f);
+          total += s.*f;
+        }
+        return total > 0 && !slots.empty()
+                   ? double(mx) * double(slots.size()) / double(total)
+                   : 1.0;
+      };
+      std::cout << "\nenumeration-worker imbalance (max/mean over "
+                << slots.size() << " worker slots): units "
+                << imbalance(&schema::CheckResult::WorkerStat::units)
+                << ", pivots "
+                << imbalance(&schema::CheckResult::WorkerStat::pivots)
+                << "\n";
     }
     if (!metrics_path.empty()) {
       std::ofstream out(metrics_path, std::ios::binary | std::ios::trunc);

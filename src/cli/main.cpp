@@ -64,6 +64,9 @@ int usage(std::ostream& os, int code) {
         "                     (partitioned schema enumeration; default 1,\n"
         "                     0 = all cores; reports are byte-identical for\n"
         "                     every jobs x workers combination)\n"
+        "  --static-partition dispatch subtree units by static round-robin\n"
+        "                     instead of the claim index (reference mode;\n"
+        "                     reports are byte-identical either way)\n"
         "  --sweep a,b,...    override sweep instances (repeatable)\n"
         "  --replay-ce        verify: replay every schema counterexample\n"
         "                     through the concretization engine (src/replay)\n"
@@ -94,6 +97,7 @@ struct Args {
   double time_budget = 0;      // 0: keep the pipeline default
   int jobs = 0;                // 0: one worker per hardware thread
   int workers = -1;            // -1: keep the pipeline default (1)
+  bool static_partition = false;  // --static-partition: reference dispatch
   std::vector<std::vector<long long>> sweep_override;
   std::string trace_path;    // --trace: Chrome trace-event JSON output
   std::string metrics_path;  // --metrics: registry JSON ('-': table, stdout)
@@ -130,6 +134,8 @@ bool parse_args(int argc, char** argv, Args& args) {
       args.replay_ce = true;
     } else if (a == "--progress") {
       args.progress = true;
+    } else if (a == "--static-partition") {
+      args.static_partition = true;
     } else if (a == "--specs") {
       const char* v = value();
       if (v == nullptr) return false;
@@ -347,6 +353,7 @@ ctaver::verify::Options base_options(const Args& args) {
         args.workers == 0 ? ctaver::util::ThreadPool::hardware_workers()
                           : args.workers;
   }
+  opts.schema.static_assignment = args.static_partition;
   if (args.max_states > 0) opts.max_states = args.max_states;
   if (args.max_schemas > 0) opts.schema.max_schemas = args.max_schemas;
   if (args.time_budget > 0) opts.schema.time_budget_s = args.time_budget;

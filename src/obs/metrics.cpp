@@ -29,6 +29,7 @@ const char* counter_name(Counter c) {
     case Counter::kSchemaCoreSkips: return "schema.core_skips";
     case Counter::kSchemaUnits: return "schema.units";
     case Counter::kSchemaUnitLevels: return "schema.unit_levels";
+    case Counter::kSchemaClaimSkips: return "schema.claim_skips";
     case Counter::kPoolSubmits: return "pool.submits";
     case Counter::kPoolTasksRun: return "pool.tasks_run";
     case Counter::kPoolTasksSkipped: return "pool.tasks_skipped";

@@ -50,6 +50,7 @@ enum class Counter : int {
   kSchemaCoreSkips,     // schema.core_skips: siblings skipped via UNSAT core
   kSchemaUnits,         // schema.units: subtree units adopted by a worker
   kSchemaUnitLevels,    // schema.unit_levels: per-unit level advances
+  kSchemaClaimSkips,    // schema.claim_skips: units skipped at claim (CE)
   kPoolSubmits,         // pool.submits: tasks enqueued
   kPoolTasksRun,        // pool.tasks_run: tasks executed (workers + spills)
   kPoolTasksSkipped,    // pool.tasks_skipped: dequeued with tripped token

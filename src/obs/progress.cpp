@@ -6,26 +6,28 @@
 #include <string>
 
 #include "obs/metrics.h"
+#include "util/stderr_gate.h"
 #include "util/stopwatch.h"
 
 namespace ctaver::obs {
 
-namespace {
-
-std::string compact(std::uint64_t v) {
+std::string compact_count(std::uint64_t v) {
   char buf[32];
   if (v >= 10'000'000) {
-    std::snprintf(buf, sizeof buf, "%.1fM", static_cast<double>(v) / 1e6);
+    // Truncate to 0.1M so 10'049'999 stays "10.0M" (no round-up drift).
+    std::snprintf(buf, sizeof buf, "%.1fM",
+                  static_cast<double>(v / 100'000) / 10.0);
   } else if (v >= 10'000) {
-    std::snprintf(buf, sizeof buf, "%.0fk", static_cast<double>(v) / 1e3);
+    // Integer truncation: 9'999'999 is "9999k", never the 5-digit "10000k"
+    // that %.0f rounding produced at the boundary.
+    std::snprintf(buf, sizeof buf, "%lluk",
+                  static_cast<unsigned long long>(v / 1'000));
   } else {
     std::snprintf(buf, sizeof buf, "%llu",
                   static_cast<unsigned long long>(v));
   }
   return buf;
 }
-
-}  // namespace
 
 ProgressMeter::ProgressMeter() : thread_([this] { loop(); }) {}
 
@@ -44,8 +46,10 @@ void ProgressMeter::stop() {
 void ProgressMeter::loop() {
   const Registry& reg = Registry::global();
   util::Stopwatch clock;
-  std::size_t painted = 0;
-  auto paint = [&](bool last) {
+  // All painting goes through the stderr gate: it owns the overpaint pad
+  // and lets the logger erase/repaint the live line around its own lines.
+  util::StderrGate& gate = util::StderrGate::global();
+  auto paint = [&] {
     char line[256];
     std::snprintf(
         line, sizeof line,
@@ -55,29 +59,23 @@ void ProgressMeter::loop() {
             reg.counter_total(Counter::kVerifyTasksDone)),
         static_cast<unsigned long long>(
             reg.counter_total(Counter::kVerifyTasksPlanned)),
-        compact(reg.counter_total(Counter::kSchemaSchemas)).c_str(),
-        compact(reg.counter_total(Counter::kSchemaQueries)).c_str(),
-        compact(reg.counter_total(Counter::kSolverPivots)).c_str(),
-        compact(reg.counter_total(Counter::kPoolSteals)).c_str(),
+        compact_count(reg.counter_total(Counter::kSchemaSchemas)).c_str(),
+        compact_count(reg.counter_total(Counter::kSchemaQueries)).c_str(),
+        compact_count(reg.counter_total(Counter::kSolverPivots)).c_str(),
+        compact_count(reg.counter_total(Counter::kPoolSteals)).c_str(),
         clock.seconds());
-    std::string s = line;
-    // Overpaint the previous (possibly longer) line, then erase on exit so
-    // the final report starts on a clean column.
-    std::string pad(painted > s.size() ? painted - s.size() : 0, ' ');
-    painted = s.size();
-    std::cerr << "\r" << s << pad;
-    if (last) std::cerr << "\r" << std::string(painted, ' ') << "\r";
-    std::cerr.flush();
+    gate.update_live(line);
   };
   std::unique_lock<std::mutex> lock(mu_);
   while (!stop_) {
     lock.unlock();
-    paint(false);
+    paint();
     lock.lock();
     cv_.wait_for(lock, std::chrono::milliseconds(250), [&] { return stop_; });
   }
   lock.unlock();
-  paint(true);
+  // Erase the line on exit so the final report starts on a clean column.
+  gate.clear_live();
 }
 
 }  // namespace ctaver::obs

@@ -7,10 +7,19 @@
 #pragma once
 
 #include <condition_variable>
+#include <cstdint>
 #include <mutex>
+#include <string>
 #include <thread>
 
 namespace ctaver::obs {
+
+/// Fixed-width-ish count for the progress line: "0".."9999", then "10k"..
+/// "9999k" (truncated, never rounded up into a fifth digit), then "10.0M"
+/// and up. The k format never exceeds 4 significant characters plus the
+/// unit — rounding used to render 9,999,999 as "10000k", wider than the
+/// "10.0M" the very next count gets.
+std::string compact_count(std::uint64_t v);
 
 class ProgressMeter {
  public:

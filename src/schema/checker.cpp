@@ -828,15 +828,18 @@ int first_witness_segment(const GuardTable& table,
 // checker already used. check_spec splits that tree statically at
 // CheckOptions::partition_depth: prefixes shorter than the split form the
 // serial *stem*, every surviving split-depth prefix roots one *unit*, and
-// units are assigned round-robin (in canonical sibling order) to the
-// enumeration workers. Each unit runs breadth-first with its own warm
-// incremental solver — so its per-query pivot counts depend only on the
-// unit, never on which worker ran it or what ran concurrently — and records
-// per-level tallies. The merge then replays the canonical order: totals
-// accumulate level by level, and the first counterexample in canonical
-// order wins (an atomic min over (depth, unit) keys lets doomed units stop
-// early without ever influencing the merged bytes). The result: CheckResult
-// is byte-identical for every `workers` value, within budget.
+// workers claim units from a shared atomic cursor in canonical sibling
+// order, running each claimed unit to completion before claiming the next
+// (static round-robin ownership is kept behind CheckOptions::
+// static_assignment as the reference dispatcher). Each unit runs
+// breadth-first with its own warm incremental solver — so its per-query
+// pivot counts depend only on the unit, never on which worker ran it or
+// what ran concurrently — and records per-level tallies. The merge then
+// replays the canonical order: totals accumulate level by level, and the
+// first counterexample in canonical order wins (an atomic min over
+// (depth, unit) keys lets doomed units stop early without ever influencing
+// the merged bytes). The result: CheckResult is byte-identical for every
+// `workers` value and either dispatcher, within budget.
 // ---------------------------------------------------------------------------
 
 /// Canonical position of (depth, unit) in the level-major order; smaller is
@@ -914,6 +917,10 @@ class SubtreeRun {
 
   [[nodiscard]] bool active() const { return active_; }
   [[nodiscard]] std::size_t index() const { return index_; }
+  /// Cumulative simplex pivots spent by this unit's warm solver (root-scope
+  /// replay included). A unit is run by exactly one worker, so this
+  /// attributes cleanly to CheckResult::per_worker.
+  [[nodiscard]] long long pivots_total() const { return encoder_->pivots(); }
   [[nodiscard]] bool unknown_at_or_below(int cutoff) const {
     return unknown_depth_ >= 0 && unknown_depth_ <= cutoff;
   }
@@ -1232,31 +1239,78 @@ CheckResult check_spec(const ta::System& sys, const spec::Spec& spec,
           cx, i + 1, std::move(roots[i]), INT_MAX, nullptr));
     }
 
-    // Static round-robin split over the canonical sibling order: worker w
-    // owns units w, w+workers, ... and advances each of them one level per
-    // sweep, so within a worker progress follows the canonical level-major
-    // order. A worker that runs ahead of a slower sibling can only burn
-    // budget, never change the merged bytes (the merge is by-level).
+    // Unit dispatch. Default is the shared claim index: workers claim the
+    // next unclaimed unit from an atomic cursor (canonical sibling order)
+    // and run it level by level to completion (or CE/budget cancellation),
+    // so no worker parks while a sibling holds all the deep subtrees.
+    // Placement cannot change the merged bytes: per-unit work is
+    // placement-independent (own warm solver, prelude + root scopes
+    // replayed), and the merge only consumes levels a unit is guaranteed to
+    // have completed. A worker that runs ahead of a slower sibling can only
+    // burn budget, never change the merged bytes (the merge is by-level).
+    // opts.static_assignment restores the round-robin ownership loop
+    // (worker w owns units w, w+workers, ..., advanced one level per sweep)
+    // as the reference dispatcher for the identity tests.
     int workers = opts.workers > 0 ? opts.workers
                                    : util::ThreadPool::hardware_workers();
     workers = std::min(workers, static_cast<int>(units.size()));
     CTAVER_LOG(kDebug) << "check_spec(" << spec.name << "): " << units.size()
                        << " subtree units at split depth " << split << ", "
-                       << workers << " enumeration worker(s)";
+                       << workers << " enumeration worker(s), "
+                       << (opts.static_assignment ? "static round-robin"
+                                                  : "claim-index")
+                       << " dispatch";
     std::vector<std::exception_ptr> errors(
         static_cast<std::size_t>(std::max(workers, 1)));
+    result.per_worker.assign(static_cast<std::size_t>(std::max(workers, 1)),
+                             CheckResult::WorkerStat{});
+    std::atomic<std::size_t> cursor{0};
     auto run_worker = [&](int w) {
+      CheckResult::WorkerStat& stat =
+          result.per_worker[static_cast<std::size_t>(w)];
       try {
-        for (;;) {
-          bool any = false;
+        if (opts.static_assignment) {
+          std::vector<char> counted(units.size(), 0);
+          for (;;) {
+            bool any = false;
+            for (std::size_t i = static_cast<std::size_t>(w);
+                 i < units.size(); i += static_cast<std::size_t>(workers)) {
+              SubtreeRun& u = *units[i];
+              if (!u.active()) continue;
+              if (!counted[i]) {
+                counted[i] = 1;
+                ++stat.units;
+              }
+              u.advance_level();
+              any = any || u.active();
+            }
+            if (!any) break;
+          }
           for (std::size_t i = static_cast<std::size_t>(w); i < units.size();
                i += static_cast<std::size_t>(workers)) {
-            SubtreeRun& u = *units[i];
-            if (!u.active()) continue;
-            u.advance_level();
-            any = any || u.active();
+            stat.pivots += units[i]->pivots_total();
           }
-          if (!any) break;
+        } else {
+          for (;;) {
+            const std::size_t i =
+                cursor.fetch_add(1, std::memory_order_relaxed);
+            if (i >= units.size()) break;
+            SubtreeRun& u = *units[i];
+            // CE-aware claim skip: a recorded best CE canonically before
+            // this unit's first level means the unit could only stop at its
+            // first poll() anyway — its whole subtree is outside every
+            // merge cutoff (best_ce shrinks monotonically, so the check
+            // never un-skips). Skipping at claim time saves adopting a warm
+            // solver for a doomed subtree without touching merged bytes.
+            if (cx.best_ce.load(std::memory_order_relaxed) <
+                order_key(split, u.index())) {
+              obs::add(obs::Counter::kSchemaClaimSkips);
+              continue;
+            }
+            ++stat.units;
+            while (u.active()) u.advance_level();
+            stat.pivots += u.pivots_total();
+          }
         }
       } catch (...) {
         errors[static_cast<std::size_t>(w)] = std::current_exception();

@@ -58,14 +58,22 @@ class SharedBudget final : public util::CancelSource {
       : max_(max_schemas), time_budget_s_(time_budget_s) {}
 
   /// Reserves `n` schema queries. Returns false (and trips the token) once
-  /// the schema or time budget is exhausted.
+  /// the schema or time budget is exhausted. The counter is clamped: a
+  /// losing racer leaves `used_` untouched (compare-exchange loop), so
+  /// used() never exceeds max_ no matter how many workers charge
+  /// concurrently — the previous fetch-add let every loser push the counter
+  /// `n` past the cap before noticing the trip.
   bool charge(long long n = 1) {
     if (exhausted()) return false;
-    if (used_.fetch_add(n, std::memory_order_relaxed) + n > max_) {
-      cancel.cancel();
-      return false;
+    long long cur = used_.load(std::memory_order_relaxed);
+    while (cur + n <= max_) {
+      if (used_.compare_exchange_weak(cur, cur + n,
+                                      std::memory_order_relaxed)) {
+        return true;
+      }
     }
-    return true;
+    cancel.cancel();
+    return false;
   }
 
   /// True once the budget is spent, the deadline has passed, or the token
@@ -131,17 +139,26 @@ struct CheckOptions {
   /// are identical either way; only pivot counts and wall-clock differ.
   bool incremental = true;
   /// Enumeration workers inside one check_spec call (0 = hardware
-  /// concurrency). The milestone-order tree is statically split at
-  /// partition_depth into disjoint prefix subtrees, assigned round-robin
-  /// (in canonical sibling order) to the workers; each worker advances its
-  /// subtrees level by level with one warm incremental solver per subtree
-  /// (prelude plus the subtree's root scopes replayed on adoption), and the
-  /// results merge back in the canonical level-major order. CheckResult —
-  /// nschemas, the counterexample chosen (canonically-first wins, re-solved
-  /// fresh), npivots, everything rendered into reports — is byte-identical
-  /// for EVERY value of workers, within budget. This extends the pipeline's
-  /// per-obligation determinism guarantee to within-obligation parallelism.
+  /// concurrency). The milestone-order tree is split at partition_depth
+  /// into disjoint prefix subtrees; workers claim units from a shared
+  /// atomic cursor in canonical sibling order and run each claimed unit
+  /// level by level to completion (or CE/budget cancellation) with one warm
+  /// incremental solver per subtree (prelude plus the subtree's root scopes
+  /// replayed on adoption), and the results merge back in the canonical
+  /// level-major order. CheckResult — nschemas, the counterexample chosen
+  /// (canonically-first wins, re-solved fresh), npivots, everything
+  /// rendered into reports — is byte-identical for EVERY value of workers,
+  /// within budget. This extends the pipeline's per-obligation determinism
+  /// guarantee to within-obligation parallelism.
   int workers = 0;
+  /// Dispatch of subtree units onto the enumeration workers. false (the
+  /// default) is the shared claim-index above: dynamic placement, but
+  /// byte-identical output because per-unit work is placement-independent
+  /// and the canonical merge only consumes levels every unit completes.
+  /// true restores the static `i += workers` round-robin ownership loop,
+  /// kept as the reference dispatcher for the claim-vs-static identity
+  /// tests and for A/B-ing scheduling imbalance (--static-partition).
+  bool static_assignment = false;
   /// Depth of the static partition split. Prefixes shorter than this form
   /// the serial "stem" (canonically first at every level); every surviving
   /// prefix of exactly this depth roots one subtree unit. Reports are
@@ -217,6 +234,20 @@ struct CheckResult {
   long long npivots = 0;  // simplex pivots spent on those schemas
   double seconds = 0.0;
   std::optional<Counterexample> ce;
+
+  /// Per-enumeration-worker scheduling diagnostics, ThreadPool::stats()
+  /// style: how many subtree units each logical worker ran and the simplex
+  /// pivots it spent running them (a unit is run start-to-finish by one
+  /// worker, so per-unit pivot totals attribute cleanly). The serial stem
+  /// (prefixes shorter than partition_depth) is not attributed. Sized to
+  /// the worker count actually used; empty when the unit phase never ran.
+  /// Purely diagnostic — never rendered into reports, and the only
+  /// CheckResult field that legitimately varies with scheduling.
+  struct WorkerStat {
+    long long units = 0;
+    long long pivots = 0;
+  };
+  std::vector<WorkerStat> per_worker;
 };
 
 /// Checks one proof obligation on a single-round, non-probabilistic system

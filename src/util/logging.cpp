@@ -4,14 +4,14 @@
 #include <chrono>
 #include <cstdio>
 #include <ctime>
-#include <iostream>
-#include <mutex>
+#include <sstream>
+
+#include "util/stderr_gate.h"
 
 namespace ctaver::util {
 
 namespace {
 std::atomic<LogLevel> g_level{LogLevel::kWarn};
-std::mutex g_mutex;
 
 const char* prefix(LogLevel level) {
   switch (level) {
@@ -64,9 +64,12 @@ std::optional<LogLevel> parse_log_level(const std::string& name) {
 void log_line(LogLevel level, const std::string& msg) {
   if (static_cast<int>(level) < static_cast<int>(g_level.load())) return;
   const int tid = thread_ordinal();
-  std::lock_guard<std::mutex> lock(g_mutex);
-  std::cerr << timestamp() << prefix(level) << "[t" << tid << "] " << msg
-            << "\n";
+  std::ostringstream os;
+  os << timestamp() << prefix(level) << "[t" << tid << "] " << msg;
+  // Through the stderr gate: the progress meter's live line is erased,
+  // the log line printed whole, and the live line repainted — so a log
+  // line can never be garbled by a concurrent repaint (or vice versa).
+  StderrGate::global().println(os.str());
 }
 
 }  // namespace ctaver::util

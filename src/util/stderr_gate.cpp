@@ -1,0 +1,50 @@
+#include "util/stderr_gate.h"
+
+#include <iostream>
+
+namespace ctaver::util {
+
+StderrGate& StderrGate::global() {
+  static StderrGate* gate = new StderrGate;  // leaked by design
+  return *gate;
+}
+
+void StderrGate::erase_locked() {
+  if (painted_ == 0) return;
+  std::cerr << '\r' << std::string(painted_, ' ') << '\r';
+  painted_ = 0;
+}
+
+void StderrGate::paint_locked() {
+  std::cerr << '\r' << live_;
+  if (painted_ > live_.size()) {
+    std::cerr << std::string(painted_ - live_.size(), ' ');
+  }
+  painted_ = live_.size();
+}
+
+void StderrGate::println(const std::string& line) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const bool had_live = !live_.empty() || painted_ > 0;
+  if (had_live) erase_locked();
+  std::cerr << line << '\n';
+  if (had_live && !live_.empty()) paint_locked();
+  std::cerr.flush();
+}
+
+void StderrGate::update_live(const std::string& line) {
+  std::lock_guard<std::mutex> lock(mu_);
+  live_ = line;
+  paint_locked();
+  std::cerr.flush();
+}
+
+void StderrGate::clear_live() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (live_.size() > painted_) painted_ = live_.size();
+  erase_locked();
+  live_.clear();
+  std::cerr.flush();
+}
+
+}  // namespace ctaver::util

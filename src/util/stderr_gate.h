@@ -1,0 +1,49 @@
+// Serializes the two writers that share the process's stderr: the leveled
+// logger (whole '\n'-terminated lines) and the progress meter (one live
+// '\r'-overwritten status line). Without coordination a log line lands
+// mid-repaint and the meter's overpaint pad garbles it — the exact output
+// the imbalance measurements need to trust. The gate owns the terminal
+// discipline: the logger's println() erases the live line, writes the log
+// line, and repaints the live line, all under one lock; the meter's
+// update_live()/clear_live() repaint and retire the live line through the
+// same lock. Writers that bypass the gate (final reports printed after the
+// meter stopped) are unaffected: with no live line the gate degrades to a
+// plain mutex-guarded stderr write.
+#pragma once
+
+#include <mutex>
+#include <string>
+
+namespace ctaver::util {
+
+class StderrGate {
+ public:
+  /// The process-wide gate. Leaky singleton, like the metrics registry:
+  /// never destroyed, so logging from static teardown stays safe.
+  static StderrGate& global();
+
+  /// Logger path: atomically erase the live progress line (if any), write
+  /// `line` plus '\n', then repaint the live line on the fresh row below.
+  void println(const std::string& line);
+
+  /// Meter path: repaint the live line in place ('\r', content, pad out
+  /// whatever the previous paint left behind) and remember it so println()
+  /// can restore it.
+  void update_live(const std::string& line);
+
+  /// Meter exit: erase the live line and forget it, leaving the cursor at
+  /// column 0 so the final report starts on a clean row.
+  void clear_live();
+
+ private:
+  StderrGate() = default;
+
+  void erase_locked();
+  void paint_locked();
+
+  std::mutex mu_;
+  std::string live_;        // current live-line content; empty = none
+  std::size_t painted_ = 0; // width of the last paint (for the erase pad)
+};
+
+}  // namespace ctaver::util

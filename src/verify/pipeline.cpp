@@ -37,6 +37,7 @@ Obligation from_check(const std::string& name,
   o.nqueries = res.nqueries;
   o.npivots = res.npivots;
   o.seconds = res.seconds;
+  o.per_worker = res.per_worker;
   if (res.ce) {
     o.ce = res.ce->text;
     o.ce_data = res.ce;
@@ -671,6 +672,24 @@ ProtocolReport verify_protocol(const protocols::ProtocolModel& pm,
   }
   util::ThreadPool pool(jobs);
   return verify_protocol_async(pm, opts, pool).finish();
+}
+
+std::vector<schema::CheckResult::WorkerStat> worker_stats(
+    const ProtocolReport& report) {
+  std::vector<schema::CheckResult::WorkerStat> slots;
+  for (const PropertyResult* p :
+       {&report.agreement, &report.validity, &report.termination}) {
+    for (const Obligation& o : p->obligations) {
+      if (o.per_worker.size() > slots.size()) {
+        slots.resize(o.per_worker.size());
+      }
+      for (std::size_t w = 0; w < o.per_worker.size(); ++w) {
+        slots[w].units += o.per_worker[w].units;
+        slots[w].pivots += o.per_worker[w].pivots;
+      }
+    }
+  }
+  return slots;
 }
 
 std::string table2_header() {

@@ -122,6 +122,11 @@ struct Obligation {
   /// violation with the LIA solver out of the loop.
   std::string replay;
   bool replay_ok = false;
+  /// Per-enumeration-worker scheduling stats of this obligation's
+  /// check_spec call (parametric obligations only; empty for sweeps).
+  /// Diagnostic, ThreadPool::stats() style — the one field that varies
+  /// with scheduling; never rendered into reports.
+  std::vector<schema::CheckResult::WorkerStat> per_worker;
 };
 
 struct PropertyResult {
@@ -194,6 +199,13 @@ class ProtocolRun {
 ProtocolRun verify_protocol_async(const protocols::ProtocolModel& pm,
                                   const Options& opts,
                                   util::ThreadPool& pool);
+
+/// Slot-wise sum of the per-enumeration-worker scheduling stats over every
+/// parametric obligation in `report`: slot w aggregates logical worker w of
+/// each obligation's check_spec call. Sized to the widest obligation. The
+/// benches derive their max/mean unit and pivot imbalance from this.
+std::vector<schema::CheckResult::WorkerStat> worker_stats(
+    const ProtocolReport& report);
 
 /// Formats a report as one row of the paper's Table II.
 std::string table2_row(const ProtocolReport& report);

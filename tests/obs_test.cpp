@@ -9,12 +9,17 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "obs/metrics.h"
+#include "obs/progress.h"
 #include "obs/trace.h"
+#include "util/logging.h"
+#include "util/stderr_gate.h"
 
 namespace ctaver::obs {
 namespace {
@@ -218,6 +223,142 @@ TEST_F(TracerTest, JsonIsChromeTraceShaped) {
   EXPECT_NE(json.find("\"name\":\"protocol\""), std::string::npos);
   EXPECT_NE(json.find("\"displayTimeUnit\":\"ms\""), std::string::npos);
   EXPECT_NE(json.find("thread_name"), std::string::npos);
+}
+
+TEST(CompactCount, BoundariesNeverWidenPastTheNextUnit) {
+  // The k format truncates (never rounds): its widest rendering is
+  // "9999k", one character narrower than the "10000k" the old rounding
+  // produced for 9,999,999 — which was wider than the "10.0M" the very
+  // next count gets.
+  EXPECT_EQ(compact_count(0), "0");
+  EXPECT_EQ(compact_count(9'999), "9999");
+  EXPECT_EQ(compact_count(10'000), "10k");
+  EXPECT_EQ(compact_count(10'999), "10k");  // truncated, not "11k"
+  EXPECT_EQ(compact_count(999'999), "999k");
+  EXPECT_EQ(compact_count(1'000'000), "1000k");
+  EXPECT_EQ(compact_count(9'949'999), "9949k");
+  EXPECT_EQ(compact_count(9'999'999), "9999k");  // the old "10000k" bug
+  EXPECT_EQ(compact_count(10'000'000), "10.0M");
+  EXPECT_EQ(compact_count(10'099'999), "10.0M");  // truncated tenth
+  EXPECT_EQ(compact_count(99'999'999), "99.9M");
+  EXPECT_EQ(compact_count(123'456'789), "123.4M");
+  // Monotone width across the k→M boundary: no value below the boundary
+  // renders wider than the boundary value itself.
+  EXPECT_LE(compact_count(9'999'999).size(), compact_count(10'000'000).size());
+}
+
+TEST(StderrGate, ConcurrentLivePaintsNeverGarbleLogLines) {
+  // The regression this gate exists for: the progress meter repaints a
+  // \r-overwritten live line while the logger emits \n-terminated lines,
+  // and uncoordinated writes interleave mid-line. Race the two through
+  // the gate and assert every emitted log line survives intact: in the
+  // captured stream, the content of each \n-terminated segment after its
+  // final \r must be exactly one well-formed log line (the gate erases
+  // the live line first, prints the log line whole, then repaints).
+  const util::LogLevel saved = util::log_level();
+  util::set_log_level(util::LogLevel::kDebug);
+  constexpr int kLogLines = 100;
+  constexpr int kPaints = 400;
+  ::testing::internal::CaptureStderr();
+  {
+    std::atomic<bool> stop{false};
+    std::thread meter([&stop] {
+      // Alternate wide and narrow live content so repaints exercise the
+      // pad-out of stale tail characters.
+      int i = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        std::string live = "[meter " + std::to_string(i) + "]";
+        if (i % 2 == 0) live += " ================ wide tail ============";
+        util::StderrGate::global().update_live(live);
+        if (++i >= kPaints) break;
+      }
+    });
+    for (int i = 0; i < kLogLines; ++i) {
+      util::log_line(util::LogLevel::kInfo,
+                     "interleave probe " + std::to_string(i));
+    }
+    stop.store(true, std::memory_order_relaxed);
+    meter.join();
+    util::StderrGate::global().clear_live();
+  }
+  const std::string captured = ::testing::internal::GetCapturedStderr();
+  util::set_log_level(saved);
+
+  int probes = 0;
+  std::size_t pos = 0;
+  while (pos < captured.size()) {
+    const std::size_t nl = captured.find('\n', pos);
+    if (nl == std::string::npos) break;
+    std::string seg = captured.substr(pos, nl - pos);
+    const std::size_t cr = seg.rfind('\r');
+    if (cr != std::string::npos) seg = seg.substr(cr + 1);
+    // Every \n-terminated segment is a log line: timestamp, level tag,
+    // thread ordinal, message — with no live-meter residue glued on.
+    EXPECT_GE(seg.size(), 24u) << "garbled line: \"" << seg << "\"";
+    EXPECT_TRUE(seg.size() > 4 && seg[4] == '-' && seg.back() != '\r')
+        << "garbled line: \"" << seg << "\"";
+    EXPECT_NE(seg.find("[info ] "), std::string::npos)
+        << "garbled line: \"" << seg << "\"";
+    EXPECT_EQ(seg.find("[meter"), std::string::npos)
+        << "meter residue in log line: \"" << seg << "\"";
+    if (seg.find("interleave probe ") != std::string::npos) ++probes;
+    pos = nl + 1;
+  }
+  // No log line lost, none duplicated, none split across segments.
+  EXPECT_EQ(probes, kLogLines);
+  // The unterminated tail (if any) is live-meter state, never a log line.
+  const std::size_t last_nl = captured.rfind('\n');
+  std::string tail = last_nl == std::string::npos
+                         ? captured
+                         : captured.substr(last_nl + 1);
+  EXPECT_EQ(tail.find("interleave probe"), std::string::npos);
+}
+
+TEST(StderrGate, ProgressMeterRepaintsThroughTheGate) {
+  // End-to-end: a real ProgressMeter repainting from the registry while
+  // the logger emits — the CLI's `--progress --log-level debug` path.
+  // Same well-formedness contract as above, on the real repaint thread.
+  Registry::global().set_enabled(true);
+  Registry::global().reset();
+  const util::LogLevel saved = util::log_level();
+  util::set_log_level(util::LogLevel::kDebug);
+  ::testing::internal::CaptureStderr();
+  {
+    ProgressMeter meter;
+    for (int i = 0; i < 40; ++i) {
+      add(Counter::kSolverPivots, 1000);
+      util::log_line(util::LogLevel::kDebug,
+                     "probe under live meter " + std::to_string(i));
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    meter.stop();
+  }
+  const std::string captured = ::testing::internal::GetCapturedStderr();
+  util::set_log_level(saved);
+  Registry::global().set_enabled(false);
+  Registry::global().reset();
+
+  int probes = 0;
+  std::size_t pos = 0;
+  while (pos < captured.size()) {
+    const std::size_t nl = captured.find('\n', pos);
+    if (nl == std::string::npos) break;
+    std::string seg = captured.substr(pos, nl - pos);
+    const std::size_t cr = seg.rfind('\r');
+    if (cr != std::string::npos) seg = seg.substr(cr + 1);
+    EXPECT_NE(seg.find("[debug] "), std::string::npos)
+        << "garbled line: \"" << seg << "\"";
+    if (seg.find("probe under live meter ") != std::string::npos) ++probes;
+    pos = nl + 1;
+  }
+  EXPECT_EQ(probes, 40);
+  // stop() must leave the line clear: nothing painted after the last \r.
+  const std::size_t last_cr = captured.rfind('\r');
+  if (last_cr != std::string::npos) {
+    const std::string after = captured.substr(last_cr + 1);
+    EXPECT_EQ(after.find_first_not_of(' '), std::string::npos)
+        << "stale live line after stop(): \"" << after << "\"";
+  }
 }
 
 TEST(TracerDisabled, SpansAreFreeAndUnrecorded) {
