@@ -10,6 +10,7 @@
 // Protocol arguments are resolved through frontend::ProtocolRegistry, so
 // built-ins and spec files are interchangeable everywhere.
 #include <algorithm>
+#include <csignal>
 #include <exception>
 #include <fstream>
 #include <functional>
@@ -25,7 +26,10 @@
 #include "obs/progress.h"
 #include "obs/trace.h"
 #include "sim/attack.h"
+#include "util/cancel.h"
+#include "util/fault.h"
 #include "util/logging.h"
+#include "util/stderr_gate.h"
 #include "util/thread_pool.h"
 #include "verify/pipeline.h"
 
@@ -72,6 +76,32 @@ int usage(std::ostream& os, int code) {
         "                     through the concretization engine (src/replay)\n"
         "  --quiet            verify: print only the Table-II rows\n"
         "\n"
+        "fault containment (see the README's Failure containment section):\n"
+        "  --max-rss-mb N     RSS watchdog: once resident memory exceeds N\n"
+        "                     MiB, cut the run to inconclusive with\n"
+        "                     cut reason 'memory' instead of an OOM abort\n"
+        "  --obligation-timeout S\n"
+        "                     per-obligation hard deadline (seconds): a\n"
+        "                     tripped obligation goes inconclusive (reason\n"
+        "                     'obligation-timeout') without touching its\n"
+        "                     siblings or the shared budget\n"
+        "  --fault-inject SITE:N:ACTION\n"
+        "                     deterministic fault injection (repeatable,\n"
+        "                     tests/CI): on the N-th hit of the named fault\n"
+        "                     point run ACTION = throw | cancel | delay.\n"
+        "                     Sites: lia.pivot, schema.encode,\n"
+        "                     schema.unit_adopt, cs.expand, replay.step\n"
+        "\n"
+        "exit codes:\n"
+        "  0    all requested verdicts obtained (and as expected)\n"
+        "  1    verdict shortfall: counterexample, failed check, or\n"
+        "       inconclusive within budget\n"
+        "  2    usage or input error (bad flags, parse errors)\n"
+        "  3    contained internal error: some obligation carries a\n"
+        "       structured ERROR; takes precedence over 1 because the run\n"
+        "       is incomplete-by-failure, not refuted\n"
+        "  130  interrupted (SIGINT); the partial report still flushes\n"
+        "\n"
         "observability (out-of-band: reports are byte-identical with these\n"
         "on or off; see the README's Observability section):\n"
         "  --trace FILE       write a Chrome trace-event JSON (Perfetto /\n"
@@ -98,6 +128,9 @@ struct Args {
   int jobs = 0;                // 0: one worker per hardware thread
   int workers = -1;            // -1: keep the pipeline default (1)
   bool static_partition = false;  // --static-partition: reference dispatch
+  long long max_rss_mb = 0;       // --max-rss-mb: RSS watchdog (0 = off)
+  double obligation_timeout = 0;  // --obligation-timeout (0 = off)
+  std::vector<std::string> fault_inject;  // --fault-inject plans (repeatable)
   std::vector<std::vector<long long>> sweep_override;
   std::string trace_path;    // --trace: Chrome trace-event JSON output
   std::string metrics_path;  // --metrics: registry JSON ('-': table, stdout)
@@ -152,8 +185,13 @@ bool parse_args(int argc, char** argv, Args& args) {
       const char* v = value();
       if (v == nullptr) return false;
       args.log_level = v;
+    } else if (a == "--fault-inject") {
+      const char* v = value();
+      if (v == nullptr) return false;
+      args.fault_inject.emplace_back(v);
     } else if (a == "--max-states" || a == "--max-schemas" ||
-               a == "--time-budget" || a == "--jobs" || a == "--workers") {
+               a == "--time-budget" || a == "--jobs" || a == "--workers" ||
+               a == "--max-rss-mb" || a == "--obligation-timeout") {
       const char* v = value();
       if (v == nullptr) return false;
       try {
@@ -167,6 +205,14 @@ bool parse_args(int argc, char** argv, Args& args) {
         } else if (a == "--workers") {
           args.workers = std::stoi(v);
           if (args.workers < 0) throw std::invalid_argument("negative");
+        } else if (a == "--max-rss-mb") {
+          args.max_rss_mb = std::stoll(v);
+          if (args.max_rss_mb < 0) throw std::invalid_argument("negative");
+        } else if (a == "--obligation-timeout") {
+          args.obligation_timeout = std::stod(v);
+          if (args.obligation_timeout < 0) {
+            throw std::invalid_argument("negative");
+          }
         } else {
           args.time_budget = std::stod(v);
         }
@@ -228,8 +274,19 @@ const char* run_state_str(ctaver::verify::Obligation::RunState rs) {
       return ", budget-limited";
     case RunState::kSkipped:
       return ", skipped (budget)";
+    case RunState::kError:
+      return ", error";
   }
   return "";
+}
+
+/// One-line rendering of a contained ObligationError for the human output
+/// (the obligation lines and `ctaver check`).
+std::string error_brief(const ctaver::verify::ObligationError& e) {
+  std::string out = "kind=" + e.kind;
+  if (!e.site.empty()) out += " site=" + e.site;
+  out += " what=" + e.what;
+  return out;
 }
 
 void print_property(const std::string& title,
@@ -240,11 +297,17 @@ void print_property(const std::string& title,
                                           : "inconclusive")
             << "\n";
   for (const ctaver::verify::Obligation& o : pr.obligations) {
-    std::cout << "    " << o.name << ": " << (o.holds ? "ok" : "FAIL") << " ["
+    std::cout << "    " << o.name << ": "
+              << (o.holds ? "ok" : o.error ? "ERROR" : "FAIL") << " ["
               << (o.parametric ? "parametric" : "sweep")
-              << run_state_str(o.run_state) << "]";
+              << run_state_str(o.run_state);
+    if (!o.cut_reason.empty()) std::cout << " (reason=" << o.cut_reason << ")";
+    std::cout << "]";
     if (o.nschemas > 0) std::cout << " " << o.nschemas << " schemas";
     std::cout << "\n";
+    if (o.error) {
+      std::cout << "      contained error: " << error_brief(*o.error) << "\n";
+    }
     if (!o.holds) {
       if (!o.ce.empty()) std::cout << "      " << o.ce << "\n";
       if (!o.detail.empty()) std::cout << "      " << o.detail << "\n";
@@ -354,6 +417,8 @@ ctaver::verify::Options base_options(const Args& args) {
                           : args.workers;
   }
   opts.schema.static_assignment = args.static_partition;
+  opts.schema.max_rss_mb = args.max_rss_mb;
+  opts.obligation_timeout_s = args.obligation_timeout;
   if (args.max_states > 0) opts.max_states = args.max_states;
   if (args.max_schemas > 0) opts.schema.max_schemas = args.max_schemas;
   if (args.time_budget > 0) opts.schema.time_budget_s = args.time_budget;
@@ -402,6 +467,7 @@ int cmd_verify(const ProtocolRegistry& registry, const Args& args,
       [&](const ProtocolModel&) { return std::optional(opts); });
 
   bool all_verified = true;
+  bool any_error = false;
   std::cout << ctaver::verify::table2_header() << "\n";
   for (const auto& slot : maybe_reports) {
     const ctaver::verify::ProtocolReport& report = *slot;
@@ -417,7 +483,14 @@ int cmd_verify(const ProtocolRegistry& registry, const Args& args,
     std::cout << ctaver::verify::table2_row(report) << "\n";
     all_verified = all_verified && report.agreement.holds() &&
                    report.validity.holds() && report.termination.holds();
+    any_error = any_error || report.agreement.has_error() ||
+                report.validity.has_error() || report.termination.has_error();
   }
+  // Exit precedence 3 > 1: a contained internal error means the run is
+  // incomplete-by-failure, so neither a clean 0 nor a plain verdict 1 would
+  // be trustworthy (and CI fault-smoke assertions stay deterministic even on
+  // protocols that also have a genuine counterexample).
+  if (any_error) return 3;
   return all_verified ? 0 : 1;
 }
 
@@ -465,7 +538,7 @@ int cmd_check(const ProtocolRegistry& registry, const Args& args) {
         return opts_for(pm);
       });
 
-  int confirmed = 0, skipped = 0, failed = 0;
+  int confirmed = 0, skipped = 0, failed = 0, errored = 0;
   for (std::size_t i = 0; i < models.size(); ++i) {
     const ProtocolModel& pm = models[i];
     std::cout << "== " << pm.name << " [" << protocols[i] << "]\n";
@@ -483,6 +556,13 @@ int cmd_check(const ProtocolRegistry& registry, const Args& args) {
         // Only reachable for the sweep obligations under --no-sweeps.
         std::cout << "skip (not planned; sweeps disabled)\n";
         ++skipped;
+        continue;
+      }
+      if (o->error) {
+        // Contained internal failure: neither confirmed nor failed — the
+        // obligation was not properly discharged. Drives exit code 3.
+        std::cout << "ERROR (contained: " << error_brief(*o->error) << ")\n";
+        ++errored;
         continue;
       }
       if (!e.violated) {
@@ -586,7 +666,12 @@ int cmd_check(const ProtocolRegistry& registry, const Args& args) {
     }
   }
   std::cout << "check: " << confirmed << " confirmed, " << skipped
-            << " skipped, " << failed << " failed\n";
+            << " skipped, " << failed << " failed";
+  if (errored > 0) std::cout << ", " << errored << " errored";
+  std::cout << "\n";
+  // Same precedence as cmd_verify: contained errors (3) beat verdict
+  // failures (1).
+  if (errored > 0) return 3;
   return failed == 0 ? 0 : 1;
 }
 
@@ -650,6 +735,15 @@ int flush_observability(const Args& args, int code) {
   return code;
 }
 
+/// SIGINT: one relaxed store (async-signal-safe); the budget polls convert
+/// it into a budget-style cancellation so in-flight obligations unwind as
+/// cancelled and the partial report still flushes. A second ^C gets the
+/// default disposition and kills the process immediately.
+void handle_sigint(int) {
+  ctaver::util::request_interrupt();
+  std::signal(SIGINT, SIG_DFL);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -669,11 +763,19 @@ int main(int argc, char** argv) {
     }
     ctaver::util::set_log_level(*level);
   }
+  for (const std::string& plan : args.fault_inject) {
+    std::string err;
+    if (!ctaver::util::FaultInjector::instance().arm(plan, &err)) {
+      std::cerr << "ctaver: --fault-inject: " << err << "\n";
+      return 2;
+    }
+  }
   // The meter reads the registry, so --progress implies metrics collection.
   if (!args.metrics_path.empty() || args.progress) {
     ctaver::obs::Registry::global().set_enabled(true);
   }
   if (!args.trace_path.empty()) ctaver::obs::Tracer::global().enable();
+  std::signal(SIGINT, &handle_sigint);
   int code;
   {
     std::optional<ctaver::obs::ProgressMeter> meter;
@@ -681,5 +783,11 @@ int main(int argc, char** argv) {
     code = dispatch(args);
     if (meter) meter->stop();  // before any final output lands on stderr
   }
-  return flush_observability(args, code);
+  code = flush_observability(args, code);
+  if (ctaver::util::interrupted()) {
+    ctaver::util::StderrGate::global().println(
+        "ctaver: interrupted — partial report flushed");
+    code = 130;
+  }
+  return code;
 }

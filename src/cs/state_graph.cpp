@@ -4,6 +4,8 @@
 #include <deque>
 #include <stdexcept>
 
+#include "util/fault.h"
+
 namespace ctaver::cs {
 
 StateGraph::StateGraph(const ExplicitSystem& sys,
@@ -28,13 +30,20 @@ StateGraph::StateGraph(const ExplicitSystem& sys,
     return id;
   };
 
+  // Fault point at BFS entry (fires for every graph, however small) and at
+  // the same 1/1024 throttle as the cancellation poll below.
+  util::fault_point("cs.expand");
+
   for (const Config& c : initials) initials_.push_back(intern(c));
 
   std::size_t expanded = 0;
   while (!frontier.empty()) {
     std::size_t s = frontier.front();
     frontier.pop_front();
-    if (cancel != nullptr && (++expanded & 0x3ff) == 0) cancel->check();
+    if ((++expanded & 0x3ff) == 0) {
+      util::fault_point("cs.expand");
+      if (cancel != nullptr) cancel->check();
+    }
     // configs_ may grow during the loop; copy the source config.
     Config c = configs_[s];
     for (const Action& a : sys.applicable_actions(c)) {

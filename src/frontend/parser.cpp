@@ -106,6 +106,20 @@ class Parser {
   }
 
   ast::LinExpr factor() {
+    // Recursion guard: parenthesised groups and unary minus recurse once
+    // per level, so a pathological input ("((((…" thousands deep) must
+    // become a positioned diagnostic, not a stack overflow. Real specs
+    // nest a handful of levels at most.
+    if (depth_ >= kMaxExprDepth) {
+      fail(peek().pos, "expression nested too deeply");
+    }
+    ++depth_;
+    ast::LinExpr e = factor_inner();
+    --depth_;
+    return e;
+  }
+
+  ast::LinExpr factor_inner() {
     ast::LinExpr e;
     e.pos = peek().pos;
     if (at(TokKind::kInt)) {
@@ -505,9 +519,12 @@ class Parser {
     return out;
   }
 
+  static constexpr int kMaxExprDepth = 200;
+
   std::vector<Token> toks_;
   const std::string& file_;
   std::size_t i_ = 0;
+  int depth_ = 0;  // expression nesting (see factor)
 };
 
 }  // namespace

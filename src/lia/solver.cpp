@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "obs/metrics.h"
+#include "util/fault.h"
 #include "util/logging.h"
 
 namespace ctaver::lia {
@@ -445,9 +446,11 @@ Result Solver::solve() {
     }
     if (xb == -1) return Result::kSat;
     if (stat_pivots_ >= options_.max_pivots) return Result::kUnknown;
-    if (options_.cancel != nullptr && (stat_pivots_ & 255) == 0 &&
-        options_.cancel->cancelled()) {
-      return Result::kUnknown;
+    if ((stat_pivots_ & 255) == 0) {
+      util::fault_point("lia.pivot");
+      if (options_.cancel != nullptr && options_.cancel->cancelled()) {
+        return Result::kUnknown;
+      }
     }
 
     int r = row_of_[static_cast<std::size_t>(xb)];

@@ -39,6 +39,11 @@ const char* counter_name(Counter c) {
     case Counter::kVerifyTasksDone: return "verify.tasks_done";
     case Counter::kVerifyObligationMicros: return "verify.obligation_micros";
     case Counter::kVerifyProtocols: return "verify.protocols";
+    case Counter::kVerifyObligationErrors:
+      return "verify.obligation_errors";
+    case Counter::kFaultInjections: return "fault.injections";
+    case Counter::kWatchdogMemoryCuts: return "watchdog.memory_cuts";
+    case Counter::kWatchdogTimeoutCuts: return "watchdog.timeout_cuts";
     case Counter::kCount_: break;
   }
   return "?";

@@ -60,6 +60,10 @@ enum class Counter : int {
   kVerifyTasksDone,     // verify.tasks_done: obligation tasks finished
   kVerifyObligationMicros,  // verify.obligation_micros: task wall micros
   kVerifyProtocols,     // verify.protocols: protocol reports merged
+  kVerifyObligationErrors,  // verify.obligation_errors: contained ERRORs
+  kFaultInjections,     // fault.injections: armed fault plans fired
+  kWatchdogMemoryCuts,  // watchdog.memory_cuts: RSS guard budget trips
+  kWatchdogTimeoutCuts, // watchdog.timeout_cuts: per-obligation deadlines
   kCount_,
 };
 constexpr int kNumCounters = static_cast<int>(Counter::kCount_);

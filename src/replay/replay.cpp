@@ -3,6 +3,7 @@
 #include <sstream>
 
 #include "cs/explicit_system.h"
+#include "util/fault.h"
 
 namespace ctaver::replay {
 
@@ -116,6 +117,7 @@ ReplayReport replay_counterexample(const ta::System& sys,
     }
     cs::Action action{b.coin, b.rule, /*round=*/0};
     for (long long k = 0; k < b.count; ++k) {
+      util::fault_point("replay.step");
       if (!es.applicable(c, action)) {
         report.schedule_ok = false;
         report.divergence = report.steps;

@@ -12,6 +12,7 @@
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "util/fault.h"
 #include "util/logging.h"
 #include "util/stopwatch.h"
 #include "util/thread_pool.h"
@@ -199,6 +200,7 @@ class Encoder {
   /// to the final position) — so every remaining sibling is UNSAT too.
   bool probe(const std::vector<int>& flips, bool* unknown,
              bool* siblings_unsat = nullptr) {
+    util::fault_point("schema.encode");
     obs::Span span("query");
     if (span.active()) span.args("\"kind\":\"probe\"");
     obs::add(obs::Counter::kSchemaQueries);
@@ -238,6 +240,7 @@ class Encoder {
   bool query_sat(const std::vector<int>& flips, int cut1, int cut2,
                  bool swap_cuts, const spec::Spec& spec, bool* unknown,
                  bool* later_cuts_unsat = nullptr) {
+    util::fault_point("schema.encode");
     obs::Span span("query");
     if (span.active()) span.args("\"kind\":\"cut\"");
     obs::add(obs::Counter::kSchemaQueries);
@@ -287,6 +290,7 @@ class Encoder {
                                             bool* unknown,
                                             bool* sat = nullptr,
                                             bool swap_cuts = false) {
+    util::fault_point("schema.encode");
     obs::Span span("query");
     if (span.active()) span.args("\"kind\":\"fresh\"");
     obs::add(obs::Counter::kSchemaQueries);
@@ -864,6 +868,12 @@ struct EnumContext {
   /// order_key of the canonically-best counterexample found so far.
   std::atomic<std::uint64_t> best_ce{kNoCe};
   std::atomic<bool> budget_hit{false};
+  /// A unit worker of THIS check threw (containment: siblings of this check
+  /// wind down locally; the shared budget — and with it every sibling
+  /// OBLIGATION — is never cancelled by an internal error). The stored
+  /// exceptions rethrow after the join, to be classified at the obligation
+  /// task boundary.
+  std::atomic<bool> failed{false};
 };
 
 /// Cancel source handed to a unit's solver: trips on budget exhaustion
@@ -875,10 +885,15 @@ struct EnumContext {
 struct UnitCancel final : util::CancelSource {
   const SharedBudget* budget = nullptr;
   const std::atomic<std::uint64_t>* best_ce = nullptr;
+  /// Check-local stop signals: a sibling unit's worker threw (failed), or
+  /// the caller's per-obligation deadline tripped (extra; may be null).
+  const std::atomic<bool>* failed = nullptr;
+  const util::CancelSource* extra = nullptr;
   std::uint64_t self_key = 0;
   [[nodiscard]] bool cancelled() const override {
     return best_ce->load(std::memory_order_relaxed) < self_key ||
-           budget->exhausted();
+           failed->load(std::memory_order_relaxed) ||
+           (extra != nullptr && extra->cancelled()) || budget->exhausted();
   }
 };
 
@@ -909,6 +924,8 @@ class SubtreeRun {
         overflow_(overflow) {
     cancel_.budget = cx.budget;
     cancel_.best_ce = &cx.best_ce;
+    cancel_.failed = &cx.failed;
+    cancel_.extra = cx.opts->extra_cancel;
     cancel_.self_key = order_key(depth_, index_);
     encoder_ = std::make_unique<Encoder>(*cx.sys, *cx.table, *cx.rules,
                                          *cx.opts, &cancel_);
@@ -951,6 +968,7 @@ class SubtreeRun {
     // here, so per-thread adoption counts measure worker imbalance.
     if (!adopted_) {
       adopted_ = true;
+      util::fault_point("schema.unit_adopt");
       obs::add(obs::Counter::kSchemaUnits);
     }
     obs::add(obs::Counter::kSchemaUnitLevels);
@@ -992,6 +1010,20 @@ class SubtreeRun {
     if (cx_->best_ce.load(std::memory_order_relaxed) <
         order_key(depth_, index_)) {
       stopped_ = true;
+      return false;
+    }
+    // A sibling unit's worker threw: this check is being torn down (the
+    // stored exception rethrows after the join), so partial results are
+    // moot — stop without touching budget_hit or the shared budget.
+    if (cx_->failed.load(std::memory_order_relaxed)) {
+      stopped_ = true;
+      return false;
+    }
+    // The caller's per-obligation deadline: a check-local budget cut — this
+    // obligation goes inconclusive, sibling obligations run on.
+    if (cx_->opts->extra_cancel != nullptr &&
+        cx_->opts->extra_cancel->cancelled()) {
+      hit_budget();
       return false;
     }
     if (cx_->budget->cancel.cancelled()) {
@@ -1204,7 +1236,8 @@ CheckResult check_spec(const ta::System& sys, const spec::Spec& spec,
   // Budget: either the caller's shared pool (pipeline mode — exhaustion
   // anywhere cancels every sibling obligation) or a private one scoped to
   // this call, built from the per-call limits.
-  SharedBudget local_budget(opts.max_schemas, opts.time_budget_s);
+  SharedBudget local_budget(opts.max_schemas, opts.time_budget_s,
+                            opts.max_rss_mb << 20);
 
   EnumContext cx;
   cx.sys = &sys;
@@ -1312,9 +1345,19 @@ CheckResult check_spec(const ta::System& sys, const spec::Spec& spec,
             stat.pivots += u.pivots_total();
           }
         }
+      } catch (const util::Cancelled&) {
+        // A Cancelled escaping a unit (e.g. an injected cancel) left some
+        // subtree unexplored: the check is inconclusive, never "complete" —
+        // a swallowed cancel must not let the merge claim holds over a
+        // region nobody searched.
+        cx.budget_hit.store(true, std::memory_order_relaxed);
       } catch (...) {
         errors[static_cast<std::size_t>(w)] = std::current_exception();
-        cx.budget->cancel.cancel();  // wind the sibling workers down
+        // Containment: wind down THIS check's sibling units via the
+        // check-local flag — never the shared budget, which would cancel
+        // every sibling obligation and break their byte-identity with an
+        // uninjected run.
+        cx.failed.store(true, std::memory_order_relaxed);
       }
     };
     if (workers <= 1) {

@@ -22,6 +22,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <cstdint>
 #include <mutex>
 #include <optional>
 #include <string>
@@ -32,6 +33,7 @@
 #include "spec/spec.h"
 #include "ta/model.h"
 #include "util/cancel.h"
+#include "util/rss.h"
 
 namespace ctaver::util {
 class ThreadPool;
@@ -54,8 +56,23 @@ namespace ctaver::schema {
 /// time budget while waiting for a worker.
 class SharedBudget final : public util::CancelSource {
  public:
-  SharedBudget(long long max_schemas, double time_budget_s)
-      : max_(max_schemas), time_budget_s_(time_budget_s) {}
+  /// Why the budget first tripped: the schema cap, the wall-clock deadline,
+  /// the RSS watchdog, a SIGINT, or an external cancel() (kNone). First
+  /// cause wins; purely diagnostic (rendered into the human obligation
+  /// lines, never into the byte-identity report fields).
+  enum class CutReason : int {
+    kNone = 0,
+    kSchemas,
+    kTime,
+    kMemory,
+    kInterrupt
+  };
+
+  SharedBudget(long long max_schemas, double time_budget_s,
+               long long max_rss_bytes = 0)
+      : max_(max_schemas),
+        time_budget_s_(time_budget_s),
+        max_rss_bytes_(max_rss_bytes) {}
 
   /// Reserves `n` schema queries. Returns false (and trips the token) once
   /// the schema or time budget is exhausted. The counter is clamped: a
@@ -72,6 +89,7 @@ class SharedBudget final : public util::CancelSource {
         return true;
       }
     }
+    note_reason(CutReason::kSchemas);
     cancel.cancel();
     return false;
   }
@@ -82,6 +100,13 @@ class SharedBudget final : public util::CancelSource {
 
   [[nodiscard]] bool exhausted() const {
     if (cancel.cancelled()) return true;
+    // SIGINT degrades exactly like an exhausted budget: in-flight siblings
+    // unwind as cancelled and the partial report still flushes.
+    if (util::interrupted()) {
+      note_reason(CutReason::kInterrupt);
+      cancel.cancel();
+      return true;
+    }
     std::call_once(started_, [this] {
       // A non-positive budget is exhausted from the start (deterministically
       // so, which the zero-budget test regimes rely on).
@@ -92,8 +117,24 @@ class SharedBudget final : public util::CancelSource {
                                 std::chrono::duration<double>(
                                     time_budget_s_));
     });
-    if (used_.load(std::memory_order_relaxed) > max_ ||
-        Clock::now() > deadline_) {
+    if (used_.load(std::memory_order_relaxed) > max_) {
+      note_reason(CutReason::kSchemas);
+      cancel.cancel();
+      return true;
+    }
+    if (Clock::now() > deadline_) {
+      note_reason(CutReason::kTime);
+      cancel.cancel();
+      return true;
+    }
+    // RSS watchdog, throttled to 1/256 of the exhaustion polls (which are
+    // themselves throttled: per 256 pivots in the solver, per 1024 states
+    // in the game graphs) — a looming OOM becomes a budget-style cut with
+    // reason "memory" instead of an allocator abort.
+    if (max_rss_bytes_ > 0 &&
+        (rss_poll_.fetch_add(1, std::memory_order_relaxed) & 255) == 255 &&
+        static_cast<long long>(util::current_rss_bytes()) > max_rss_bytes_) {
+      note_reason(CutReason::kMemory);
       cancel.cancel();
       return true;
     }
@@ -104,13 +145,40 @@ class SharedBudget final : public util::CancelSource {
     return used_.load(std::memory_order_relaxed);
   }
 
+  [[nodiscard]] CutReason reason() const {
+    return static_cast<CutReason>(reason_.load(std::memory_order_relaxed));
+  }
+
+  /// Short tag for the human-readable obligation lines ("" for kNone).
+  [[nodiscard]] const char* reason_str() const {
+    switch (reason()) {
+      case CutReason::kNone: return "";
+      case CutReason::kSchemas: return "schemas";
+      case CutReason::kTime: return "time";
+      case CutReason::kMemory: return "memory";
+      case CutReason::kInterrupt: return "interrupt";
+    }
+    return "";
+  }
+
   util::CancelToken cancel;
 
  private:
   using Clock = std::chrono::steady_clock;
+
+  /// First cause wins: later trips keep the original attribution.
+  void note_reason(CutReason r) const {
+    int expected = static_cast<int>(CutReason::kNone);
+    reason_.compare_exchange_strong(expected, static_cast<int>(r),
+                                    std::memory_order_relaxed);
+  }
+
   std::atomic<long long> used_{0};
   long long max_;
   double time_budget_s_;
+  long long max_rss_bytes_;
+  mutable std::atomic<int> reason_{0};
+  mutable std::atomic<std::uint64_t> rss_poll_{0};
   mutable std::once_flag started_;
   mutable Clock::time_point deadline_{};
 };
@@ -188,6 +256,14 @@ struct CheckOptions {
   /// and time_budget_s above are ignored in favour of the shared pool, and
   /// exhaustion anywhere cancels every sibling. Not owned.
   SharedBudget* budget = nullptr;
+  /// RSS watchdog cap in MiB (0 = off). Only consulted when this call
+  /// builds its own budget; in pipeline mode the shared budget carries it.
+  long long max_rss_mb = 0;
+  /// Additional cancel source scoped to THIS check only (the pipeline's
+  /// per-obligation --obligation-timeout). Tripping it stops this check as
+  /// inconclusive — like a budget cut — without touching sibling
+  /// obligations. Not owned; may be null.
+  const util::CancelSource* extra_cancel = nullptr;
   lia::SolverOptions solver;
 };
 

@@ -35,6 +35,30 @@ class CancelSource {
   }
 };
 
+// --- process-global interrupt flag (SIGINT) --------------------------------
+// The CLI's SIGINT handler may only touch async-signal-safe state, so the
+// interrupt request is one relaxed atomic store into this flag. Budget polls
+// (schema::SharedBudget::exhausted) read it and convert an interrupt into a
+// budget-style cancellation: in-flight obligations unwind as cancelled, the
+// partial report flushes, and main exits 130.
+namespace detail {
+inline std::atomic<bool> g_interrupted{false};
+}  // namespace detail
+
+/// Async-signal-safe; callable from a signal handler.
+inline void request_interrupt() noexcept {
+  detail::g_interrupted.store(true, std::memory_order_relaxed);
+}
+
+[[nodiscard]] inline bool interrupted() noexcept {
+  return detail::g_interrupted.load(std::memory_order_relaxed);
+}
+
+/// Tests only: the flag is process-global and sticky otherwise.
+inline void clear_interrupt() noexcept {
+  detail::g_interrupted.store(false, std::memory_order_relaxed);
+}
+
 /// Copyable, thread-safe cancellation handle. All copies share one flag;
 /// cancellation is one-way and sticky.
 class CancelToken final : public CancelSource {

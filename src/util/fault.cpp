@@ -1,0 +1,144 @@
+#include "util/fault.h"
+
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+#include "obs/metrics.h"
+#include "util/cancel.h"
+
+namespace ctaver::util {
+
+namespace {
+
+// The compiled-in fault points. Adding a site means placing one
+// fault_point() call and listing the name here (the CLI validates plans and
+// the README's taxonomy table against this list).
+constexpr const char* kSites[] = {
+    "lia.pivot",          // lia/solver.cpp: simplex pivot loop, every 256
+    "schema.encode",      // schema/checker.cpp: encoder probe/query entry
+    "schema.unit_adopt",  // schema/checker.cpp: worker adopts a subtree unit
+    "cs.expand",          // cs/state_graph.cpp: BFS entry + every 1024 states
+    "replay.step",        // replay/replay.cpp: per concretized firing
+};
+constexpr int kNumSites = static_cast<int>(std::size(kSites));
+
+struct SiteState {
+  std::atomic<long long> hits{0};
+  std::atomic<long long> fire_at{0};  // 0: disarmed
+  std::atomic<int> action{0};
+};
+
+SiteState g_state[kNumSites];
+
+int site_index(const char* site) {
+  for (int i = 0; i < kNumSites; ++i) {
+    if (std::strcmp(kSites[i], site) == 0) return i;
+  }
+  return -1;
+}
+
+}  // namespace
+
+FaultInjector& FaultInjector::instance() {
+  static FaultInjector injector;
+  return injector;
+}
+
+const std::vector<std::string>& FaultInjector::sites() {
+  static const std::vector<std::string> names(kSites, kSites + kNumSites);
+  return names;
+}
+
+bool FaultInjector::arm(const std::string& plan, std::string* error) {
+  auto bad = [&](const std::string& msg) {
+    if (error != nullptr) *error = msg;
+    return false;
+  };
+  std::size_t c1 = plan.find(':');
+  std::size_t c2 = c1 == std::string::npos ? c1 : plan.find(':', c1 + 1);
+  if (c2 == std::string::npos) {
+    return bad("want site:count:action, got '" + plan + "'");
+  }
+  std::string site = plan.substr(0, c1);
+  std::string count_str = plan.substr(c1 + 1, c2 - c1 - 1);
+  std::string action_str = plan.substr(c2 + 1);
+  if (site_index(site.c_str()) < 0) {
+    std::string known;
+    for (const std::string& s : sites()) {
+      known += (known.empty() ? "" : ", ") + s;
+    }
+    return bad("unknown fault site '" + site + "' (known: " + known + ")");
+  }
+  long long count = 0;
+  try {
+    count = std::stoll(count_str);
+  } catch (const std::exception&) {
+    count = 0;
+  }
+  if (count <= 0) {
+    return bad("fault count must be a positive integer, got '" + count_str +
+               "'");
+  }
+  FaultAction action;
+  if (action_str == "throw") {
+    action = FaultAction::kThrow;
+  } else if (action_str == "cancel") {
+    action = FaultAction::kCancel;
+  } else if (action_str == "delay") {
+    action = FaultAction::kDelay;
+  } else {
+    return bad("unknown fault action '" + action_str +
+               "' (want throw, cancel, or delay)");
+  }
+  arm(site, count, action);
+  return true;
+}
+
+void FaultInjector::arm(const std::string& site, long long count,
+                        FaultAction action) {
+  int i = site_index(site.c_str());
+  if (i < 0 || count <= 0) return;
+  g_state[i].action.store(static_cast<int>(action),
+                          std::memory_order_relaxed);
+  g_state[i].fire_at.store(count, std::memory_order_relaxed);
+  g_armed.store(true, std::memory_order_relaxed);
+}
+
+void FaultInjector::reset() {
+  g_armed.store(false, std::memory_order_relaxed);
+  for (SiteState& s : g_state) {
+    s.hits.store(0, std::memory_order_relaxed);
+    s.fire_at.store(0, std::memory_order_relaxed);
+    s.action.store(0, std::memory_order_relaxed);
+  }
+}
+
+long long FaultInjector::hits(const std::string& site) const {
+  int i = site_index(site.c_str());
+  return i < 0 ? 0 : g_state[i].hits.load(std::memory_order_relaxed);
+}
+
+void FaultInjector::on_hit(const char* site) {
+  int i = site_index(site);
+  if (i < 0) return;
+  SiteState& s = g_state[i];
+  // fetch_add hands every racer a unique ordinal, so exactly one hit matches
+  // the armed count — the action fires once per arm, at any thread width.
+  const long long n = s.hits.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (n != s.fire_at.load(std::memory_order_relaxed)) return;
+  obs::add(obs::Counter::kFaultInjections);
+  switch (static_cast<FaultAction>(s.action.load(std::memory_order_relaxed))) {
+    case FaultAction::kThrow:
+      throw InjectedFault(site);
+    case FaultAction::kCancel:
+      throw Cancelled();
+    case FaultAction::kDelay:
+      // Byte-neutral: stretch the racing window for the TSan legs without
+      // touching any result.
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      break;
+  }
+}
+
+}  // namespace ctaver::util

@@ -1,0 +1,35 @@
+// Resident-set-size probe for the memory watchdog (--max-rss-mb).
+//
+// SharedBudget polls this at the same throttled sites as cancellation and
+// converts a looming OOM into a budget-style inconclusive cut (reason
+// "memory") instead of letting the allocator abort the process. Linux-only:
+// /proc/self/statm is two integers, cheap enough to read at 1/256 of the
+// cancellation polls. Elsewhere it returns 0, which disables the guard.
+#pragma once
+
+#include <cstddef>
+#include <cstdio>
+
+#ifdef __linux__
+#include <unistd.h>
+#endif
+
+namespace ctaver::util {
+
+inline std::size_t current_rss_bytes() {
+#ifdef __linux__
+  std::FILE* f = std::fopen("/proc/self/statm", "re");
+  if (f == nullptr) return 0;
+  unsigned long long size = 0, resident = 0;
+  const int n = std::fscanf(f, "%llu %llu", &size, &resident);
+  std::fclose(f);
+  if (n != 2) return 0;
+  static const std::size_t page =
+      static_cast<std::size_t>(sysconf(_SC_PAGESIZE));
+  return static_cast<std::size_t>(resident) * page;
+#else
+  return 0;
+#endif
+}
+
+}  // namespace ctaver::util

@@ -1,8 +1,11 @@
 #include "verify/pipeline.h"
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <exception>
 #include <functional>
+#include <new>
 #include <optional>
 #include <sstream>
 #include <stdexcept>
@@ -15,6 +18,7 @@
 #include "spec/spec.h"
 #include "ta/transforms.h"
 #include "ta/validate.h"
+#include "util/fault.h"
 #include "util/logging.h"
 #include "util/stopwatch.h"
 #include "util/strings.h"
@@ -159,6 +163,63 @@ using SweepCheckFn = bool (*)(const ta::System&,
                               const std::vector<long long>&, std::size_t,
                               const util::CancelSource*);
 
+/// Per-obligation deadline (Options::obligation_timeout_s): a CancelSource
+/// that combines the shared budget with this one task's wall-clock deadline,
+/// armed when the task starts. It lives as a closure-local in the task body
+/// (it holds atomics, so it cannot sit in the plan's growing vectors); the
+/// `tripped` flag records that THIS deadline — not the shared budget —
+/// stopped the work, which is what cut_reason "obligation-timeout" reports.
+class TaskDeadline final : public util::CancelSource {
+ public:
+  TaskDeadline(const schema::SharedBudget& budget, double timeout_s)
+      : budget_(&budget),
+        deadline_(
+            std::chrono::steady_clock::now() +
+            std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                std::chrono::duration<double>(timeout_s))) {}
+
+  [[nodiscard]] bool cancelled() const override {
+    if (tripped_.load(std::memory_order_relaxed)) return true;
+    if (std::chrono::steady_clock::now() > deadline_) {
+      tripped_.store(true, std::memory_order_relaxed);
+      return true;
+    }
+    return budget_->cancelled();
+  }
+
+  [[nodiscard]] bool tripped() const {
+    return tripped_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  const schema::SharedBudget* budget_;
+  std::chrono::steady_clock::time_point deadline_;
+  mutable std::atomic<bool> tripped_{false};
+};
+
+/// Containment boundary: turn an exception that escaped an obligation task
+/// into the structured taxonomy of ObligationError. Never throws.
+ObligationError classify_error(const std::exception_ptr& ep) {
+  ObligationError e;
+  try {
+    std::rethrow_exception(ep);
+  } catch (const util::InjectedFault& f) {
+    e.kind = "injected-fault";
+    e.what = f.what();
+    e.site = f.site();
+  } catch (const std::bad_alloc& ba) {
+    e.kind = "bad-alloc";
+    e.what = ba.what();
+  } catch (const std::exception& ex) {
+    e.kind = "exception";
+    e.what = ex.what();
+  } catch (...) {
+    e.kind = "unknown";
+    e.what = "non-standard exception";
+  }
+  return e;
+}
+
 // ---------------------------------------------------------------------------
 // Obligation scheduler: every (obligation × sweep-instance) is one task.
 //
@@ -177,6 +238,8 @@ struct SweepInstanceResult {
   bool started = false;
   double seconds = 0.0;
   std::exception_ptr error;
+  /// This instance's own TaskDeadline tripped (not the shared budget).
+  bool timed_out = false;
 };
 
 struct ParametricTask {
@@ -187,6 +250,8 @@ struct ParametricTask {
   std::optional<schema::CheckResult> result;
   std::exception_ptr error;
   bool started = false;
+  /// This task's own TaskDeadline tripped (not the shared budget).
+  bool timed_out = false;
   /// Scheduler-side wall time around the whole task body; attributes even
   /// budget-cancelled work (check_spec's own seconds die with the throw).
   double task_seconds = 0.0;
@@ -242,40 +307,61 @@ std::string instance_tag(const std::vector<long long>& params) {
   return tag;
 }
 
-void merge_sweep(SweepTask& t) {
+void merge_sweep(SweepTask& t, const schema::SharedBudget& budget) {
   Obligation& o = t.prop->obligations[t.slot];
   o.holds = true;
   o.complete = true;
   o.seconds = 0.0;
   bool any_started = false;
+  bool timed_out = false;
   std::vector<std::string> swept;
   std::vector<std::string> failed;
   for (std::size_t i = 0; i < t.instances.size(); ++i) {
     const SweepInstanceResult& inst = t.instances[i];
     any_started = any_started || inst.started;
+    timed_out = timed_out || inst.timed_out;
     std::string tag = instance_tag(t.pm->sweep_params[i]);
-    switch (inst.status) {
-      case SweepInstanceResult::Status::kOk:
-        break;
-      case SweepInstanceResult::Status::kFail:
-        tag += "=FAIL";
-        failed.push_back(instance_tag(t.pm->sweep_params[i]));
-        o.holds = false;
-        break;
-      case SweepInstanceResult::Status::kSkipped:
-        // Budget-cancelled before (or while) this instance ran: the sweep
-        // is inconclusive, never a refutation.
-        tag += "=SKIP";
-        o.holds = false;
-        o.complete = false;
-        break;
+    if (inst.error) {
+      // Contained internal failure in this instance: the sweep is
+      // inconclusive (never a proof or refutation over the other
+      // instances); the canonically-first error is the one reported.
+      tag += "=ERROR";
+      o.holds = false;
+      o.complete = false;
+      if (!o.error) {
+        o.error = classify_error(inst.error);
+        obs::add(obs::Counter::kVerifyObligationErrors);
+      }
+    } else {
+      switch (inst.status) {
+        case SweepInstanceResult::Status::kOk:
+          break;
+        case SweepInstanceResult::Status::kFail:
+          tag += "=FAIL";
+          failed.push_back(instance_tag(t.pm->sweep_params[i]));
+          o.holds = false;
+          break;
+        case SweepInstanceResult::Status::kSkipped:
+          // Budget-cancelled before (or while) this instance ran: the sweep
+          // is inconclusive, never a refutation.
+          tag += "=SKIP";
+          o.holds = false;
+          o.complete = false;
+          break;
+      }
     }
     swept.push_back(std::move(tag));
     o.seconds += inst.seconds;
   }
-  o.run_state = o.complete    ? Obligation::RunState::kComplete
+  o.run_state = o.error       ? Obligation::RunState::kError
+                : o.complete  ? Obligation::RunState::kComplete
                 : any_started ? Obligation::RunState::kCancelled
                               : Obligation::RunState::kSkipped;
+  if (o.run_state == Obligation::RunState::kCancelled ||
+      o.run_state == Obligation::RunState::kSkipped) {
+    o.cut_reason = timed_out ? "obligation-timeout" : budget.reason_str();
+  }
+  if (timed_out) obs::add(obs::Counter::kWatchdogTimeoutCuts);
   o.detail = "instances " + util::join(swept, " ");
   if (!failed.empty()) {
     o.ce = "failing instances " + util::join(failed, " ");
@@ -301,6 +387,13 @@ bool PropertyResult::has_counterexample() const {
 bool PropertyResult::inconclusive() const {
   for (const Obligation& o : obligations) {
     if (!o.holds && o.ce.empty()) return true;
+  }
+  return false;
+}
+
+bool PropertyResult::has_error() const {
+  for (const Obligation& o : obligations) {
+    if (o.error) return true;
   }
   return false;
 }
@@ -358,7 +451,8 @@ struct ProtocolRun::Impl {
   Impl(const protocols::ProtocolModel& pm_in, const Options& opts_in)
       : pm(pm_in),
         opts(opts_in),
-        budget(opts_in.schema.max_schemas, opts_in.schema.time_budget_s) {}
+        budget(opts_in.schema.max_schemas, opts_in.schema.time_budget_s,
+               opts_in.schema.max_rss_mb * (1LL << 20)) {}
 
   void plan_all() {
     if (obs::trace_enabled()) proto_start_ns = obs::now_ns();
@@ -478,16 +572,25 @@ struct ProtocolRun::Impl {
                       "\"");
           }
           util::Stopwatch w;
+          // Containment boundary: a non-Cancelled exception stops THIS
+          // obligation only. It must never touch the shared budget — that
+          // would cancel innocent siblings and change their report bytes.
+          std::optional<TaskDeadline> dl;
           try {
             if (!budget.exhausted()) {  // else the slot stays inconclusive
               t.started = true;
-              t.result = schema::check_spec(*t.sys, t.spec, task_opts);
+              schema::CheckOptions topts = task_opts;
+              if (opts.obligation_timeout_s > 0) {
+                dl.emplace(budget, opts.obligation_timeout_s);
+                topts.extra_cancel = &*dl;
+              }
+              t.result = schema::check_spec(*t.sys, t.spec, topts);
             }
           } catch (const util::Cancelled&) {
           } catch (...) {
             t.error = std::current_exception();
-            budget.cancel.cancel();
           }
+          if (dl && dl->tripped()) t.timed_out = true;
           t.task_seconds = w.seconds();
           obs::add(obs::Counter::kVerifyTasksDone);
           obs::add(obs::Counter::kVerifyObligationMicros,
@@ -510,22 +613,32 @@ struct ProtocolRun::Impl {
                         "\"");
             }
             util::Stopwatch w;
+            // Same containment boundary as the parametric wrapper: errors
+            // stay local to this instance; the shared budget is never
+            // cancelled on their behalf.
+            std::optional<TaskDeadline> dl;
             try {
               if (!budget.exhausted()) {
                 inst.started = true;
-                // The budget itself is the cancel source, so a long
+                // The budget itself is the cancel source (wrapped by the
+                // per-obligation deadline when one is set), so a long
                 // state-graph build notices an expired deadline, not just a
                 // tripped flag.
+                const util::CancelSource* cs = &budget;
+                if (opts.obligation_timeout_s > 0) {
+                  dl.emplace(budget, opts.obligation_timeout_s);
+                  cs = &*dl;
+                }
                 bool ok = t.check(*t.sys, t.pm->sweep_params[i],
-                                  opts.max_states, &budget);
+                                  opts.max_states, cs);
                 inst.status = ok ? SweepInstanceResult::Status::kOk
                                  : SweepInstanceResult::Status::kFail;
               }
             } catch (const util::Cancelled&) {
             } catch (...) {
               inst.error = std::current_exception();
-              budget.cancel.cancel();
             }
+            if (dl && dl->tripped()) inst.timed_out = true;
             inst.seconds = w.seconds();
             obs::add(obs::Counter::kVerifyTasksDone);
             obs::add(obs::Counter::kVerifyObligationMicros,
@@ -553,35 +666,44 @@ struct ProtocolRun::Impl {
 
   ProtocolReport merge() {
     finished = true;
-    // Errors (e.g. a sweep instance blowing the state cap) surface as the
-    // canonically-first stored exception, matching serial behaviour.
-    for (const auto& [is_sweep, idx] : plan.order) {
-      if (!is_sweep) {
-        if (plan.checks[idx].error) {
-          std::rethrow_exception(plan.checks[idx].error);
-        }
-      } else {
-        for (const SweepInstanceResult& inst : plan.sweeps[idx].instances) {
-          if (inst.error) std::rethrow_exception(inst.error);
-        }
-      }
-    }
-
-    // Deterministic merge, in canonical slot order.
+    // Deterministic merge, in canonical slot order. Task errors never
+    // escape: each becomes a structured ObligationError on its own slot
+    // (run_state kError, verdict inconclusive), so the run completes and
+    // every unaffected obligation's report bytes match an error-free run.
     for (ParametricTask& t : plan.checks) {
       Obligation& o = t.prop->obligations[t.slot];
-      if (t.result) {
+      if (t.error) {
+        o.holds = false;
+        o.complete = false;
+        o.run_state = Obligation::RunState::kError;
+        o.error = classify_error(t.error);
+        obs::add(obs::Counter::kVerifyObligationErrors);
+      } else if (t.result) {
         o = from_check(o.name, *t.result);
         o.run_state = o.complete ? Obligation::RunState::kComplete
                                  : Obligation::RunState::kCancelled;
         if (opts.replay_ce && o.ce_data) {
           // Close the loop: concretize the schema counterexample and step
           // it through the explicit semantics. Replay is deterministic, so
-          // this keeps reports byte-identical across jobs widths.
-          replay::ReplayReport rr =
-              replay::replay_counterexample(*t.sys, t.spec, *o.ce_data);
-          o.replay = rr.detail;
-          o.replay_ok = rr.ok();
+          // this keeps reports byte-identical across jobs widths. Replay
+          // runs here on the merge thread, so it gets its own containment
+          // boundary: a replay failure keeps the (trustworthy) schema
+          // verdict and run_state, loses only the replay summary, and
+          // still drives the exit code to 3 via `error`.
+          try {
+            replay::ReplayReport rr =
+                replay::replay_counterexample(*t.sys, t.spec, *o.ce_data);
+            o.replay = rr.detail;
+            o.replay_ok = rr.ok();
+          } catch (const util::Cancelled&) {
+            o.replay = "replay cancelled";
+            o.replay_ok = false;
+          } catch (...) {
+            o.error = classify_error(std::current_exception());
+            o.replay = "replay failed (contained): " + o.error->what;
+            o.replay_ok = false;
+            obs::add(obs::Counter::kVerifyObligationErrors);
+          }
         }
       } else {
         // Skipped by budget exhaustion or cancellation: inconclusive.
@@ -590,18 +712,25 @@ struct ProtocolRun::Impl {
         o.run_state = t.started ? Obligation::RunState::kCancelled
                                 : Obligation::RunState::kSkipped;
       }
+      if (o.run_state == Obligation::RunState::kCancelled ||
+          o.run_state == Obligation::RunState::kSkipped) {
+        o.cut_reason = t.timed_out ? "obligation-timeout"
+                                   : budget.reason_str();
+      }
+      if (t.timed_out) obs::add(obs::Counter::kWatchdogTimeoutCuts);
       // Table-II time columns come from the scheduler-side task timer, so
       // budget-cancelled obligations are attributable too.
       o.seconds = t.task_seconds;
     }
-    for (SweepTask& t : plan.sweeps) merge_sweep(t);
+    for (SweepTask& t : plan.sweeps) merge_sweep(t, budget);
 
-    int cancelled = 0, skipped = 0;
+    int cancelled = 0, skipped = 0, errored = 0;
     for (const PropertyResult* prop :
          {&report.agreement, &report.validity, &report.termination}) {
       for (const Obligation& o : prop->obligations) {
         if (o.run_state == Obligation::RunState::kCancelled) ++cancelled;
         if (o.run_state == Obligation::RunState::kSkipped) ++skipped;
+        if (o.error) ++errored;
       }
     }
     if (cancelled + skipped > 0) {
@@ -609,6 +738,13 @@ struct ProtocolRun::Impl {
                         << budget.used() << " schema charge(s) — "
                         << cancelled << " obligation(s) cut mid-run, "
                         << skipped << " never started";
+    }
+    if (errored > 0) {
+      CTAVER_LOG(kWarn) << pm.name << ": " << errored
+                        << " obligation(s) hit a contained internal error";
+    }
+    if (budget.reason() == schema::SharedBudget::CutReason::kMemory) {
+      obs::add(obs::Counter::kWatchdogMemoryCuts);
     }
     obs::add(obs::Counter::kVerifyProtocols);
     if (proto_start_ns >= 0) {
@@ -722,7 +858,20 @@ std::string table2_row(const ProtocolReport& r) {
      << util::pad_left(fmt_time(r.validity.seconds()), 10)
      << util::pad_left(std::to_string(r.termination.nschemas()), 14)
      << util::pad_left(fmt_time(r.termination.seconds()), 10) << "  ";
-  if (r.agreement.holds() && r.validity.holds() && r.termination.holds()) {
+  int errors = 0;
+  for (const PropertyResult* prop :
+       {&r.agreement, &r.validity, &r.termination}) {
+    for (const Obligation& o : prop->obligations) {
+      if (o.error) ++errors;
+    }
+  }
+  if (errors > 0) {
+    // Contained internal errors take the verdict face (matching the exit-
+    // code precedence 3 > 1): the run is incomplete-by-failure, so neither
+    // "verified" nor "CE" would be trustworthy as the row's last word.
+    os << "ERROR (" << errors << " contained)";
+  } else if (r.agreement.holds() && r.validity.holds() &&
+             r.termination.holds()) {
     os << "verified";
   } else if (r.agreement.has_counterexample() ||
              r.validity.has_counterexample() ||

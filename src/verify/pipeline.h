@@ -69,6 +69,26 @@ struct Options {
   /// entirely — no slot, no budget charge. `ctaver check` uses this to
   /// discharge exactly the spec-declared regression surface.
   std::vector<std::string> only_obligations;
+  /// Per-obligation hard deadline in seconds (0 = off), armed when the
+  /// obligation's task starts. Tripping it cuts THAT obligation to
+  /// inconclusive (cut_reason "obligation-timeout") without touching the
+  /// shared budget, so one pathological sweep game cannot starve the run.
+  double obligation_timeout_s = 0;
+};
+
+/// A contained internal failure: any non-Cancelled exception that escaped an
+/// obligation task (or a schema subtree unit) was caught at the task
+/// boundary and classified here — the run completes, sibling obligations'
+/// report bytes are untouched, and `ctaver` exits 3 instead of aborting.
+/// This taxonomy is the per-obligation verdict-stream contract the planned
+/// `ctaverd` service streams back (ROADMAP item 1).
+struct ObligationError {
+  /// "injected-fault" (util::InjectedFault), "bad-alloc", "exception"
+  /// (any other std::exception), or "unknown".
+  std::string kind;
+  std::string what;
+  /// Fault-point name for injected faults, empty otherwise.
+  std::string site;
 };
 
 /// One discharged proof obligation.
@@ -77,11 +97,14 @@ struct Obligation {
   /// "inconclusive": kCancelled started and was cut down mid-run by the
   /// shared budget (its seconds are real work), kSkipped never started
   /// (the budget was spent before its slot came up; its seconds are 0).
-  /// Which face an incomplete obligation shows is time- and
-  /// scheduling-dependent under a truncated budget, so the CLI renders it
-  /// only in the human-readable obligation lines — never in the fields the
-  /// byte-identity contract compares (complete runs are always kComplete).
-  enum class RunState { kComplete, kCancelled, kSkipped };
+  /// kError means a non-Cancelled exception escaped the task and was
+  /// contained (see `error`); the verdict is inconclusive, never a proof
+  /// or refutation. Which non-complete face an obligation shows is time-
+  /// and scheduling-dependent under a truncated budget, so the CLI renders
+  /// it only in the human-readable obligation lines — never in the fields
+  /// the byte-identity contract compares (complete runs are always
+  /// kComplete).
+  enum class RunState { kComplete, kCancelled, kSkipped, kError };
 
   std::string name;
   bool holds = false;
@@ -127,6 +150,16 @@ struct Obligation {
   /// Diagnostic, ThreadPool::stats() style — the one field that varies
   /// with scheduling; never rendered into reports.
   std::vector<schema::CheckResult::WorkerStat> per_worker;
+  /// Set when run_state == kError (or when the merge-phase replay of a
+  /// completed obligation's counterexample failed — then run_state stays
+  /// kComplete, the verdict is trustworthy, and only the replay summary is
+  /// missing). A set error always drives the process exit code to 3.
+  std::optional<ObligationError> error;
+  /// Why an incomplete obligation stopped: the shared budget's first cause
+  /// ("schemas", "time", "memory", "interrupt") or this obligation's own
+  /// deadline ("obligation-timeout"). Empty for complete obligations.
+  /// Human-readable attribution only — never a byte-identity field.
+  std::string cut_reason;
 };
 
 struct PropertyResult {
@@ -140,6 +173,8 @@ struct PropertyResult {
   [[nodiscard]] bool has_counterexample() const;
   /// True if some obligation is inconclusive (budget exhausted, no CE).
   [[nodiscard]] bool inconclusive() const;
+  /// True if some obligation carries a contained internal error (exit 3).
+  [[nodiscard]] bool has_error() const;
   [[nodiscard]] long long nschemas() const;
   [[nodiscard]] long long npivots() const;
   [[nodiscard]] double seconds() const;
@@ -166,9 +201,11 @@ ProtocolReport verify_protocol(const protocols::ProtocolModel& pm,
 
 /// Handle to an in-flight verify_protocol_async run. finish() blocks until
 /// this protocol's tasks have completed on the shared pool, then merges the
-/// report in canonical order (and rethrows the canonically-first task
-/// error). Destroying an unfinished run cancels its remaining tasks and
-/// waits for the in-flight ones.
+/// report in canonical order. Task errors never propagate out of finish():
+/// each is contained as a structured ObligationError on its own obligation
+/// (run_state kError), and every other obligation's report bytes match an
+/// error-free run. Destroying an unfinished run cancels its remaining tasks
+/// and waits for the in-flight ones.
 class ProtocolRun {
  public:
   ProtocolRun(ProtocolRun&&) noexcept;
