@@ -7,7 +7,13 @@
 // directories can be benchmarked wholesale:
 //
 //   bench_table2 [--budget SECONDS] [--jobs N] [--workers N] [--specs DIR]
-//                [--metrics FILE] [PROTOCOL...]
+//                [--metrics FILE] [--cache-dir DIR] [PROTOCOL...]
+//
+// --cache-dir points the run at an on-disk proof cache (src/svc): a second
+// invocation replays every complete verdict byte-identically and the time
+// columns collapse to the merge overhead — the demonstrable warm/cold
+// spread of the ctaverd service. The printed hit/store counters attribute
+// it.
 //
 // --metrics FILE dumps the merged obs registry (same JSON as `ctaver
 // verify --metrics`) after the run, so a benchmark sweep records where its
@@ -24,11 +30,13 @@
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "frontend/registry.h"
 #include "obs/metrics.h"
+#include "svc/proof_cache.h"
 #include "util/strings.h"
 #include "util/thread_pool.h"
 #include "verify/pipeline.h"
@@ -42,6 +50,7 @@ int main(int argc, char** argv) {
   int jobs = 0;
   std::string specs_dir;
   std::string metrics_path;
+  std::string cache_dir;
   std::vector<std::string> protocols;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--budget") == 0 && i + 1 < argc) {
@@ -54,6 +63,8 @@ int main(int argc, char** argv) {
       specs_dir = argv[++i];
     } else if (std::strcmp(argv[i], "--metrics") == 0 && i + 1 < argc) {
       metrics_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--cache-dir") == 0 && i + 1 < argc) {
+      cache_dir = argv[++i];
     } else {
       protocols.emplace_back(argv[i]);
     }
@@ -63,6 +74,12 @@ int main(int argc, char** argv) {
   const int threads =
       jobs > 0 ? jobs : util::ThreadPool::hardware_workers();
   const int workers = opts.schema.workers > 0 ? opts.schema.workers : 1;
+
+  std::optional<svc::ProofCache> cache;
+  if (!cache_dir.empty()) {
+    cache.emplace(cache_dir);
+    opts.cache = &*cache;
+  }
 
   try {
     frontend::ProtocolRegistry registry =
@@ -135,6 +152,14 @@ int main(int argc, char** argv) {
                 << ", pivots "
                 << imbalance(&schema::CheckResult::WorkerStat::pivots)
                 << "\n";
+    }
+    if (cache) {
+      const svc::CacheStats cs = cache->stats();
+      std::cout << "\nproof cache (" << cache_dir << "): " << cs.hits
+                << " hits, " << cs.misses << " misses, " << cs.stores
+                << " stores";
+      if (cs.corrupt > 0) std::cout << ", " << cs.corrupt << " corrupt";
+      std::cout << "\n";
     }
     if (!metrics_path.empty()) {
       std::ofstream out(metrics_path, std::ios::binary | std::ios::trunc);

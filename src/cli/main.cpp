@@ -10,6 +10,7 @@
 // Protocol arguments are resolved through frontend::ProtocolRegistry, so
 // built-ins and spec files are interchangeable everywhere.
 #include <algorithm>
+#include <atomic>
 #include <csignal>
 #include <exception>
 #include <fstream>
@@ -26,6 +27,9 @@
 #include "obs/progress.h"
 #include "obs/trace.h"
 #include "sim/attack.h"
+#include "svc/client.h"
+#include "svc/proof_cache.h"
+#include "svc/server.h"
 #include "util/cancel.h"
 #include "util/fault.h"
 #include "util/logging.h"
@@ -53,6 +57,17 @@ int usage(std::ostream& os, int code) {
         "                     verdict (default: all registered protocols);\n"
         "                     schema counterexamples are auto-replayed and\n"
         "                     attack sketches executed\n"
+        "  hash SPEC...       print each planned obligation's content-\n"
+        "                     addressed cache key (the proof cache's key)\n"
+        "  serve              run the verification daemon on --socket;\n"
+        "                     accepts line-delimited JSON submissions and\n"
+        "                     streams verdict events; SIGTERM drains cleanly\n"
+        "  submit SPEC...     submit specs to a running daemon and block for\n"
+        "                     the streamed verdicts (same exit codes as\n"
+        "                     verify); paths are shipped as inline text\n"
+        "  stats              print the daemon's stats event (submissions,\n"
+        "                     cache hits/misses/stores, embedded metrics)\n"
+        "  shutdown           ask the daemon on --socket to drain and exit\n"
         "\n"
         "SPEC is a registered protocol name or a path to a .cta file.\n"
         "\n"
@@ -75,6 +90,16 @@ int usage(std::ostream& os, int code) {
         "  --replay-ce        verify: replay every schema counterexample\n"
         "                     through the concretization engine (src/replay)\n"
         "  --quiet            verify: print only the Table-II rows\n"
+        "  --only-obligations a,b,...\n"
+        "                     verify: discharge only the named obligations\n"
+        "                     (unknown names are a positioned error, exit 2)\n"
+        "  --cache-dir DIR    content-addressed proof cache (verify, serve):\n"
+        "                     complete verdicts are stored under their\n"
+        "                     obligation keys and replayed byte-identically\n"
+        "                     on later runs; corrupt entries degrade to\n"
+        "                     misses\n"
+        "  --socket PATH      daemon socket (serve, submit, shutdown;\n"
+        "                     default /tmp/ctaverd.sock)\n"
         "\n"
         "fault containment (see the README's Failure containment section):\n"
         "  --max-rss-mb N     RSS watchdog: once resident memory exceeds N\n"
@@ -110,6 +135,10 @@ int usage(std::ostream& os, int code) {
         "  --metrics FILE     write the merged metrics registry as JSON\n"
         "                     ('-': print a human-readable summary table to\n"
         "                     stdout instead)\n"
+        "  --metrics-json FILE\n"
+        "                     like --metrics but always JSON, '-' included\n"
+        "                     (the machine-readable face; the daemon's\n"
+        "                     stats event embeds the same dump)\n"
         "  --progress         live progress line on stderr\n"
         "  --log-level L      debug|info|warn|error (default warn)\n";
   return code;
@@ -132,8 +161,12 @@ struct Args {
   double obligation_timeout = 0;  // --obligation-timeout (0 = off)
   std::vector<std::string> fault_inject;  // --fault-inject plans (repeatable)
   std::vector<std::vector<long long>> sweep_override;
+  std::vector<std::string> only_obligations;  // --only-obligations (comma'd)
+  std::string cache_dir;     // --cache-dir: on-disk proof cache (verify/serve)
+  std::string socket_path = "/tmp/ctaverd.sock";  // --socket (daemon cmds)
   std::string trace_path;    // --trace: Chrome trace-event JSON output
   std::string metrics_path;  // --metrics: registry JSON ('-': table, stdout)
+  std::string metrics_json_path;  // --metrics-json: always JSON, '-' = stdout
   std::string log_level;     // --log-level
   bool progress = false;
 };
@@ -181,6 +214,27 @@ bool parse_args(int argc, char** argv, Args& args) {
       const char* v = value();
       if (v == nullptr) return false;
       args.metrics_path = v;
+    } else if (a == "--metrics-json") {
+      const char* v = value();
+      if (v == nullptr) return false;
+      args.metrics_json_path = v;
+    } else if (a == "--cache-dir") {
+      const char* v = value();
+      if (v == nullptr) return false;
+      args.cache_dir = v;
+    } else if (a == "--socket") {
+      const char* v = value();
+      if (v == nullptr) return false;
+      args.socket_path = v;
+    } else if (a == "--only-obligations") {
+      const char* v = value();
+      if (v == nullptr) return false;
+      std::istringstream is(v);
+      std::string name;
+      while (std::getline(is, name, ',')) {
+        if (!name.empty()) args.only_obligations.push_back(name);
+      }
+      if (args.only_obligations.empty()) return false;
     } else if (a == "--log-level") {
       const char* v = value();
       if (v == nullptr) return false;
@@ -260,26 +314,6 @@ void print_summary(const ProtocolModel& pm, const std::string& origin) {
             << "\n  sweep instances = " << pm.sweep_params.size() << "\n";
 }
 
-/// Suffix for the obligation line: distinguishes the two faces of
-/// "incomplete" (cut mid-run vs never started). Which face shows is
-/// scheduling-dependent under a truncated budget, which is fine here — the
-/// obligation lines are human-readable output, outside the byte-identity
-/// contract (the Table-II rows and --quiet output never render run_state).
-const char* run_state_str(ctaver::verify::Obligation::RunState rs) {
-  using RunState = ctaver::verify::Obligation::RunState;
-  switch (rs) {
-    case RunState::kComplete:
-      return "";
-    case RunState::kCancelled:
-      return ", budget-limited";
-    case RunState::kSkipped:
-      return ", skipped (budget)";
-    case RunState::kError:
-      return ", error";
-  }
-  return "";
-}
-
 /// One-line rendering of a contained ObligationError for the human output
 /// (the obligation lines and `ctaver check`).
 std::string error_brief(const ctaver::verify::ObligationError& e) {
@@ -297,14 +331,10 @@ void print_property(const std::string& title,
                                           : "inconclusive")
             << "\n";
   for (const ctaver::verify::Obligation& o : pr.obligations) {
-    std::cout << "    " << o.name << ": "
-              << (o.holds ? "ok" : o.error ? "ERROR" : "FAIL") << " ["
-              << (o.parametric ? "parametric" : "sweep")
-              << run_state_str(o.run_state);
-    if (!o.cut_reason.empty()) std::cout << " (reason=" << o.cut_reason << ")";
-    std::cout << "]";
-    if (o.nschemas > 0) std::cout << " " << o.nschemas << " schemas";
-    std::cout << "\n";
+    // The line itself comes from verify::obligation_line, the single
+    // renderer shared with the daemon's event stream — a streamed verdict
+    // is byte-identical to this output.
+    std::cout << "    " << ctaver::verify::obligation_line(o) << "\n";
     if (o.error) {
       std::cout << "      contained error: " << error_brief(*o.error) << "\n";
     }
@@ -456,6 +486,15 @@ int cmd_verify(const ProtocolRegistry& registry, const Args& args,
   if (protocols.empty()) return usage(std::cerr, 2);
   ctaver::verify::Options opts = base_options(args);
   opts.replay_ce = args.replay_ce;
+  opts.only_obligations = args.only_obligations;
+  // --cache-dir: verdicts proved in this run land in the on-disk proof
+  // cache; obligations whose keys are already present replay byte-
+  // identically without proving anything.
+  std::optional<ctaver::svc::ProofCache> cache;
+  if (!args.cache_dir.empty()) {
+    cache.emplace(args.cache_dir);
+    opts.cache = &*cache;
+  }
 
   std::vector<ProtocolModel> models;
   models.reserve(protocols.size());
@@ -675,6 +714,65 @@ int cmd_check(const ProtocolRegistry& registry, const Args& args) {
   return failed == 0 ? 0 : 1;
 }
 
+/// `ctaver hash`: print each planned obligation's content-addressed cache
+/// key — the exact key the proof cache uses (verify::obligation_cache_keys
+/// is the cache's own derivation path), so the output answers "would this
+/// edit invalidate that obligation?" by diffing two hash runs.
+int cmd_hash(const ProtocolRegistry& registry, const Args& args) {
+  std::vector<std::string> protocols = args.protocols;
+  if (protocols.empty()) {
+    if (args.specs_dir.empty()) return usage(std::cerr, 2);
+    for (const std::string& name : registry.names()) {
+      if (registry.origin(name) != "builtin") protocols.push_back(name);
+    }
+  }
+  ctaver::verify::Options opts = base_options(args);
+  opts.only_obligations = args.only_obligations;
+  for (const std::string& spec : protocols) {
+    ProtocolModel pm = resolve_with_sweeps(registry, args, spec);
+    std::cout << "== " << pm.name << "\n";
+    for (const ctaver::verify::ObligationKey& k :
+         ctaver::verify::obligation_cache_keys(pm, opts)) {
+      std::cout << k.key << "  " << (k.parametric ? "parametric" : "sweep")
+                << "  " << k.name << "\n";
+    }
+  }
+  return 0;
+}
+
+/// SIGTERM (the daemon's drain signal): one relaxed store the accept loop
+/// polls every 200 ms; in-flight submissions finish streaming before run()
+/// returns.
+std::atomic<bool> g_sigterm{false};
+void handle_sigterm(int) { g_sigterm.store(true, std::memory_order_relaxed); }
+
+int cmd_serve(const Args& args) {
+  ctaver::svc::ServeOptions so;
+  so.socket_path = args.socket_path;
+  so.specs_dir = args.specs_dir;
+  so.cache_dir = args.cache_dir;
+  so.verify = base_options(args);
+  so.verify.replay_ce = args.replay_ce;
+  so.stop_flag = &g_sigterm;
+  // The stats event reads the metrics registry, so the daemon always
+  // collects (out-of-band: verdict bytes are unaffected).
+  ctaver::obs::Registry::global().set_enabled(true);
+  std::signal(SIGTERM, &handle_sigterm);
+  ctaver::svc::Server server(std::move(so));
+  std::string err;
+  if (!server.start(&err)) {
+    std::cerr << "ctaver: serve: " << err << "\n";
+    return 2;
+  }
+  std::cerr << "ctaver: serving on " << args.socket_path
+            << (args.cache_dir.empty() ? std::string()
+                                       : " (cache " + args.cache_dir + ")")
+            << "\n";
+  server.run();
+  std::cerr << "ctaver: daemon drained\n";
+  return 0;
+}
+
 int dispatch(const Args& args) {
   try {
     ProtocolRegistry registry = ProtocolRegistry::with_builtins();
@@ -685,6 +783,20 @@ int dispatch(const Args& args) {
       return cmd_verify(registry, args, args.quiet, args.protocols);
     }
     if (args.command == "check") return cmd_check(registry, args);
+    if (args.command == "hash") return cmd_hash(registry, args);
+    if (args.command == "serve") return cmd_serve(args);
+    if (args.command == "submit") {
+      if (args.protocols.empty()) return usage(std::cerr, 2);
+      return ctaver::svc::submit_specs(args.socket_path, args.protocols,
+                                       std::cout, std::cerr);
+    }
+    if (args.command == "stats") {
+      return ctaver::svc::request_stats(args.socket_path, std::cout,
+                                        std::cerr);
+    }
+    if (args.command == "shutdown") {
+      return ctaver::svc::request_shutdown(args.socket_path, std::cerr);
+    }
     if (args.command == "table2") {
       std::vector<std::string> protocols = args.protocols;
       if (protocols.empty()) {
@@ -716,18 +828,32 @@ int flush_observability(const Args& args, int code) {
               << "'\n";
     if (code == 0) code = 2;
   }
-  if (!args.metrics_path.empty()) {
+  if (!args.metrics_path.empty() || !args.metrics_json_path.empty()) {
     const ctaver::obs::Snapshot snap =
         ctaver::obs::Registry::global().snapshot();
     if (args.metrics_path == "-") {
       std::cout << snap.to_table();
-    } else {
+    } else if (!args.metrics_path.empty()) {
       std::ofstream out(args.metrics_path,
                         std::ios::binary | std::ios::trunc);
       out << snap.to_json();
       if (!out) {
         std::cerr << "ctaver: cannot write metrics file '"
                   << args.metrics_path << "'\n";
+        if (code == 0) code = 2;
+      }
+    }
+    // --metrics-json: the machine-readable face, '-' included (where
+    // --metrics falls back to the human table).
+    if (args.metrics_json_path == "-") {
+      std::cout << snap.to_json() << "\n";
+    } else if (!args.metrics_json_path.empty()) {
+      std::ofstream out(args.metrics_json_path,
+                        std::ios::binary | std::ios::trunc);
+      out << snap.to_json();
+      if (!out) {
+        std::cerr << "ctaver: cannot write metrics file '"
+                  << args.metrics_json_path << "'\n";
         if (code == 0) code = 2;
       }
     }
@@ -771,7 +897,8 @@ int main(int argc, char** argv) {
     }
   }
   // The meter reads the registry, so --progress implies metrics collection.
-  if (!args.metrics_path.empty() || args.progress) {
+  if (!args.metrics_path.empty() || !args.metrics_json_path.empty() ||
+      args.progress) {
     ctaver::obs::Registry::global().set_enabled(true);
   }
   if (!args.trace_path.empty()) ctaver::obs::Tracer::global().enable();

@@ -44,6 +44,11 @@ const char* counter_name(Counter c) {
     case Counter::kFaultInjections: return "fault.injections";
     case Counter::kWatchdogMemoryCuts: return "watchdog.memory_cuts";
     case Counter::kWatchdogTimeoutCuts: return "watchdog.timeout_cuts";
+    case Counter::kSvcSubmissions: return "svc.submissions";
+    case Counter::kCacheHits: return "cache.hits";
+    case Counter::kCacheMisses: return "cache.misses";
+    case Counter::kCacheStores: return "cache.stores";
+    case Counter::kCacheCorrupt: return "cache.corrupt";
     case Counter::kCount_: break;
   }
   return "?";

@@ -64,6 +64,11 @@ enum class Counter : int {
   kFaultInjections,     // fault.injections: armed fault plans fired
   kWatchdogMemoryCuts,  // watchdog.memory_cuts: RSS guard budget trips
   kWatchdogTimeoutCuts, // watchdog.timeout_cuts: per-obligation deadlines
+  kSvcSubmissions,      // svc.submissions: daemon spec submissions accepted
+  kCacheHits,           // cache.hits: obligations satisfied from the cache
+  kCacheMisses,         // cache.misses: obligations that had to be proved
+  kCacheStores,         // cache.stores: verdicts written into the cache
+  kCacheCorrupt,        // cache.corrupt: disk entries rejected (-> miss)
   kCount_,
 };
 constexpr int kNumCounters = static_cast<int>(Counter::kCount_);

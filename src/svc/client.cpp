@@ -1,0 +1,193 @@
+#include "svc/client.h"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+#include "obs/metrics.h"
+#include "svc/json.h"
+
+namespace ctaver::svc {
+
+namespace {
+
+/// Blocking line-oriented connection to the daemon socket.
+class Conn {
+ public:
+  ~Conn() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  bool connect(const std::string& socket_path, std::ostream& err) {
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (socket_path.empty() || socket_path.size() >= sizeof(addr.sun_path)) {
+      err << "ctaver: socket path empty or too long: '" << socket_path
+          << "'\n";
+      return false;
+    }
+    std::memcpy(addr.sun_path, socket_path.c_str(), socket_path.size() + 1);
+    fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd_ < 0 || ::connect(fd_, reinterpret_cast<const sockaddr*>(&addr),
+                             sizeof(addr)) != 0) {
+      err << "ctaver: cannot connect to " << socket_path << ": "
+          << std::strerror(errno) << " (is `ctaver serve` running?)\n";
+      return false;
+    }
+    return true;
+  }
+
+  bool send_line(const std::string& line) {
+    std::string out = line + "\n";
+    std::size_t off = 0;
+    while (off < out.size()) {
+      ssize_t n = ::send(fd_, out.data() + off, out.size() - off,
+                         MSG_NOSIGNAL);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return false;
+      }
+      off += static_cast<std::size_t>(n);
+    }
+    return true;
+  }
+
+  /// Next '\n'-terminated line (without the terminator); false on EOF.
+  bool read_line(std::string* line) {
+    std::size_t nl;
+    while ((nl = buf_.find('\n')) == std::string::npos) {
+      char chunk[4096];
+      ssize_t n = ::recv(fd_, chunk, sizeof chunk, 0);
+      if (n <= 0) return false;
+      buf_.append(chunk, static_cast<std::size_t>(n));
+    }
+    line->assign(buf_, 0, nl);
+    buf_.erase(0, nl + 1);
+    return true;
+  }
+
+ private:
+  int fd_ = -1;
+  std::string buf_;
+};
+
+bool looks_like_path(const std::string& arg) {
+  return arg.find('/') != std::string::npos ||
+         (arg.size() > 4 && arg.compare(arg.size() - 4, 4, ".cta") == 0);
+}
+
+std::string submit_request(const std::string& arg, std::ostream& err,
+                           bool* ok) {
+  *ok = true;
+  if (!looks_like_path(arg)) {
+    return "{\"op\":\"submit\",\"spec\":\"" + obs::json_escape(arg) + "\"}";
+  }
+  std::ifstream in(arg, std::ios::binary);
+  if (!in) {
+    err << "ctaver: cannot read " << arg << "\n";
+    *ok = false;
+    return "";
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+  return "{\"op\":\"submit\",\"text\":\"" + obs::json_escape(text.str()) +
+         "\",\"name\":\"" + obs::json_escape(arg) + "\"}";
+}
+
+}  // namespace
+
+int submit_specs(const std::string& socket_path,
+                 const std::vector<std::string>& specs, std::ostream& out,
+                 std::ostream& err) {
+  Conn conn;
+  if (!conn.connect(socket_path, err)) return 2;
+  bool any_error = false;   // exit-2 class: usage / parse / transport
+  bool any_exit3 = false;   // contained obligation ERROR
+  bool any_exit1 = false;   // refuted or inconclusive
+  for (const std::string& arg : specs) {
+    bool ok = false;
+    std::string req = submit_request(arg, err, &ok);
+    if (!ok) {
+      any_error = true;
+      continue;
+    }
+    if (!conn.send_line(req)) {
+      err << "ctaver: connection lost\n";
+      return 2;
+    }
+    bool header = false;
+    for (;;) {
+      std::string line;
+      if (!conn.read_line(&line)) {
+        err << "ctaver: connection lost\n";
+        return 2;
+      }
+      Json ev;
+      try {
+        ev = Json::parse(line);
+      } catch (const std::exception& e) {
+        err << "ctaver: bad event from daemon: " << e.what() << "\n";
+        return 2;
+      }
+      const std::string kind = ev.get("event");
+      if (kind == "error") {
+        err << "ctaver: " << ev.get("message") << "\n";
+        any_error = true;
+        continue;  // the daemon still terminates the submission with done
+      }
+      if (kind == "obligation") {
+        if (!header) {
+          out << "== " << ev.get("protocol") << "\n";
+          header = true;
+        }
+        out << "    " << ev.get("line") << "\n";
+        continue;
+      }
+      if (kind == "done") {
+        long long code = ev["exit"].as_int(2);
+        if (code == 3) any_exit3 = true;
+        if (code == 1) any_exit1 = true;
+        if (code == 2) any_error = true;
+        const std::string row = ev.get("row");
+        if (!row.empty()) out << row << "\n";
+        break;
+      }
+      // Unknown event kinds are skipped: a newer daemon may stream more.
+    }
+  }
+  if (any_exit3) return 3;
+  if (any_error) return 2;
+  return any_exit1 ? 1 : 0;
+}
+
+int request_stats(const std::string& socket_path, std::ostream& out,
+                  std::ostream& err) {
+  Conn conn;
+  if (!conn.connect(socket_path, err)) return 2;
+  std::string line;
+  if (!conn.send_line("{\"op\":\"stats\"}") || !conn.read_line(&line)) {
+    err << "ctaver: connection lost\n";
+    return 2;
+  }
+  out << line << "\n";
+  return 0;
+}
+
+int request_shutdown(const std::string& socket_path, std::ostream& err) {
+  Conn conn;
+  if (!conn.connect(socket_path, err)) return 2;
+  std::string line;
+  if (!conn.send_line("{\"op\":\"shutdown\"}") || !conn.read_line(&line)) {
+    err << "ctaver: connection lost\n";
+    return 2;
+  }
+  return 0;
+}
+
+}  // namespace ctaver::svc

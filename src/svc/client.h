@@ -1,0 +1,35 @@
+// ctaver submit / shutdown / stats: the blocking client side of the
+// ctaverd wire protocol (see server.h). One connection per call; spec
+// arguments that look like paths (contain '/' or end in ".cta") are read
+// locally and shipped as inline text, so the daemon always proves the bytes
+// the user just edited — never a stale server-side path.
+//
+// submit_specs prints, per submission, a "== <protocol>" header, each
+// obligation's verdict line indented four spaces (byte-identical to the
+// `ctaver verify` line for that obligation), and the Table-II row — and
+// returns the CLI exit taxonomy: 3 if any submission carried a contained
+// ERROR, else 2 on usage-class failures (unknown spec, parse error,
+// connection loss), else 1 on any refuted/inconclusive obligation, else 0.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace ctaver::svc {
+
+int submit_specs(const std::string& socket_path,
+                 const std::vector<std::string>& specs, std::ostream& out,
+                 std::ostream& err);
+
+/// Sends {"op":"stats"} and prints the stats event's JSON line to `out`.
+/// Returns 0, or 2 on connection failure.
+int request_stats(const std::string& socket_path, std::ostream& out,
+                  std::ostream& err);
+
+/// Sends {"op":"shutdown"} and waits for the bye event. Returns 0, or 2 on
+/// connection failure. The daemon drains in-flight submissions before its
+/// run() returns.
+int request_shutdown(const std::string& socket_path, std::ostream& err);
+
+}  // namespace ctaver::svc

@@ -1,0 +1,106 @@
+// ctaverd: the long-running verification service (ROADMAP item 1, landed).
+//
+// A Server listens on an AF_UNIX socket and speaks line-delimited JSON:
+// every request is one JSON object on one line, every reply line is one
+// JSON event. `ctaver serve` wraps it for the CLI; tests drive it
+// in-process over a temp socket.
+//
+//   requests                         reply events
+//   {"op":"ping"}                    {"event":"pong"}
+//   {"op":"stats"}                   {"event":"stats", ...}
+//   {"op":"shutdown"}                {"event":"bye"}, then the daemon drains
+//   {"op":"submit","spec":NAME}      a stream of {"event":"obligation",...}
+//   {"op":"submit","text":CTA,       in canonical report order, then one
+//    "name":FILE}                    {"event":"done","exit":E,"row":ROW}
+//
+// Submission semantics: the spec's obligations are fanned out as
+// per-obligation pipeline runs sharing ONE SharedBudget (so a submission's
+// budget behaves like a single `ctaver verify`) and one shared ThreadPool
+// across all connections; verdict events stream back progressively —
+// obligation k's event goes out as soon as runs 1..k have finished, while
+// later obligations are still proving. Each event's "line" is the exact
+// `ctaver verify` obligation line (verify::obligation_line), and "exit"
+// follows the CLI taxonomy (0 verified / 1 shortfall / 3 contained error).
+// Contained ERROR verdicts stream like any other — one crashing proof
+// never takes down the daemon. All submissions share the server's
+// content-addressed ProofCache; events carry "cached":true when the
+// verdict was replayed from it.
+#pragma once
+
+#include <atomic>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "frontend/registry.h"
+#include "svc/proof_cache.h"
+#include "util/thread_pool.h"
+#include "verify/pipeline.h"
+
+namespace ctaver::svc {
+
+struct ServeOptions {
+  /// AF_UNIX socket path (required; unlinked and re-bound on start).
+  std::string socket_path;
+  /// Register every .cta in this directory at startup (optional).
+  std::string specs_dir;
+  /// On-disk cache directory ("" = in-memory cache only).
+  std::string cache_dir;
+  /// Base pipeline options for every submission (budgets, sweeps, workers,
+  /// replay). `cache` and `schema.budget` are overwritten per submission;
+  /// `jobs` sizes the shared pool (0 = hardware concurrency).
+  verify::Options verify;
+  /// External shutdown flag (the CLI's SIGTERM handler sets it; polled by
+  /// the accept loop every 200 ms). Optional.
+  const std::atomic<bool>* stop_flag = nullptr;
+};
+
+class Server {
+ public:
+  explicit Server(ServeOptions opts);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds and listens. Returns false (with *err set) on socket failure or
+  /// a bad specs dir; no thread is started.
+  bool start(std::string* err);
+
+  /// Accept loop; blocks until stop()/stop_flag/SIGINT, then drains: the
+  /// listener closes, idle connections are woken (read side shut down),
+  /// in-flight submissions run to completion and their events still go
+  /// out, and every connection thread is joined.
+  void run();
+
+  /// Requests shutdown (thread-safe; callable from another thread).
+  void stop();
+
+  [[nodiscard]] ProofCache& cache() { return cache_; }
+  [[nodiscard]] std::uint64_t submissions() const {
+    return submissions_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void serve_connection(int fd);
+  /// Handles one request line; returns false when the connection should
+  /// close (shutdown request or unwritable socket).
+  bool handle_line(int fd, const std::string& line);
+  bool handle_submit(int fd, const protocols::ProtocolModel& pm);
+  bool send_stats(int fd);
+  [[nodiscard]] bool should_stop() const;
+
+  ServeOptions opts_;
+  ProofCache cache_;
+  frontend::ProtocolRegistry registry_;
+  util::ThreadPool pool_;
+  int listen_fd_ = -1;
+  std::atomic<bool> stopping_{false};
+  std::atomic<std::uint64_t> submissions_{0};
+  std::mutex conn_mu_;
+  std::vector<std::thread> conn_threads_;
+  std::vector<int> conn_fds_;  // open connection fds, for drain wakeup
+};
+
+}  // namespace ctaver::svc

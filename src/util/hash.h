@@ -1,0 +1,37 @@
+// SHA-256, self-contained (FIPS 180-4). The proof cache keys every
+// obligation verdict on a content address of its canonical serialization
+// (src/verify/cache_key), so the hash must be deterministic across builds,
+// platforms, and time — a std::hash or pointer-derived scheme would not do.
+// Collision resistance matters too: a key collision would replay the wrong
+// verdict bytes as if they were proven.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace ctaver::util {
+
+/// Incremental SHA-256. update() may be called any number of times;
+/// hex_digest() finalizes (the object must not be reused afterwards).
+class Sha256 {
+ public:
+  Sha256();
+  void update(const void* data, std::size_t len);
+  void update(const std::string& s) { update(s.data(), s.size()); }
+  /// Finalizes and returns the 64-character lowercase hex digest.
+  [[nodiscard]] std::string hex_digest();
+
+ private:
+  void process_block(const std::uint8_t* block);
+
+  std::uint32_t state_[8];
+  std::uint64_t total_len_ = 0;
+  std::uint8_t buf_[64];
+  std::size_t buf_len_ = 0;
+};
+
+/// One-shot convenience.
+std::string sha256_hex(const std::string& data);
+
+}  // namespace ctaver::util

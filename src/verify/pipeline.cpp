@@ -5,6 +5,7 @@
 #include <chrono>
 #include <exception>
 #include <functional>
+#include <map>
 #include <new>
 #include <optional>
 #include <sstream>
@@ -16,6 +17,7 @@
 #include "obs/trace.h"
 #include "replay/replay.h"
 #include "spec/spec.h"
+#include "svc/proof_cache.h"
 #include "ta/transforms.h"
 #include "ta/validate.h"
 #include "util/fault.h"
@@ -23,6 +25,7 @@
 #include "util/stopwatch.h"
 #include "util/strings.h"
 #include "util/thread_pool.h"
+#include "verify/cache_key.h"
 
 namespace ctaver::verify {
 
@@ -255,6 +258,11 @@ struct ParametricTask {
   /// Scheduler-side wall time around the whole task body; attributes even
   /// budget-cancelled work (check_spec's own seconds die with the throw).
   double task_seconds = 0.0;
+  /// Content address of this obligation (set when Options.cache is present
+  /// or keys were requested); cache_hit means `result` was decoded from the
+  /// cache at plan time and no task was created for this slot.
+  std::string cache_key;
+  bool cache_hit = false;
 };
 
 struct SweepTask {
@@ -264,6 +272,10 @@ struct SweepTask {
   const protocols::ProtocolModel* pm;
   const ta::System* sys;
   std::vector<SweepInstanceResult> instances;
+  /// Content address / cached merged verdict; when `cached` is set none of
+  /// the instance tasks are created and merge applies the verdict directly.
+  std::string cache_key;
+  std::optional<svc::SweepVerdict> cached;
 };
 
 struct Plan {
@@ -437,8 +449,12 @@ struct ProtocolRun::Impl {
   // One budget for the whole protocol: --time-budget / --max-schemas trip
   // every in-flight sibling via the shared cancel token. The deadline arms
   // itself when the first task starts, so a protocol queued behind its
-  // siblings on a shared pool loses nothing while waiting.
+  // siblings on a shared pool loses nothing while waiting. When the caller
+  // provided an external budget (opts.schema.budget — how the daemon funds
+  // one budget per *submission* across its per-obligation runs), `bud`
+  // points there instead and the owned budget sits idle.
   schema::SharedBudget budget;
+  schema::SharedBudget* bud = nullptr;
   schema::CheckOptions task_opts;
   std::vector<std::function<void()>> tasks;
   util::TaskGroup group;
@@ -452,7 +468,9 @@ struct ProtocolRun::Impl {
       : pm(pm_in),
         opts(opts_in),
         budget(opts_in.schema.max_schemas, opts_in.schema.time_budget_s,
-               opts_in.schema.max_rss_mb * (1LL << 20)) {}
+               opts_in.schema.max_rss_mb * (1LL << 20)) {
+    bud = opts.schema.budget != nullptr ? opts.schema.budget : &budget;
+  }
 
   void plan_all() {
     if (obs::trace_enabled()) proto_start_ns = obs::now_ns();
@@ -476,7 +494,21 @@ struct ProtocolRun::Impl {
 
     // Options.only_obligations: skip unlisted obligations entirely — no
     // report slot, no budget charge (how `ctaver check` targets exactly the
-    // spec-declared surface).
+    // spec-declared surface). Names outside the category's vocabulary are
+    // an error, not an empty plan: an empty plan renders as "everything
+    // verified", which a typo must never produce. Validation is against the
+    // FULL vocabulary, not this run's plan — `check --no-sweeps` passing a
+    // sweep name is a legitimate skip, not a typo.
+    if (!opts.only_obligations.empty()) {
+      std::vector<std::string> known = protocols::obligation_names(pm.category);
+      for (const std::string& name : opts.only_obligations) {
+        if (std::find(known.begin(), known.end(), name) == known.end()) {
+          throw std::invalid_argument(
+              pm.name + ": unknown obligation '" + name +
+              "' (valid for this category: " + util::join(known, ", ") + ")");
+        }
+      }
+    }
     auto planned = [&](const std::string& name) {
       return opts.only_obligations.empty() ||
              std::find(opts.only_obligations.begin(),
@@ -547,7 +579,11 @@ struct ProtocolRun::Impl {
     }
 
     task_opts = opts.schema;
-    task_opts.budget = &budget;
+    task_opts.budget = bud;
+    if (opts.cache != nullptr) {
+      compute_cache_keys();
+      probe_cache();
+    }
     // Default to one enumeration worker per obligation task: the obligation
     // scheduler is the outer parallelism dial. An explicit workers > 1 adds
     // within-obligation partitioned enumeration; either way every check
@@ -564,6 +600,7 @@ struct ProtocolRun::Impl {
     for (const auto& [is_sweep, idx] : plan.order) {
       if (!is_sweep) {
         ParametricTask& t = plan.checks[idx];
+        if (t.cache_hit) continue;  // verdict already decoded at probe time
         tasks.push_back([this, &t]() {
           obs::Span span("obligation");
           if (span.active()) {
@@ -577,11 +614,11 @@ struct ProtocolRun::Impl {
           // would cancel innocent siblings and change their report bytes.
           std::optional<TaskDeadline> dl;
           try {
-            if (!budget.exhausted()) {  // else the slot stays inconclusive
+            if (!bud->exhausted()) {  // else the slot stays inconclusive
               t.started = true;
               schema::CheckOptions topts = task_opts;
               if (opts.obligation_timeout_s > 0) {
-                dl.emplace(budget, opts.obligation_timeout_s);
+                dl.emplace(*bud, opts.obligation_timeout_s);
                 topts.extra_cancel = &*dl;
               }
               t.result = schema::check_spec(*t.sys, t.spec, topts);
@@ -600,6 +637,7 @@ struct ProtocolRun::Impl {
         });
       } else {
         SweepTask& t = plan.sweeps[idx];
+        if (t.cached) continue;  // merged verdict replays from the cache
         for (std::size_t i = 0; i < t.instances.size(); ++i) {
           tasks.push_back([this, &t, i]() {
             SweepInstanceResult& inst = t.instances[i];
@@ -618,15 +656,15 @@ struct ProtocolRun::Impl {
             // cancelled on their behalf.
             std::optional<TaskDeadline> dl;
             try {
-              if (!budget.exhausted()) {
+              if (!bud->exhausted()) {
                 inst.started = true;
                 // The budget itself is the cancel source (wrapped by the
                 // per-obligation deadline when one is set), so a long
                 // state-graph build notices an expired deadline, not just a
                 // tripped flag.
-                const util::CancelSource* cs = &budget;
+                const util::CancelSource* cs = bud;
                 if (opts.obligation_timeout_s > 0) {
-                  dl.emplace(budget, opts.obligation_timeout_s);
+                  dl.emplace(*bud, opts.obligation_timeout_s);
                   cs = &*dl;
                 }
                 bool ok = t.check(*t.sys, t.pm->sweep_params[i],
@@ -655,11 +693,60 @@ struct ProtocolRun::Impl {
                       << " obligation(s) as " << tasks.size() << " task(s)";
   }
 
+  /// Content address of every planned obligation (cache probes and
+  /// `ctaver hash`). The lowered-system fingerprint is computed once per
+  /// distinct system (rd / rd_prob / rdr) and shared across its
+  /// obligations' keys.
+  void compute_cache_keys() {
+    std::map<const ta::System*, std::string> fps;
+    auto fp = [&](const ta::System* sys) -> const std::string& {
+      auto it = fps.find(sys);
+      if (it == fps.end()) {
+        it = fps.emplace(sys, system_fingerprint(*sys)).first;
+      }
+      return it->second;
+    };
+    for (ParametricTask& t : plan.checks) {
+      t.cache_key = parametric_cache_key(fp(t.sys), t.spec, task_opts);
+    }
+    for (SweepTask& t : plan.sweeps) {
+      t.cache_key =
+          sweep_cache_key(fp(t.sys), t.prop->obligations[t.slot].name,
+                          pm.sweep_params, opts.max_states);
+    }
+  }
+
+  /// Probes Options.cache for every planned obligation. A hit parks the
+  /// decoded verdict on the task so no closure is created for it; a
+  /// checksum-valid payload that still fails to decode (incompatible codec)
+  /// is invalidated and treated as a miss.
+  void probe_cache() {
+    for (ParametricTask& t : plan.checks) {
+      if (std::optional<std::string> p = opts.cache->lookup(t.cache_key)) {
+        if (std::optional<schema::CheckResult> res = svc::decode_check(*p)) {
+          t.result = std::move(res);
+          t.cache_hit = true;
+        } else {
+          opts.cache->invalidate(t.cache_key);
+        }
+      }
+    }
+    for (SweepTask& t : plan.sweeps) {
+      if (std::optional<std::string> p = opts.cache->lookup(t.cache_key)) {
+        if (std::optional<svc::SweepVerdict> v = svc::decode_sweep(*p)) {
+          t.cached = std::move(v);
+        } else {
+          opts.cache->invalidate(t.cache_key);
+        }
+      }
+    }
+  }
+
   /// Abandoned before finish(): drop the queued tasks and wait out the
   /// in-flight ones, which reference this Impl.
   void abandon() {
     if (!finished) {
-      budget.cancel.cancel();
+      bud->cancel.cancel();
       group.wait();
     }
   }
@@ -682,6 +769,7 @@ struct ProtocolRun::Impl {
         o = from_check(o.name, *t.result);
         o.run_state = o.complete ? Obligation::RunState::kComplete
                                  : Obligation::RunState::kCancelled;
+        o.cached = t.cache_hit;
         if (opts.replay_ce && o.ce_data) {
           // Close the loop: concretize the schema counterexample and step
           // it through the explicit semantics. Replay is deterministic, so
@@ -715,14 +803,42 @@ struct ProtocolRun::Impl {
       if (o.run_state == Obligation::RunState::kCancelled ||
           o.run_state == Obligation::RunState::kSkipped) {
         o.cut_reason = t.timed_out ? "obligation-timeout"
-                                   : budget.reason_str();
+                                   : bud->reason_str();
       }
       if (t.timed_out) obs::add(obs::Counter::kWatchdogTimeoutCuts);
       // Table-II time columns come from the scheduler-side task timer, so
-      // budget-cancelled obligations are attributable too.
+      // budget-cancelled obligations are attributable too (a cache hit
+      // reads 0 — no work was done).
       o.seconds = t.task_seconds;
+      // Store only complete, error-free verdicts: an incomplete one
+      // describes this run's budget race, not the obligation.
+      if (opts.cache != nullptr && !t.cache_hit && !t.error && t.result &&
+          t.result->complete) {
+        opts.cache->store(t.cache_key, svc::encode_check(*t.result));
+      }
     }
-    for (SweepTask& t : plan.sweeps) merge_sweep(t, budget);
+    for (SweepTask& t : plan.sweeps) {
+      if (t.cached) {
+        // Replay the cached merged verdict; the fields below are exactly
+        // what merge_sweep leaves on a complete sweep, so every rendered
+        // byte matches a cold run (nschemas stays 0, seconds read 0).
+        Obligation& o = t.prop->obligations[t.slot];
+        o.holds = t.cached->holds;
+        o.complete = t.cached->complete;
+        o.ce = t.cached->ce;
+        o.detail = t.cached->detail;
+        o.run_state = Obligation::RunState::kComplete;
+        o.cached = true;
+        continue;
+      }
+      merge_sweep(t, *bud);
+      const Obligation& o = t.prop->obligations[t.slot];
+      if (opts.cache != nullptr && o.complete && !o.error) {
+        opts.cache->store(t.cache_key,
+                          svc::encode_sweep({o.holds, o.complete, o.ce,
+                                             o.detail}));
+      }
+    }
 
     int cancelled = 0, skipped = 0, errored = 0;
     for (const PropertyResult* prop :
@@ -735,7 +851,7 @@ struct ProtocolRun::Impl {
     }
     if (cancelled + skipped > 0) {
       CTAVER_LOG(kInfo) << pm.name << ": budget exhausted after "
-                        << budget.used() << " schema charge(s) — "
+                        << bud->used() << " schema charge(s) — "
                         << cancelled << " obligation(s) cut mid-run, "
                         << skipped << " never started";
     }
@@ -743,7 +859,7 @@ struct ProtocolRun::Impl {
       CTAVER_LOG(kWarn) << pm.name << ": " << errored
                         << " obligation(s) hit a contained internal error";
     }
-    if (budget.reason() == schema::SharedBudget::CutReason::kMemory) {
+    if (bud->reason() == schema::SharedBudget::CutReason::kMemory) {
       obs::add(obs::Counter::kWatchdogMemoryCuts);
     }
     obs::add(obs::Counter::kVerifyProtocols);
@@ -791,7 +907,7 @@ ProtocolRun verify_protocol_async(const protocols::ProtocolModel& pm,
   // the pool's width instead of multiplying it.
   run.impl_->task_opts.pool = &pool;
   for (auto& task : run.impl_->tasks) {
-    pool.submit(task, run.impl_->budget.cancel, &run.impl_->group);
+    pool.submit(task, run.impl_->bud->cancel, &run.impl_->group);
   }
   return run;
 }
@@ -808,6 +924,43 @@ ProtocolReport verify_protocol(const protocols::ProtocolModel& pm,
   }
   util::ThreadPool pool(jobs);
   return verify_protocol_async(pm, opts, pool).finish();
+}
+
+std::vector<ObligationKey> obligation_cache_keys(
+    const protocols::ProtocolModel& pm, const Options& opts) {
+  Options o = opts;
+  o.cache = nullptr;  // keys only — never probe or store
+  auto impl = std::make_unique<ProtocolRun::Impl>(pm, o);
+  impl->plan_all();
+  impl->compute_cache_keys();
+  std::vector<ObligationKey> out;
+  for (const auto& [is_sweep, idx] : impl->plan.order) {
+    if (is_sweep) {
+      const SweepTask& t = impl->plan.sweeps[idx];
+      out.push_back({t.prop->obligations[t.slot].name, false, t.cache_key});
+    } else {
+      const ParametricTask& t = impl->plan.checks[idx];
+      out.push_back({t.spec.name, true, t.cache_key});
+    }
+  }
+  return out;
+}
+
+std::string obligation_line(const Obligation& o) {
+  const char* suffix = "";
+  switch (o.run_state) {
+    case Obligation::RunState::kComplete: suffix = ""; break;
+    case Obligation::RunState::kCancelled: suffix = ", budget-limited"; break;
+    case Obligation::RunState::kSkipped: suffix = ", skipped (budget)"; break;
+    case Obligation::RunState::kError: suffix = ", error"; break;
+  }
+  std::string out = o.name + ": " +
+                    (o.holds ? "ok" : o.error ? "ERROR" : "FAIL") + " [" +
+                    (o.parametric ? "parametric" : "sweep") + suffix;
+  if (!o.cut_reason.empty()) out += " (reason=" + o.cut_reason + ")";
+  out += "]";
+  if (o.nschemas > 0) out += " " + std::to_string(o.nschemas) + " schemas";
+  return out;
 }
 
 std::vector<schema::CheckResult::WorkerStat> worker_stats(

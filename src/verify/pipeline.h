@@ -30,6 +30,10 @@ namespace ctaver::util {
 class ThreadPool;
 }
 
+namespace ctaver::svc {
+class ProofCache;
+}
+
 namespace ctaver::verify {
 
 struct Options {
@@ -67,8 +71,21 @@ struct Options {
   /// When non-empty, plan only the obligations whose canonical names are
   /// listed (see protocols::obligation_names); everything else is skipped
   /// entirely — no slot, no budget charge. `ctaver check` uses this to
-  /// discharge exactly the spec-declared regression surface.
+  /// discharge exactly the spec-declared regression surface. A name outside
+  /// the category's vocabulary throws std::invalid_argument at planning
+  /// time (a silent empty plan would read as "everything verified"); names
+  /// that are merely not planned in this run — the sweep obligations under
+  /// run_sweeps = false — are still accepted.
   std::vector<std::string> only_obligations;
+  /// Content-addressed proof cache (src/svc/proof_cache; not owned, may be
+  /// null). When set, planning probes the cache with each obligation's
+  /// canonical key (src/verify/cache_key): a hit decodes the stored verdict
+  /// into the task's result slot — no task runs, no budget is charged, and
+  /// the merge path (including deterministic counterexample replay) renders
+  /// the exact bytes a cold run would; a miss proves the obligation
+  /// normally and stores its verdict at merge time when it is complete and
+  /// error-free.
+  svc::ProofCache* cache = nullptr;
   /// Per-obligation hard deadline in seconds (0 = off), armed when the
   /// obligation's task starts. Tripping it cuts THAT obligation to
   /// inconclusive (cut_reason "obligation-timeout") without touching the
@@ -160,6 +177,11 @@ struct Obligation {
   /// deadline ("obligation-timeout"). Empty for complete obligations.
   /// Human-readable attribution only — never a byte-identity field.
   std::string cut_reason;
+  /// This verdict was replayed from the proof cache (Options.cache) instead
+  /// of being proved in this run. Provenance only — by the cache's key
+  /// contract every rendered field matches what a cold run would produce,
+  /// and nothing ever renders this flag into a report.
+  bool cached = false;
 };
 
 struct PropertyResult {
@@ -192,6 +214,29 @@ struct ProtocolReport {
   PropertyResult termination;
 };
 
+/// One planned obligation's content address, as `ctaver hash` prints it and
+/// the proof cache keys it. `parametric` distinguishes schema-checker
+/// obligations from sweep obligations (their payloads differ).
+struct ObligationKey {
+  std::string name;
+  bool parametric = false;
+  std::string key;  // 64 lowercase hex chars (sha256)
+};
+
+/// Plans `pm`'s obligations (honoring opts.only_obligations / run_sweeps)
+/// and returns their cache keys in canonical report order, without running
+/// anything. This is the key-derivation path the cache itself uses, so a
+/// golden test on these values pins the whole key contract.
+std::vector<ObligationKey> obligation_cache_keys(
+    const protocols::ProtocolModel& pm, const Options& opts = {});
+
+/// The canonical per-obligation verdict line (no indentation, no trailing
+/// newline) — shared by `ctaver verify` and the daemon's event stream, so a
+/// streamed verdict is byte-identical to the CLI's. run_state suffixes and
+/// cut reasons render only for incomplete obligations, keeping the line
+/// stable across scheduling for complete runs.
+std::string obligation_line(const Obligation& o);
+
 /// Runs the full pipeline on one protocol. With opts.jobs != 1 the proof
 /// obligations (and the instances inside each sweep) are discharged
 /// concurrently on a work-stealing pool; the report is merged back in the
@@ -218,6 +263,8 @@ class ProtocolRun {
                                            const Options&, util::ThreadPool&);
   friend ProtocolReport verify_protocol(const protocols::ProtocolModel&,
                                         const Options&);
+  friend std::vector<ObligationKey> obligation_cache_keys(
+      const protocols::ProtocolModel&, const Options&);
   ProtocolRun();
   struct Impl;
   std::unique_ptr<Impl> impl_;
