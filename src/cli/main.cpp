@@ -28,6 +28,7 @@
 #include "obs/trace.h"
 #include "sim/attack.h"
 #include "svc/client.h"
+#include "svc/journal.h"
 #include "svc/proof_cache.h"
 #include "svc/server.h"
 #include "util/cancel.h"
@@ -97,9 +98,26 @@ int usage(std::ostream& os, int code) {
         "                     complete verdicts are stored under their\n"
         "                     obligation keys and replayed byte-identically\n"
         "                     on later runs; corrupt entries degrade to\n"
-        "                     misses\n"
+        "                     misses. Also home of the crash-safety journal\n"
+        "                     (journal.log; see README 'Crash safety')\n"
+        "  --resume           verify: replay the journal in --cache-dir and\n"
+        "                     re-prove only the obligations a killed run\n"
+        "                     left without a durable proof; the report is\n"
+        "                     byte-identical to an uninterrupted run. Exits\n"
+        "                     2 if the journal's unfinished run was started\n"
+        "                     with different specs/options\n"
         "  --socket PATH      daemon socket (serve, submit, shutdown;\n"
         "                     default /tmp/ctaverd.sock)\n"
+        "  --connect-timeout S\n"
+        "                     client connect deadline, seconds (submit,\n"
+        "                     stats, shutdown; default 5; 0 = forever)\n"
+        "  --io-timeout S     per-read/-write deadline, seconds: client ops\n"
+        "                     (default 30; 0 = forever) and, on serve, the\n"
+        "                     daemon's per-connection read/write deadlines\n"
+        "  --retries N        client transport-failure retries with capped\n"
+        "                     exponential backoff + jitter (default 2; all\n"
+        "                     ops are idempotent — submit is content-\n"
+        "                     addressed)\n"
         "\n"
         "fault containment (see the README's Failure containment section):\n"
         "  --max-rss-mb N     RSS watchdog: once resident memory exceeds N\n"
@@ -113,7 +131,9 @@ int usage(std::ostream& os, int code) {
         "  --fault-inject SITE:N:ACTION\n"
         "                     deterministic fault injection (repeatable,\n"
         "                     tests/CI): on the N-th hit of the named fault\n"
-        "                     point run ACTION = throw | cancel | delay.\n"
+        "                     point run ACTION = throw | cancel | delay |\n"
+        "                     abort (abort SIGKILLs the process on the spot\n"
+        "                     — the crash-resume harness; exit status 137).\n"
         "                     Sites: lia.pivot, schema.encode,\n"
         "                     schema.unit_adopt, cs.expand, replay.step\n"
         "\n"
@@ -163,6 +183,10 @@ struct Args {
   std::vector<std::vector<long long>> sweep_override;
   std::vector<std::string> only_obligations;  // --only-obligations (comma'd)
   std::string cache_dir;     // --cache-dir: on-disk proof cache (verify/serve)
+  bool resume = false;       // --resume: journal-driven crash recovery
+  double connect_timeout = -1;  // --connect-timeout (-1: keep the default)
+  double io_timeout = -1;       // --io-timeout (-1: keep the defaults)
+  int retries = -1;             // --retries (-1: keep the default)
   std::string socket_path = "/tmp/ctaverd.sock";  // --socket (daemon cmds)
   std::string trace_path;    // --trace: Chrome trace-event JSON output
   std::string metrics_path;  // --metrics: registry JSON ('-': table, stdout)
@@ -202,6 +226,8 @@ bool parse_args(int argc, char** argv, Args& args) {
       args.progress = true;
     } else if (a == "--static-partition") {
       args.static_partition = true;
+    } else if (a == "--resume") {
+      args.resume = true;
     } else if (a == "--specs") {
       const char* v = value();
       if (v == nullptr) return false;
@@ -245,7 +271,9 @@ bool parse_args(int argc, char** argv, Args& args) {
       args.fault_inject.emplace_back(v);
     } else if (a == "--max-states" || a == "--max-schemas" ||
                a == "--time-budget" || a == "--jobs" || a == "--workers" ||
-               a == "--max-rss-mb" || a == "--obligation-timeout") {
+               a == "--max-rss-mb" || a == "--obligation-timeout" ||
+               a == "--connect-timeout" || a == "--io-timeout" ||
+               a == "--retries") {
       const char* v = value();
       if (v == nullptr) return false;
       try {
@@ -267,6 +295,15 @@ bool parse_args(int argc, char** argv, Args& args) {
           if (args.obligation_timeout < 0) {
             throw std::invalid_argument("negative");
           }
+        } else if (a == "--connect-timeout") {
+          args.connect_timeout = std::stod(v);
+          if (args.connect_timeout < 0) throw std::invalid_argument("negative");
+        } else if (a == "--io-timeout") {
+          args.io_timeout = std::stod(v);
+          if (args.io_timeout < 0) throw std::invalid_argument("negative");
+        } else if (a == "--retries") {
+          args.retries = std::stoi(v);
+          if (args.retries < 0) throw std::invalid_argument("negative");
         } else {
           args.time_budget = std::stod(v);
         }
@@ -494,6 +531,10 @@ int cmd_verify(const ProtocolRegistry& registry, const Args& args,
   if (!args.cache_dir.empty()) {
     cache.emplace(args.cache_dir);
     opts.cache = &*cache;
+  } else if (args.resume) {
+    std::cerr << "ctaver: --resume needs --cache-dir (the journal and the "
+                 "proofs it references live there)\n";
+    return 2;
   }
 
   std::vector<ProtocolModel> models;
@@ -501,6 +542,57 @@ int cmd_verify(const ProtocolRegistry& registry, const Args& args,
   for (const std::string& spec : protocols) {
     models.push_back(resolve_with_sweeps(registry, args, spec));
   }
+
+  // Crash-safety journal: every run under --cache-dir appends run-start /
+  // per-obligation / run-end records (fsync'd, checksummed — see
+  // src/svc/journal.h). --resume additionally checks the journal for an
+  // unfinished run of the SAME identity before re-proving: the obligations
+  // it journaled as durable replay from the cache, so the resumed report is
+  // byte-identical to an uninterrupted one.
+  std::optional<ctaver::svc::Journal> journal;
+  std::string run_id;
+  if (cache) {
+    journal.emplace(args.cache_dir);
+    if (!journal->ok()) {
+      std::cerr << "ctaver: journal: " << journal->error()
+                << " (continuing without crash-safety)\n";
+      journal.reset();
+      if (args.resume) return 2;
+    }
+  }
+  if (journal) {
+    std::vector<ctaver::verify::ObligationKey> all_keys;
+    std::string names;
+    for (const ProtocolModel& pm : models) {
+      for (ctaver::verify::ObligationKey& k :
+           ctaver::verify::obligation_cache_keys(pm, opts)) {
+        all_keys.push_back(std::move(k));
+      }
+      names += (names.empty() ? "" : ",") + pm.name;
+    }
+    run_id = ctaver::svc::journal_run_id(all_keys);
+    if (args.resume) {
+      if (journal->run_started(run_id) && !journal->run_finished(run_id)) {
+        std::cerr << "ctaver: resuming run " << run_id.substr(0, 12) << ": "
+                  << journal->run_obligations(run_id).size() << " of "
+                  << all_keys.size()
+                  << " obligation(s) already durable; re-proving the rest\n";
+      } else if (journal->unfinished_runs() > 0) {
+        std::cerr << "ctaver: --resume: the journal's unfinished run was "
+                     "started with different specs or options (run id "
+                     "mismatch); re-run the original command line, or drop "
+                     "--resume to start over\n";
+        return 2;
+      } else {
+        std::cerr << "ctaver: --resume: no unfinished run in the journal; "
+                     "running cold\n";
+      }
+    }
+    journal->run_start(run_id, "verify", names, all_keys.size());
+    opts.journal = &*journal;
+    opts.journal_run = run_id;
+  }
+
   auto maybe_reports = run_protocols(
       models, args.jobs,
       [&](const ProtocolModel&) { return std::optional(opts); });
@@ -529,8 +621,9 @@ int cmd_verify(const ProtocolRegistry& registry, const Args& args,
   // incomplete-by-failure, so neither a clean 0 nor a plain verdict 1 would
   // be trustworthy (and CI fault-smoke assertions stay deterministic even on
   // protocols that also have a genuine counterexample).
-  if (any_error) return 3;
-  return all_verified ? 0 : 1;
+  int code = any_error ? 3 : all_verified ? 0 : 1;
+  if (journal) journal->run_end(run_id, code);
+  return code;
 }
 
 const ctaver::verify::Obligation* find_obligation(
@@ -754,6 +847,13 @@ int cmd_serve(const Args& args) {
   so.verify = base_options(args);
   so.verify.replay_ce = args.replay_ce;
   so.stop_flag = &g_sigterm;
+  // --io-timeout on serve arms the daemon's per-connection deadlines (both
+  // directions); the write deadline keeps its stuck-reader default
+  // otherwise.
+  if (args.io_timeout >= 0) {
+    so.read_timeout_s = args.io_timeout;
+    so.write_timeout_s = args.io_timeout;
+  }
   // The stats event reads the metrics registry, so the daemon always
   // collects (out-of-band: verdict bytes are unaffected).
   ctaver::obs::Registry::global().set_enabled(true);
@@ -763,6 +863,22 @@ int cmd_serve(const Args& args) {
   if (!server.start(&err)) {
     std::cerr << "ctaver: serve: " << err << "\n";
     return 2;
+  }
+  // Restart recovery: report what the journal replayed — the proofs of the
+  // journaled completions are in the cache, so an unfinished submission's
+  // resubmission re-proves only what never landed durable.
+  if (const ctaver::svc::Journal* j = server.journal();
+      j != nullptr && j->ok()) {
+    const ctaver::svc::JournalStats& js = j->stats();
+    if (js.replayed > 0 || js.truncated_bytes > 0) {
+      std::cerr << "ctaver: journal recovered: " << js.replayed
+                << " record(s), " << j->unfinished_runs()
+                << " unfinished submission(s)";
+      if (js.truncated_bytes > 0) {
+        std::cerr << " (" << js.truncated_bytes << " torn byte(s) truncated)";
+      }
+      std::cerr << "\n";
+    }
   }
   std::cerr << "ctaver: serving on " << args.socket_path
             << (args.cache_dir.empty() ? std::string()
@@ -785,17 +901,24 @@ int dispatch(const Args& args) {
     if (args.command == "check") return cmd_check(registry, args);
     if (args.command == "hash") return cmd_hash(registry, args);
     if (args.command == "serve") return cmd_serve(args);
-    if (args.command == "submit") {
-      if (args.protocols.empty()) return usage(std::cerr, 2);
-      return ctaver::svc::submit_specs(args.socket_path, args.protocols,
-                                       std::cout, std::cerr);
-    }
-    if (args.command == "stats") {
-      return ctaver::svc::request_stats(args.socket_path, std::cout,
-                                        std::cerr);
-    }
-    if (args.command == "shutdown") {
-      return ctaver::svc::request_shutdown(args.socket_path, std::cerr);
+    if (args.command == "submit" || args.command == "stats" ||
+        args.command == "shutdown") {
+      ctaver::svc::ClientOptions copts;
+      if (args.connect_timeout >= 0) copts.connect_timeout_s =
+          args.connect_timeout;
+      if (args.io_timeout >= 0) copts.io_timeout_s = args.io_timeout;
+      if (args.retries >= 0) copts.retries = args.retries;
+      if (args.command == "submit") {
+        if (args.protocols.empty()) return usage(std::cerr, 2);
+        return ctaver::svc::submit_specs(args.socket_path, args.protocols,
+                                         std::cout, std::cerr, copts);
+      }
+      if (args.command == "stats") {
+        return ctaver::svc::request_stats(args.socket_path, std::cout,
+                                          std::cerr, copts);
+      }
+      return ctaver::svc::request_shutdown(args.socket_path, std::cerr,
+                                           copts);
     }
     if (args.command == "table2") {
       std::vector<std::string> protocols = args.protocols;

@@ -1,5 +1,9 @@
 #include "svc/proof_cache.h"
 
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
@@ -109,22 +113,49 @@ void ProofCache::disk_store(const std::string& key,
   fs::path final_path = fs::path(disk_dir_) / key;
   fs::path tmp_path = final_path;
   tmp_path += ".tmp";
-  {
-    std::ofstream out(tmp_path, std::ios::binary | std::ios::trunc);
-    if (!out) return;  // unwritable cache dir degrades to memory-only
-    out << kDiskMagic << "\n"
+
+  std::ostringstream entry;
+  entry << kDiskMagic << "\n"
         << "key " << key << "\n"
         << "len " << payload.size() << "\n"
         << "sha256 " << util::sha256_hex(payload) << "\n"
         << payload;
-    out.flush();
-    if (!out) {
+  const std::string bytes = entry.str();
+
+  // tmp + fsync + rename + parent-dir fsync: without the fsyncs a crash can
+  // expose the rename before the data blocks land — a named-but-empty entry.
+  // disk_lookup would degrade it to a corrupt miss, but the proof (which the
+  // journal may already count as durable) would be silently lost.
+  int fd = ::open(tmp_path.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC,
+                  0644);
+  if (fd < 0) return;  // unwritable cache dir degrades to memory-only
+  std::size_t off = 0;
+  while (off < bytes.size()) {
+    ssize_t n = ::write(fd, bytes.data() + off, bytes.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
       fs::remove(tmp_path, ec);
       return;
     }
+    off += static_cast<std::size_t>(n);
   }
+  if (::fsync(fd) != 0) {
+    ::close(fd);
+    fs::remove(tmp_path, ec);
+    return;
+  }
+  ::close(fd);
   fs::rename(tmp_path, final_path, ec);
-  if (ec) fs::remove(tmp_path, ec);
+  if (ec) {
+    fs::remove(tmp_path, ec);
+    return;
+  }
+  int dfd = ::open(disk_dir_.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (dfd >= 0) {
+    ::fsync(dfd);
+    ::close(dfd);
+  }
 }
 
 // --- codecs -------------------------------------------------------------

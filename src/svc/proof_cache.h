@@ -46,8 +46,9 @@ class ProofCache {
   std::optional<std::string> lookup(const std::string& key);
 
   /// Stores payload under key (memory + disk when configured). Disk writes
-  /// go through a temp file + rename, so a crashed daemon leaves either the
-  /// old entry or the new one, never a torn file.
+  /// go through a temp file + fsync + rename + parent-dir fsync, so a
+  /// crashed (or SIGKILLed, or power-lost) daemon leaves either the old
+  /// entry or the new one, never a torn or named-but-empty file.
   void store(const std::string& key, const std::string& payload);
 
   /// Drops an entry whose payload passed the checksum but failed to decode

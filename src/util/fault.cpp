@@ -1,5 +1,8 @@
 #include "util/fault.h"
 
+#include <signal.h>
+#include <unistd.h>
+
 #include <chrono>
 #include <cstring>
 #include <thread>
@@ -87,9 +90,11 @@ bool FaultInjector::arm(const std::string& plan, std::string* error) {
     action = FaultAction::kCancel;
   } else if (action_str == "delay") {
     action = FaultAction::kDelay;
+  } else if (action_str == "abort") {
+    action = FaultAction::kAbort;
   } else {
     return bad("unknown fault action '" + action_str +
-               "' (want throw, cancel, or delay)");
+               "' (want throw, cancel, delay, or abort)");
   }
   arm(site, count, action);
   return true;
@@ -138,6 +143,13 @@ void FaultInjector::on_hit(const char* site) {
       // touching any result.
       std::this_thread::sleep_for(std::chrono::milliseconds(2));
       break;
+    case FaultAction::kAbort:
+      // Simulate sudden process death (OOM-kill, power loss): no stack
+      // unwinding, no atexit, no flushed buffers. SIGKILL cannot be caught;
+      // _exit(137) is the unreachable-in-practice fallback with the same
+      // observable exit status (128 + SIGKILL).
+      ::kill(::getpid(), SIGKILL);
+      ::_exit(137);
   }
 }
 

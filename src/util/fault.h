@@ -17,7 +17,12 @@
 //   cancel  raise util::Cancelled — exercises the budget-style inconclusive
 //           path (a cancel must never flip a verdict to "complete");
 //   delay   sleep a couple of milliseconds and continue — byte-neutral, for
-//           racing the containment paths under TSan.
+//           racing the containment paths under TSan;
+//   abort   die on the spot (SIGKILL, no unwinding, no atexit) — the crash
+//           harness for the durable journal / proof-cache resume paths: the
+//           process vanishes exactly as an OOM-kill or power loss would,
+//           and the crash-resume tests assert the next run's report is
+//           byte-identical to an uninterrupted one.
 //
 // At --jobs/--workers 1 the hit order is the canonical enumeration order, so
 // the count selects one reproducible logical operation; at wider settings
@@ -32,7 +37,7 @@
 
 namespace ctaver::util {
 
-enum class FaultAction { kThrow, kCancel, kDelay };
+enum class FaultAction { kThrow, kCancel, kDelay, kAbort };
 
 /// What the `throw` action raises. Derives from std::runtime_error so an
 /// uncontained escape still prints something sensible; the pipeline's

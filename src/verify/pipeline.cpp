@@ -17,6 +17,7 @@
 #include "obs/trace.h"
 #include "replay/replay.h"
 #include "spec/spec.h"
+#include "svc/journal.h"
 #include "svc/proof_cache.h"
 #include "ta/transforms.h"
 #include "ta/validate.h"
@@ -291,7 +292,8 @@ struct Plan {
     o.parametric = true;
     prop.obligations.push_back(std::move(o));
     checks.push_back({&prop, prop.obligations.size() - 1, &sys,
-                      std::move(spec), std::nullopt, nullptr});
+                      std::move(spec), std::nullopt, nullptr, false, false,
+                      0.0, std::string(), false});
     order.emplace_back(false, checks.size() - 1);
   }
 
@@ -304,7 +306,8 @@ struct Plan {
     prop.obligations.push_back(std::move(o));
     sweeps.push_back(
         {&prop, prop.obligations.size() - 1, check, &pm, &sys,
-         std::vector<SweepInstanceResult>(pm.sweep_params.size())});
+         std::vector<SweepInstanceResult>(pm.sweep_params.size()),
+         std::string(), std::nullopt});
     order.emplace_back(true, sweeps.size() - 1);
   }
 };
@@ -629,6 +632,22 @@ struct ProtocolRun::Impl {
           }
           if (dl && dl->tripped()) t.timed_out = true;
           t.task_seconds = w.seconds();
+          // Durability point: a complete verdict becomes a cache entry and
+          // a journal record the moment its task finishes, not at merge —
+          // a crash mid-protocol keeps every finished obligation durable
+          // for --resume. Failures here degrade crash safety, never the
+          // run (the merge path re-reads t.result, not the cache).
+          if (opts.cache != nullptr && !t.error && t.result &&
+              t.result->complete) {
+            try {
+              opts.cache->store(t.cache_key, svc::encode_check(*t.result));
+              if (opts.journal != nullptr) {
+                opts.journal->obligation_done(opts.journal_run, t.spec.name,
+                                              t.cache_key, /*cached=*/false);
+              }
+            } catch (...) {
+            }
+          }
           obs::add(obs::Counter::kVerifyTasksDone);
           obs::add(obs::Counter::kVerifyObligationMicros,
                    static_cast<std::uint64_t>(t.task_seconds * 1e6));
@@ -726,6 +745,12 @@ struct ProtocolRun::Impl {
         if (std::optional<schema::CheckResult> res = svc::decode_check(*p)) {
           t.result = std::move(res);
           t.cache_hit = true;
+          // A hit is already durable — journal it now so a crash before
+          // merge still credits this obligation to the run.
+          if (opts.journal != nullptr) {
+            opts.journal->obligation_done(opts.journal_run, t.spec.name,
+                                          t.cache_key, /*cached=*/true);
+          }
         } else {
           opts.cache->invalidate(t.cache_key);
         }
@@ -735,6 +760,11 @@ struct ProtocolRun::Impl {
       if (std::optional<std::string> p = opts.cache->lookup(t.cache_key)) {
         if (std::optional<svc::SweepVerdict> v = svc::decode_sweep(*p)) {
           t.cached = std::move(v);
+          if (opts.journal != nullptr) {
+            opts.journal->obligation_done(
+                opts.journal_run, t.prop->obligations[t.slot].name,
+                t.cache_key, /*cached=*/true);
+          }
         } else {
           opts.cache->invalidate(t.cache_key);
         }
@@ -810,12 +840,10 @@ struct ProtocolRun::Impl {
       // budget-cancelled obligations are attributable too (a cache hit
       // reads 0 — no work was done).
       o.seconds = t.task_seconds;
-      // Store only complete, error-free verdicts: an incomplete one
-      // describes this run's budget race, not the obligation.
-      if (opts.cache != nullptr && !t.cache_hit && !t.error && t.result &&
-          t.result->complete) {
-        opts.cache->store(t.cache_key, svc::encode_check(*t.result));
-      }
+      // The cache store + journal record happened at task-completion time
+      // (or at probe time for a hit) — the durability point is the moment
+      // the verdict exists, so a crash between then and this merge loses
+      // nothing.
     }
     for (SweepTask& t : plan.sweeps) {
       if (t.cached) {
@@ -828,7 +856,7 @@ struct ProtocolRun::Impl {
         o.ce = t.cached->ce;
         o.detail = t.cached->detail;
         o.run_state = Obligation::RunState::kComplete;
-        o.cached = true;
+        o.cached = true;  // journaled at probe time, like parametric hits
         continue;
       }
       merge_sweep(t, *bud);
@@ -837,6 +865,10 @@ struct ProtocolRun::Impl {
         opts.cache->store(t.cache_key,
                           svc::encode_sweep({o.holds, o.complete, o.ce,
                                              o.detail}));
+        if (opts.journal != nullptr) {
+          opts.journal->obligation_done(opts.journal_run, o.name, t.cache_key,
+                                        /*cached=*/false);
+        }
       }
     }
 

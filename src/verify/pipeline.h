@@ -32,6 +32,7 @@ class ThreadPool;
 
 namespace ctaver::svc {
 class ProofCache;
+class Journal;
 }
 
 namespace ctaver::verify {
@@ -86,6 +87,16 @@ struct Options {
   /// normally and stores its verdict at merge time when it is complete and
   /// error-free.
   svc::ProofCache* cache = nullptr;
+  /// Durable run journal (src/svc/journal; not owned, may be null). Only
+  /// consulted together with `cache`: at merge time every complete,
+  /// error-free obligation appends one fsync'd record referencing its
+  /// ProofCache key under the `journal_run` id, so a killed process can
+  /// account for what already landed durable. Journal appends are strictly
+  /// out-of-band — no report byte ever depends on them.
+  svc::Journal* journal = nullptr;
+  /// Run identity stamped into journal records (journal_run_id of the
+  /// planned obligation keys); set by whoever owns the run-start record.
+  std::string journal_run;
   /// Per-obligation hard deadline in seconds (0 = off), armed when the
   /// obligation's task starts. Tripping it cuts THAT obligation to
   /// inconclusive (cut_reason "obligation-timeout") without touching the

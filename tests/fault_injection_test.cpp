@@ -65,8 +65,24 @@ TEST_F(FaultInjection, PlanParsing) {
   EXPECT_FALSE(inj.arm("lia.pivot:0:throw", &err));
   EXPECT_FALSE(inj.arm("lia.pivot:x:throw", &err));
   EXPECT_FALSE(inj.arm("lia.pivot:1:explode", &err));
+  EXPECT_NE(err.find("abort"), std::string::npos)
+      << "bad-action error should list abort: " << err;
   EXPECT_FALSE(inj.arm("lia.pivot:1", &err));
   EXPECT_FALSE(inj.arm("", &err));
+}
+
+// The abort action (SIGKILL at the site — the crash-resume harness's
+// trigger) parses through the same SITE:N:ACTION grammar. Only parsing is
+// tested here: firing it would kill the test runner; the fork-based
+// crash_resume_test exercises the kill itself.
+TEST_F(FaultInjection, AbortActionParses) {
+  FaultInjector& inj = FaultInjector::instance();
+  std::string err;
+  EXPECT_TRUE(inj.arm("schema.encode:40:abort", &err)) << err;
+  EXPECT_TRUE(FaultInjector::armed());
+  // Hits below the threshold are harmless no-ops, like every action.
+  util::fault_point("schema.encode");
+  EXPECT_EQ(inj.hits("schema.encode"), 1);
 }
 
 TEST_F(FaultInjection, SitesListsEveryCompiledFaultPoint) {

@@ -387,6 +387,39 @@ TEST(ProofCache, CorruptAndTruncatedEntriesDegradeToMisses) {
   }
 }
 
+// Regression for the crash-left-empty-entry shape: before stores fsync'd
+// through tmp+rename, a kill could leave a named-but-empty (or truncated)
+// entry file. Such a file must read as a corrupt miss — and a re-store
+// over it must fully heal the entry.
+TEST(ProofCache, ZeroByteEntryIsACorruptMissAndRestoreHeals) {
+  TempDir dir;
+  std::string key(64, 'e');
+  {
+    svc::ProofCache cache(dir.path().string());
+    cache.store(key, "real payload");
+  }
+  fs::path entry = dir.path() / key;
+  { std::ofstream out(entry, std::ios::binary | std::ios::trunc); }
+  ASSERT_EQ(fs::file_size(entry), 0u);
+  {
+    svc::ProofCache cache(dir.path().string());
+    EXPECT_FALSE(cache.lookup(key).has_value());
+    EXPECT_EQ(cache.stats().corrupt, 1u);
+    cache.store(key, "real payload");
+  }
+  svc::ProofCache fresh(dir.path().string());
+  std::optional<std::string> hit = fresh.lookup(key);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(*hit, "real payload");
+  // No stray temp files from the atomic-rename discipline.
+  std::size_t files = 0;
+  for (const auto& e : fs::directory_iterator(dir.path())) {
+    (void)e;
+    ++files;
+  }
+  EXPECT_EQ(files, 1u);
+}
+
 TEST(ProofCache, InvalidateDropsMemoryAndDisk) {
   TempDir dir;
   std::string key(64, 'd');

@@ -4,7 +4,12 @@
 // resubmission, inline-text submissions of edited specs, concurrent
 // submissions (the TSan leg's target), clean shutdown drains, and the JSON
 // parser doubling as the validity oracle for the metrics serializer.
+// Plus the wire-hardening corpus (ISSUE 10): oversized / malformed /
+// binary / torn frames, chunked partial writes, mid-frame disconnects,
+// read deadlines — and the hardened client's connect/io timeouts and
+// capped-backoff retries.
 #include <gtest/gtest.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
@@ -12,7 +17,9 @@
 #include <algorithm>
 #include <atomic>
 #include <cstring>
+#include <filesystem>
 #include <memory>
+#include <mutex>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -47,6 +54,27 @@ std::string strip_row_times(const std::string& row) {
   }
   return out;
 }
+
+/// Disposable cache directory for the journal-backed daemon tests.
+class TmpCacheDir {
+ public:
+  TmpCacheDir() {
+    path_ = std::filesystem::temp_directory_path() /
+            ("ctaver_svc_cache_" + std::to_string(::getpid()) + "_" +
+             std::to_string(counter_++));
+    std::filesystem::create_directories(path_);
+  }
+  ~TmpCacheDir() {
+    std::error_code ec;
+    std::filesystem::remove_all(path_, ec);
+  }
+  [[nodiscard]] std::string str() const { return path_.string(); }
+
+ private:
+  static int counter_;
+  std::filesystem::path path_;
+};
+int TmpCacheDir::counter_ = 0;
 
 /// A running daemon on its own thread, torn down via stop() + join.
 class ServerFixture {
@@ -97,10 +125,19 @@ class RawClient {
     if (fd_ >= 0) ::close(fd_);
   }
 
-  void send(const std::string& line) {
-    std::string out = line + "\n";
-    ASSERT_EQ(::send(fd_, out.data(), out.size(), MSG_NOSIGNAL),
-              static_cast<ssize_t>(out.size()));
+  void send(const std::string& line) { send_raw(line + "\n"); }
+
+  /// Exact bytes, no terminator added — partial frames, chunk dribbles.
+  void send_raw(const std::string& bytes) {
+    ASSERT_EQ(::send(fd_, bytes.data(), bytes.size(), MSG_NOSIGNAL),
+              static_cast<ssize_t>(bytes.size()));
+  }
+
+  /// True when the server closed its side (and nothing is left buffered).
+  bool eof() {
+    if (!buf_.empty()) return false;
+    char ch;
+    return ::recv(fd_, &ch, 1, 0) == 0;
   }
 
   /// Next event line, parsed. Fails the test on EOF or invalid JSON.
@@ -413,6 +450,168 @@ TEST(SvcServer, ShutdownOpDrainsTheDaemon) {
   EXPECT_EQ(request_shutdown(fx.socket_path(), std::cerr), 0);
   fx.join();  // run() returned: drained, socket unlinked
   EXPECT_NE(::access(fx.socket_path().c_str(), F_OK), 0);
+}
+
+// --- wire hardening (ISSUE 10): the fuzz corpus -------------------------
+//
+// Malformed, truncated, oversized, and binary frames; partial writes; and
+// mid-frame disconnects. The contract everywhere: a structured error event
+// (or a silent close for an unfinishable frame), never a hang, never
+// unbounded buffering, and the connection/daemon stays serviceable.
+
+TEST(SvcServer, OversizedFrameIsDroppedAndConnectionSurvives) {
+  ServeOptions so;
+  so.max_frame_bytes = 1024;  // tiny cap so the test frame is cheap
+  ServerFixture fx(std::move(so));
+  RawClient c(fx.socket_path());
+  // 8 KiB of newline-free bytes: can never become a valid request. The
+  // server must report once, bound its buffer, and keep the connection.
+  c.send(std::string(8192, 'x'));
+  Json err = c.next();
+  EXPECT_EQ(err.get("event"), "error");
+  EXPECT_NE(err.get("message").find("frame exceeds"), std::string::npos);
+  // The same connection still serves requests after the discard.
+  c.send("{\"op\":\"ping\"}");
+  EXPECT_EQ(c.next().get("event"), "pong");
+}
+
+TEST(SvcServer, MalformedAndBinaryFramesGetErrorEventsNotHangs) {
+  ServerFixture fx;
+  RawClient c(fx.socket_path());
+  const std::string corpus[] = {
+      "{\"op\":\"submit\"",                    // truncated JSON
+      "{\"op\":\"submit\",\"spec\":12345}",    // wrong type
+      "[1,2,3]",                               // not an object... but JSON
+      "\x01\x02\xff\xfe binary garbage",       // raw bytes
+      "{\"op\":\"submit\",\"spec\":\"X\"}}}",  // trailing garbage
+      "\"just a string\"",
+  };
+  for (const std::string& frame : corpus) {
+    c.send(frame);
+    Json ev = c.next();
+    EXPECT_EQ(ev.get("event"), "error") << frame;
+  }
+  // Still alive and serving after the whole corpus.
+  c.send("{\"op\":\"ping\"}");
+  EXPECT_EQ(c.next().get("event"), "pong");
+}
+
+TEST(SvcServer, ChunkedPartialWritesAssembleIntoOneRequest) {
+  ServerFixture fx;
+  RawClient c(fx.socket_path());
+  // A request dribbled in 1-byte writes must parse exactly like one send.
+  const std::string req = "{\"op\":\"ping\"}\n";
+  for (char ch : req) c.send_raw(std::string(1, ch));
+  EXPECT_EQ(c.next().get("event"), "pong");
+  // Two requests in one segment both get answered, in order.
+  c.send_raw("{\"op\":\"ping\"}\n{\"op\":\"stats\"}\n");
+  EXPECT_EQ(c.next().get("event"), "pong");
+  EXPECT_EQ(c.next().get("event"), "stats");
+}
+
+TEST(SvcServer, MidFrameDisconnectIsHarmless) {
+  ServerFixture fx;
+  {
+    RawClient c(fx.socket_path());
+    c.send_raw("{\"op\":\"sub");  // no newline, then hang up
+  }
+  {
+    RawClient c(fx.socket_path());
+    c.send_raw(std::string(512, 'y'));  // partial oversized-ish, hang up
+  }
+  // The daemon shrugged both off.
+  RawClient c(fx.socket_path());
+  c.send("{\"op\":\"ping\"}");
+  EXPECT_EQ(c.next().get("event"), "pong");
+}
+
+TEST(SvcServer, ReadTimeoutClosesIdleConnections) {
+  ServeOptions so;
+  so.read_timeout_s = 0.1;
+  ServerFixture fx(std::move(so));
+  RawClient c(fx.socket_path());
+  c.send("{\"op\":\"ping\"}");
+  EXPECT_EQ(c.next().get("event"), "pong");
+  // Now idle past the deadline: the server reports and closes.
+  Json ev = c.next();
+  EXPECT_EQ(ev.get("event"), "error");
+  EXPECT_NE(ev.get("message").find("read timeout"), std::string::npos);
+  EXPECT_TRUE(c.eof());
+}
+
+TEST(SvcServer, StatsReportJournalSectionWhenCacheDirSet) {
+  TmpCacheDir dir;
+  ServeOptions so;
+  so.cache_dir = dir.str();
+  ServerFixture fx(std::move(so));
+  RawClient c(fx.socket_path());
+  c.submit("{\"op\":\"submit\",\"spec\":\"NaiveVoting\"}");
+  c.send("{\"op\":\"stats\"}");
+  Json stats = c.next();
+  ASSERT_TRUE(stats["journal"].is_object());
+  // start + 6 obligations + end, appended by this (fresh) journal.
+  EXPECT_EQ(stats["journal"]["appended"].as_int(), 8);
+  EXPECT_EQ(stats["journal"]["replayed"].as_int(), 0);
+  EXPECT_EQ(stats["journal"]["unfinished"].as_int(), 0);
+}
+
+// --- hardened client: timeouts and retries ------------------------------
+
+TEST(SvcClient, ConnectFailureRetriesThenExit2) {
+  ClientOptions copts;
+  copts.retries = 2;
+  copts.backoff_base_s = 0.01;
+  copts.backoff_cap_s = 0.02;
+  std::ostringstream out, err;
+  int code = submit_specs("/tmp/ctaver_no_such_daemon.sock", {"NaiveVoting"},
+                          out, err, copts);
+  EXPECT_EQ(code, 2);
+  // Both retry notices went out before the final failure.
+  EXPECT_NE(err.str().find("retrying (2/3)"), std::string::npos) << err.str();
+  EXPECT_NE(err.str().find("retrying (3/3)"), std::string::npos) << err.str();
+  EXPECT_NE(err.str().find("is `ctaver serve` running?"), std::string::npos);
+}
+
+TEST(SvcClient, SilentServerTripsIoTimeoutInsteadOfHanging) {
+  // A socket that accepts and then never replies: the old client would
+  // block in read_line forever; the hardened one trips its deadline.
+  const std::string path = unique_socket_path();
+  int listener = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  ASSERT_GE(listener, 0);
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  ASSERT_EQ(::bind(listener, reinterpret_cast<const sockaddr*>(&addr),
+                   sizeof(addr)), 0);
+  ASSERT_EQ(::listen(listener, 4), 0);
+  std::atomic<bool> done{false};
+  std::vector<int> held;  // kept open: the server is silent, not gone
+  std::mutex held_mu;
+  std::thread sink([&] {  // accept everything, say nothing
+    while (!done.load()) {
+      pollfd pfd{listener, POLLIN, 0};
+      if (::poll(&pfd, 1, 50) > 0) {
+        int fd = ::accept(listener, nullptr, nullptr);
+        if (fd >= 0) {
+          std::lock_guard<std::mutex> lock(held_mu);
+          held.push_back(fd);
+        }
+      }
+    }
+  });
+  ClientOptions copts;
+  copts.connect_timeout_s = 1;
+  copts.io_timeout_s = 0.2;
+  copts.retries = 1;
+  copts.backoff_base_s = 0.01;
+  std::ostringstream out, err;
+  EXPECT_EQ(request_stats(path, out, err, copts), 2);
+  EXPECT_NE(err.str().find("timed out"), std::string::npos) << err.str();
+  done.store(true);
+  sink.join();
+  for (int fd : held) ::close(fd);
+  ::close(listener);
+  ::unlink(path.c_str());
 }
 
 TEST(SvcServer, StopFlagDrainsTheDaemon) {
